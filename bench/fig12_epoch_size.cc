@@ -1,0 +1,72 @@
+// Figure 12: effect of epoch size on throughput and epoch latency.
+//
+// Paper shape: larger epochs raise throughput (less epoch synchronization;
+// more updates per row per epoch, so a higher transient share) at the cost
+// of proportionally higher epoch latency — by 3% (contended YCSB) to 51%
+// (contended SmallBank) between the smallest and largest epochs. Exception:
+// contended YCSB-smallrow slightly *loses* with the largest epochs because
+// the sorted version arrays of hot rows grow long and the append phase's
+// insertion sort degrades (batch-append is not implemented, as in the
+// paper).
+#include "bench/harness.h"
+#include "src/workload/smallbank.h"
+#include "src/workload/ycsb.h"
+
+namespace nvc::bench {
+namespace {
+
+// Scaled from the paper's 5k..100k transactions per epoch.
+const std::size_t kEpochSizes[] = {250, 500, 1000, 2000, 4000};
+constexpr std::size_t kTotalTxns = 20'000;
+
+template <typename MakeWorkload>
+void Sweep(const char* label, MakeWorkload&& make_workload) {
+  for (std::size_t epoch_size : kEpochSizes) {
+    const std::size_t size = Scaled(epoch_size);
+    const std::size_t epochs = std::max<std::size_t>(Scaled(kTotalTxns) / size, 2);
+    auto workload = make_workload();
+    const RunResult result =
+        RunNvCaracal(workload, core::EngineMode::kNvCaracal, epochs, size);
+    std::printf("%-22s epoch %6zu txns: %10.0f txn/s   latency %8.2f ms/epoch"
+                " (p99 %8.2f)   transient %5.1f%%\n",
+                label, size, result.txns_per_sec, result.epoch_latency_ms,
+                result.epoch_latency_p99_ms, result.transient_share * 100.0);
+  }
+}
+
+}  // namespace
+}  // namespace nvc::bench
+
+int main() {
+  using namespace nvc::bench;
+  using namespace nvc::workload;
+  PrintHeader("Figure 12", "Effect of epoch size on throughput and latency");
+
+  auto ycsb = [](std::uint32_t value, std::uint32_t update, std::uint32_t hot) {
+    return [=] {
+      YcsbConfig config;
+      config.rows = Scaled(40'000);
+      config.value_size = value;
+      config.update_bytes = update;
+      config.hot_ops = hot;
+      config.row_size = value >= 256 ? 2304 : 256;
+      return YcsbWorkload(config);
+    };
+  };
+  Sweep("YCSB low", ycsb(1000, 100, 0));
+  Sweep("YCSB high", ycsb(1000, 100, 7));
+  Sweep("smallrow low", ycsb(64, 64, 0));
+  Sweep("smallrow high", ycsb(64, 64, 7));
+
+  auto smallbank = [](std::uint64_t hotspot) {
+    return [=] {
+      SmallBankConfig config;
+      config.customers = Scaled(50'000);
+      config.hotspot_customers = hotspot;
+      return SmallBankWorkload(config);
+    };
+  };
+  Sweep("SmallBank low", smallbank(Scaled(2800)));
+  Sweep("SmallBank high", smallbank(28));
+  return 0;
+}

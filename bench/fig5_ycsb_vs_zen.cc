@@ -1,0 +1,83 @@
+// Figure 5: YCSB throughput, NVCaracal vs Zen, under low / medium / high
+// contention, with (a) the default dataset and (b) a larger-than-cache
+// dataset ("YCSB-large").
+//
+// Paper shape to reproduce: Zen wins at low contention (NVCaracal pays for
+// input logging and gains little from transient versions when rows are
+// updated once per epoch); NVCaracal overtakes Zen as contention rises
+// because only the final write per row per epoch reaches NVMM (45-56% faster
+// at high contention in the paper). Both engines degrade slightly on the
+// large dataset (lower cache hit rate), Zen more than NVCaracal.
+#include "bench/harness.h"
+#include "src/workload/ycsb.h"
+
+namespace nvc::bench {
+namespace {
+
+using workload::YcsbConfig;
+using workload::YcsbWorkload;
+
+zen::ZenSpec ZenSpecFor(const YcsbConfig& config, std::size_t cache_entries) {
+  zen::ZenSpec spec;
+  spec.workers = 1;
+  spec.tables.push_back(zen::ZenTableSpec{
+      .name = "ycsb",
+      .value_size = config.value_size,
+      .capacity_slots = config.rows + 65'536,  // live rows + in-flight versions
+  });
+  spec.cache_max_entries = cache_entries;
+  return spec;
+}
+
+void RunDataset(const char* dataset_label, std::uint64_t rows, std::size_t cache_entries) {
+  const std::size_t epochs = 5;
+  const std::size_t txns_per_epoch = Scaled(2000);
+
+  const struct {
+    const char* label;
+    std::uint32_t hot_ops;
+  } kContention[] = {{"low (0/10 hot)", 0}, {"medium (4/10 hot)", 4}, {"high (7/10 hot)", 7}};
+
+  for (const auto& contention : kContention) {
+    YcsbConfig config;
+    config.rows = rows;
+    config.hot_ops = contention.hot_ops;
+    config.row_size = 2304;  // Table 4: inline both 1 KB versions
+
+    YcsbWorkload nv_workload(config);
+    const RunResult nv = RunNvCaracal(nv_workload, core::EngineMode::kNvCaracal, epochs,
+                                      txns_per_epoch, [&](core::DatabaseSpec& spec) {
+                                        spec.cache_max_entries = cache_entries;
+                                      });
+    PrintRow(std::string(dataset_label) + " " + contention.label + "  NVCaracal", nv);
+
+    YcsbWorkload zen_workload(config);
+    const RunResult zn =
+        RunZen(zen_workload, ZenSpecFor(config, cache_entries), epochs, txns_per_epoch,
+               [&](zen::ZenDb& db) {
+                 std::vector<std::uint8_t> value(config.value_size);
+                 for (std::uint64_t key = 0; key < config.rows; ++key) {
+                   YcsbWorkload::FillRow(key, value.data(), config.value_size);
+                   db.BulkLoad(workload::kYcsbTable, key, value.data(), config.value_size);
+                 }
+               });
+    PrintRow(std::string(dataset_label) + " " + contention.label + "  Zen", zn);
+    std::printf("    -> NVCaracal/Zen throughput ratio: %.2f\n",
+                nv.txns_per_sec / zn.txns_per_sec);
+  }
+}
+
+}  // namespace
+}  // namespace nvc::bench
+
+int main() {
+  using namespace nvc::bench;
+  PrintHeader("Figure 5", "YCSB throughput: NVCaracal vs Zen (scaled: paper used 16M/64M rows)");
+  std::printf("\n--- (a) default dataset ---\n");
+  RunDataset("default", Scaled(60'000), Scaled(60'000));
+  std::printf("\n--- (b) larger-than-cache dataset (YCSB-large) ---\n");
+  // The paper's 64M-row dataset exceeds DRAM; scaled down, the cache-entry
+  // cap emulates the reduced cache coverage (20M entries for 64M rows).
+  RunDataset("large", Scaled(240'000), Scaled(75'000));
+  return 0;
+}

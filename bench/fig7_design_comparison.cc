@@ -1,0 +1,99 @@
+// Figure 7: NVCaracal vs the alternative NVMM Caracal designs — all-NVMM
+// (everything in NVMM) and hybrid (version arrays in DRAM, every update
+// written through to NVMM, no logging) — on TPC-C, YCSB, YCSB-smallrow and
+// SmallBank at low and high contention. All runs use the default 256 B
+// persistent rows, so YCSB values are non-inline while the other workloads
+// inline almost everything.
+//
+// Paper shape (claim C1): all-NVMM is always worst; NVCaracal and hybrid tie
+// at low contention; NVCaracal wins every high-contention workload, and its
+// throughput *increases* with contention because transient updates replace
+// NVMM writes (~2.9x over all-NVMM for big-value YCSB, ~1.38x for
+// small-value SmallBank).
+#include "bench/harness.h"
+#include "src/workload/smallbank.h"
+#include "src/workload/tpcc.h"
+#include "src/workload/ycsb.h"
+
+namespace nvc::bench {
+namespace {
+
+using core::EngineMode;
+
+const struct {
+  EngineMode mode;
+  const char* label;
+} kModes[] = {
+    {EngineMode::kNvCaracal, "NVCaracal"},
+    {EngineMode::kHybrid, "hybrid"},
+    {EngineMode::kAllNvmm, "all-NVMM"},
+};
+
+void RunYcsb(const char* label, std::uint32_t value_size, std::uint32_t update_bytes,
+             std::uint32_t hot_ops) {
+  for (const auto& mode : kModes) {
+    workload::YcsbConfig config;
+    config.rows = Scaled(40'000);
+    config.value_size = value_size;
+    config.update_bytes = update_bytes;
+    config.hot_ops = hot_ops;
+    config.row_size = 256;  // figure 7 uses the default row size everywhere
+    workload::YcsbWorkload workload(config);
+    const RunResult result =
+        RunNvCaracal(workload, mode.mode, /*epochs=*/4, Scaled(2000));
+    PrintRow(std::string(label) + "  " + mode.label, result);
+  }
+}
+
+void RunSmallBank(const char* label, std::uint64_t hotspot) {
+  for (const auto& mode : kModes) {
+    workload::SmallBankConfig config;
+    config.customers = Scaled(50'000);
+    config.hotspot_customers = hotspot;
+    config.row_size = 256;
+    workload::SmallBankWorkload workload(config);
+    const RunResult result =
+        RunNvCaracal(workload, mode.mode, /*epochs=*/4, Scaled(8000));
+    PrintRow(std::string(label) + "  " + mode.label, result);
+  }
+}
+
+void RunTpcc(const char* label, std::uint32_t warehouses) {
+  for (const auto& mode : kModes) {
+    workload::TpccConfig config;
+    config.warehouses = warehouses;
+    config.items = static_cast<std::uint32_t>(Scaled(2000));
+    config.customers_per_district = 120;
+    config.initial_orders_per_district = 120;
+    config.new_order_capacity = static_cast<std::uint32_t>(Scaled(30'000));
+    workload::TpccWorkload workload(config);
+    const RunResult result =
+        RunNvCaracal(workload, mode.mode, /*epochs=*/4, Scaled(3000));
+    PrintRow(std::string(label) + "  " + mode.label, result);
+  }
+}
+
+}  // namespace
+}  // namespace nvc::bench
+
+int main() {
+  using namespace nvc::bench;
+  PrintHeader("Figure 7", "NVCaracal vs all-NVMM vs hybrid Caracal designs (256 B rows)");
+
+  std::printf("\n--- TPC-C ---\n");
+  RunTpcc("TPC-C low  (8 warehouses)", 8);
+  RunTpcc("TPC-C high (1 warehouse) ", 1);
+
+  std::printf("\n--- YCSB (1 KB values, non-inline at 256 B rows) ---\n");
+  RunYcsb("YCSB low  (0/10 hot)", 1000, 100, 0);
+  RunYcsb("YCSB high (7/10 hot)", 1000, 100, 7);
+
+  std::printf("\n--- YCSB-smallrow (64 B values, inline) ---\n");
+  RunYcsb("smallrow low  (0/10 hot)", 64, 64, 0);
+  RunYcsb("smallrow high (7/10 hot)", 64, 64, 7);
+
+  std::printf("\n--- SmallBank (8 B values, inline) ---\n");
+  RunSmallBank("SmallBank low  (5.6% hotspot)", Scaled(2800));
+  RunSmallBank("SmallBank high (0.06% hotspot)", 28);
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Shared figure-reproduction harness.
+//
+// Every bench binary regenerates one figure of the paper's evaluation
+// (section 6) at a documented scale factor: it loads the workload, runs a
+// fixed number of epochs against the configured engine, and prints one row
+// per configuration in the same shape as the paper's plot. Absolute numbers
+// differ from the paper (simulated NVMM, one core, scaled datasets);
+// EXPERIMENTS.md tracks the shape comparison.
+//
+// Environment knobs:
+//   NVC_BENCH_SCALE  multiplies dataset sizes and transaction counts
+//                    (default 1; use 0.2 for a quick smoke run).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/database.h"
+#include "src/sim/nvm_device.h"
+#include "src/zen/zen_db.h"
+
+namespace nvc::bench {
+
+inline double ScaleFactor() {
+  const char* env = std::getenv("NVC_BENCH_SCALE");
+  if (env == nullptr) {
+    return 1.0;
+  }
+  const double scale = std::atof(env);
+  return scale > 0 ? scale : 1.0;
+}
+
+inline std::uint64_t Scaled(std::uint64_t n) {
+  const auto scaled = static_cast<std::uint64_t>(static_cast<double>(n) * ScaleFactor());
+  return scaled == 0 ? 1 : scaled;
+}
+
+struct RunResult {
+  double txns_per_sec = 0;
+  double transient_share = 0;       // fraction of updates kept in DRAM
+  double epoch_latency_ms = 0;      // mean epoch latency
+  double epoch_latency_p99_ms = 0;  // 99th percentile epoch latency
+  std::uint64_t nvm_write_bytes = 0;
+  std::uint64_t nvm_read_bytes = 0;
+  std::size_t committed = 0;
+  std::size_t aborted = 0;
+  core::MemoryBreakdown memory;
+};
+
+// Applies the engine-mode defaults for the figure baselines: the all-DRAM
+// design runs on a zero-latency device; everything else on the Optane model.
+inline sim::LatencyProfile ProfileFor(core::EngineMode mode) {
+  return mode == core::EngineMode::kAllDram ? sim::LatencyProfile::None()
+                                            : sim::LatencyProfile::Optane();
+}
+
+// Runs `epochs` epochs of `txns_per_epoch` transactions of a workload (any
+// type exposing Spec/Load/MakeEpoch) against an NVCaracal engine variant.
+template <typename Workload>
+RunResult RunNvCaracal(Workload& workload, core::EngineMode mode, std::size_t epochs,
+                       std::size_t txns_per_epoch,
+                       const std::function<void(core::DatabaseSpec&)>& tweak = {}) {
+  core::DatabaseSpec spec = workload.Spec(/*workers=*/1);
+  spec.mode = mode;
+  if (tweak) {
+    tweak(spec);
+  }
+  sim::NvmConfig device_config;
+  device_config.size_bytes = core::Database::RequiredDeviceBytes(spec);
+  device_config.latency = ProfileFor(mode);
+  sim::NvmDevice device(device_config);
+  core::Database db(device, spec);
+  db.Format();
+  workload.Load(db);
+  db.FinalizeLoad();
+
+  db.stats().Reset();
+  device.stats().Reset();
+  RunResult result;
+  double total_seconds = 0;
+  LatencyRecorder latencies;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    const core::EpochResult r = db.ExecuteEpoch(workload.MakeEpoch(txns_per_epoch));
+    total_seconds += r.seconds;
+    latencies.Record(r.seconds * 1000.0);
+    result.committed += r.committed;
+    result.aborted += r.aborted;
+  }
+  const double txns = static_cast<double>(epochs * txns_per_epoch);
+  result.txns_per_sec = txns / total_seconds;
+  result.epoch_latency_ms = latencies.Mean();
+  result.epoch_latency_p99_ms = latencies.Percentile(99);
+  const double transient = static_cast<double>(db.stats().transient_writes.Sum());
+  const double persistent = static_cast<double>(db.stats().persistent_writes.Sum());
+  result.transient_share = transient + persistent > 0 ? transient / (transient + persistent) : 0;
+  result.nvm_write_bytes = device.stats().write_bytes.Sum();
+  result.nvm_read_bytes = device.stats().read_bytes.Sum();
+  result.memory = db.GetMemoryBreakdown();
+  return result;
+}
+
+// Same driver against the Zen baseline. The workload supplies the
+// transactions; `zen_spec` describes Zen's tuple heaps.
+template <typename Workload>
+RunResult RunZen(Workload& workload, zen::ZenSpec zen_spec, std::size_t epochs,
+                 std::size_t txns_per_epoch, const std::function<void(zen::ZenDb&)>& load) {
+  sim::NvmConfig device_config;
+  device_config.size_bytes = zen::ZenDb::RequiredDeviceBytes(zen_spec);
+  device_config.latency = sim::LatencyProfile::Optane();
+  sim::NvmDevice device(device_config);
+  zen::ZenDb db(device, zen_spec);
+  db.Format();
+  load(db);
+
+  db.stats().Reset();
+  device.stats().Reset();
+  RunResult result;
+  double total_seconds = 0;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    const zen::ZenBatchResult r = db.ExecuteBatch(workload.MakeEpoch(txns_per_epoch));
+    total_seconds += r.seconds;
+    result.committed += r.committed;
+    result.aborted += r.aborted;
+  }
+  const double txns = static_cast<double>(epochs * txns_per_epoch);
+  result.txns_per_sec = txns / total_seconds;
+  result.epoch_latency_ms = total_seconds * 1000.0 / static_cast<double>(epochs);
+  result.nvm_write_bytes = device.stats().write_bytes.Sum();
+  result.nvm_read_bytes = device.stats().read_bytes.Sum();
+  return result;
+}
+
+// ---- Table printing -------------------------------------------------------------
+
+inline void PrintHeader(const std::string& figure, const std::string& caption) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), caption.c_str());
+  std::printf("(scale factor %.2f; set NVC_BENCH_SCALE to adjust)\n", ScaleFactor());
+  std::printf("================================================================\n");
+}
+
+inline void PrintRow(const std::string& label, const RunResult& result) {
+  std::printf("%-42s %10.0f txn/s   transient %5.1f%%   NVMw %7.1f MB   NVMr %7.1f MB\n",
+              label.c_str(), result.txns_per_sec, result.transient_share * 100.0,
+              static_cast<double>(result.nvm_write_bytes) / 1e6,
+              static_cast<double>(result.nvm_read_bytes) / 1e6);
+}
+
+}  // namespace nvc::bench

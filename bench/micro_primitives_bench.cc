@@ -1,0 +1,206 @@
+// google-benchmark microbenchmarks for the substrate primitives: the
+// simulated NVMM device, the allocator pools, version arrays and the index.
+// These quantify the constants behind the figure-level results (e.g. a
+// persistent-pool allocation must be DRAM-only and O(1)).
+#include <benchmark/benchmark.h>
+
+#include <deque>
+
+#include "src/alloc/persistent_pool.h"
+#include "src/alloc/transient_pool.h"
+#include "src/index/persistent_index.h"
+#include "src/index/table_index.h"
+#include "src/sim/nvm_device.h"
+#include "src/vstore/version_array.h"
+#include "src/vstore/version_cache.h"
+
+namespace {
+
+using namespace nvc;
+
+void BM_NvmPersistLine(benchmark::State& state) {
+  sim::NvmConfig config;
+  config.size_bytes = 1 << 20;
+  config.latency = state.range(0) != 0 ? sim::LatencyProfile::Optane()
+                                       : sim::LatencyProfile::None();
+  sim::NvmDevice device(config);
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    device.Persist(offset, kCacheLineSize, 0);
+    offset = (offset + kCacheLineSize) % (1 << 20);
+  }
+  state.SetLabel(state.range(0) != 0 ? "optane-latency" : "no-latency");
+}
+BENCHMARK(BM_NvmPersistLine)->Arg(0)->Arg(1);
+
+void BM_NvmFence(benchmark::State& state) {
+  sim::NvmConfig config;
+  config.size_bytes = 1 << 16;
+  config.latency = sim::LatencyProfile::Optane();
+  sim::NvmDevice device(config);
+  for (auto _ : state) {
+    device.Fence(0);
+  }
+}
+BENCHMARK(BM_NvmFence);
+
+void BM_TransientAlloc(benchmark::State& state) {
+  alloc::TransientPool pool(1);
+  std::size_t allocated = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.Alloc(0, static_cast<std::size_t>(state.range(0))));
+    allocated += state.range(0);
+    if (allocated > (64u << 20)) {
+      pool.Reset();
+      allocated = 0;
+    }
+  }
+}
+BENCHMARK(BM_TransientAlloc)->Arg(64)->Arg(1024);
+
+void BM_TransientEpochReset(benchmark::State& state) {
+  alloc::TransientPool pool(1);
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      benchmark::DoNotOptimize(pool.Alloc(0, 128));
+    }
+    pool.Reset();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TransientEpochReset);
+
+void BM_PersistentPoolAlloc(benchmark::State& state) {
+  sim::NvmConfig device_config;
+  alloc::PersistentPoolConfig pool_config{
+      .block_size = 256, .blocks_per_core = 1 << 20, .freelist_capacity = 1 << 16};
+  device_config.size_bytes = alloc::PersistentPool::RequiredBytes(pool_config, 1);
+  sim::NvmDevice device(device_config);
+  alloc::PersistentPool pool(device, pool_config, 0, 1);
+  pool.Format();
+  pool.BeginEpoch();
+  std::uint64_t count = 0;
+  Epoch epoch = 1;
+  for (auto _ : state) {
+    const std::uint64_t block = pool.Alloc(0);
+    benchmark::DoNotOptimize(block);
+    pool.Free(0, block);
+    if (++count % 10'000 == 0) {
+      pool.Checkpoint(++epoch, 0);  // also resets the alloc-limit window
+      device.Fence(0);
+      pool.BeginEpoch();
+    }
+  }
+}
+BENCHMARK(BM_PersistentPoolAlloc);
+
+void BM_PersistentPoolCheckpoint(benchmark::State& state) {
+  sim::NvmConfig device_config;
+  alloc::PersistentPoolConfig pool_config{
+      .block_size = 256, .blocks_per_core = 1 << 16, .freelist_capacity = 1 << 16};
+  device_config.size_bytes = alloc::PersistentPool::RequiredBytes(pool_config, 1);
+  sim::NvmDevice device(device_config);
+  alloc::PersistentPool pool(device, pool_config, 0, 1);
+  pool.Format();
+  Epoch epoch = 1;
+  for (auto _ : state) {
+    pool.Checkpoint(++epoch, 0);
+    device.Fence(0);
+  }
+}
+BENCHMARK(BM_PersistentPoolCheckpoint);
+
+void BM_VersionArrayAppendSorted(benchmark::State& state) {
+  alloc::TransientPool pool(1);
+  const auto versions = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto* array = vstore::VersionArray::Create(pool, 0);
+    for (std::uint32_t i = 1; i <= versions; ++i) {
+      array->Append(pool, 0, Sid(1, i));
+    }
+    benchmark::DoNotOptimize(array);
+    pool.Reset();
+  }
+  state.SetItemsProcessed(state.iterations() * versions);
+}
+BENCHMARK(BM_VersionArrayAppendSorted)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_VersionArrayLookup(benchmark::State& state) {
+  alloc::TransientPool pool(1);
+  auto* array = vstore::VersionArray::Create(pool, 0);
+  for (std::uint32_t i = 1; i <= 256; ++i) {
+    array->Append(pool, 0, Sid(1, i * 2));
+  }
+  std::uint32_t seq = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array->LatestBefore(Sid(1, seq)));
+    seq = seq % 512 + 1;
+  }
+}
+BENCHMARK(BM_VersionArrayLookup);
+
+void BM_PersistentIndexApply(benchmark::State& state) {
+  sim::NvmConfig config;
+  config.size_bytes = index::PersistentIndex::RequiredBytes(1 << 16);
+  sim::NvmDevice device(config);
+  index::PersistentIndex pindex(device, 0, 1 << 16);
+  pindex.Format();
+  Key key = 0;
+  for (auto _ : state) {
+    pindex.ApplyInsert(key % (1 << 15), 4096 + key * 256, 2, 0);
+    ++key;
+  }
+}
+BENCHMARK(BM_PersistentIndexApply);
+
+void BM_PersistentIndexIterate(benchmark::State& state) {
+  sim::NvmConfig config;
+  config.size_bytes = index::PersistentIndex::RequiredBytes(1 << 16);
+  sim::NvmDevice device(config);
+  index::PersistentIndex pindex(device, 0, 1 << 16);
+  pindex.Format();
+  for (Key key = 0; key < (1 << 15); ++key) {
+    pindex.ApplyInsert(key, 4096 + key * 256, 2, 0);
+  }
+  for (auto _ : state) {
+    std::size_t live = 0;
+    pindex.ForEachLive(5, [&](Key, std::uint64_t) { ++live; }, 0);
+    benchmark::DoNotOptimize(live);
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 15));
+}
+BENCHMARK(BM_PersistentIndexIterate);
+
+void BM_VersionCachePutTouch(benchmark::State& state) {
+  vstore::VersionCache cache(1 << 16, 20, 1);
+  std::deque<vstore::RowEntry> rows(4096);
+  std::uint64_t value = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    vstore::RowEntry* entry = &rows[i % rows.size()];
+    cache.Put(entry, &value, sizeof(value), 5, 0);
+    cache.Touch(entry, 5);
+    ++i;
+    ++value;
+  }
+}
+BENCHMARK(BM_VersionCachePutTouch);
+
+void BM_IndexLookup(benchmark::State& state) {
+  index::TableSchema schema{.id = 0, .name = "bench", .row_size = 256, .ordered = false};
+  index::TableIndex table(schema);
+  bool created = false;
+  for (Key key = 0; key < 100'000; ++key) {
+    table.GetOrCreate(key, &created);
+  }
+  Key key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Get(key));
+    key = (key + 7919) % 100'000;
+  }
+}
+BENCHMARK(BM_IndexLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Bank-teller example: drives the SmallBank workload library through the
+// public API, printing per-epoch throughput, abort rates, and the engine's
+// transient/persistent write split — the paper's headline effect is directly
+// visible: raise the hotspot skew and watch NVMM writes fall.
+//
+// Usage: bank_teller [customers] [hotspot_customers] [epochs] [txns_per_epoch]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/database.h"
+#include "src/sim/nvm_device.h"
+#include "src/workload/smallbank.h"
+
+int main(int argc, char** argv) {
+  using namespace nvc;
+
+  workload::SmallBankConfig config;
+  config.customers = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20'000;
+  config.hotspot_customers = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 500;
+  const std::size_t epochs = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 8;
+  const std::size_t txns_per_epoch = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 5000;
+
+  workload::SmallBankWorkload bank(config);
+  core::DatabaseSpec spec = bank.Spec(/*workers=*/1);
+
+  sim::NvmConfig device_config;
+  device_config.size_bytes = core::Database::RequiredDeviceBytes(spec);
+  device_config.latency = sim::LatencyProfile::Optane();
+  sim::NvmDevice device(device_config);
+  core::Database db(device, spec);
+
+  std::printf("loading %llu customers (hotspot %llu)...\n",
+              static_cast<unsigned long long>(config.customers),
+              static_cast<unsigned long long>(config.hotspot_customers));
+  db.Format();
+  bank.Load(db);
+  db.FinalizeLoad();
+
+  for (std::size_t e = 0; e < epochs; ++e) {
+    db.stats().Reset();
+    const core::EpochResult result = db.ExecuteEpoch(bank.MakeEpoch(txns_per_epoch));
+    const double transient = static_cast<double>(db.stats().transient_writes.Sum());
+    const double persistent = static_cast<double>(db.stats().persistent_writes.Sum());
+    std::printf("epoch %2u: %7.0f txn/s, %4zu aborts, %4.1f%% of updates stayed in DRAM\n",
+                result.epoch, result.committed / result.seconds, result.aborted,
+                100.0 * transient / (transient + persistent));
+  }
+
+  const core::MemoryBreakdown memory = db.GetMemoryBreakdown();
+  std::printf("\nfootprint: DRAM %.1f MB (index %.1f, transient %.1f, cache %.1f) | "
+              "NVMM %.1f MB\n",
+              memory.dram_total() / 1e6, memory.dram_index_bytes / 1e6,
+              memory.dram_transient_bytes / 1e6, memory.dram_cache_bytes / 1e6,
+              memory.nvm_total() / 1e6);
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Crash-recovery demo with a *file-backed* NVMM region.
+//
+// First run:   creates ./nvcaracal_demo.pool, loads accounts, executes two
+//              epochs, then simulates a crash in the middle of a third epoch.
+//              The process state (DRAM: index, caches, version arrays) is
+//              torn down; the pool file retains the torn epoch's partial
+//              NVMM writes, but its epoch number was never advanced.
+// Second run:  re-opens the pool file, runs failure recovery — rebuilding
+//              the index from the persistent rows and deterministically
+//              replaying the crashed epoch from the on-"NVMM" input log —
+//              and verifies the balances.
+//
+// Usage: crash_recovery [pool-file]     (delete the file to start over)
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/database.h"
+#include "src/sim/nvm_device.h"
+#include "src/txn/transaction.h"
+
+namespace {
+
+using namespace nvc;
+
+constexpr TableId kAccounts = 0;
+constexpr txn::TxnType kCreditType = 7;
+constexpr Key kAccountCount = 100;
+
+// credit(account) += amount, and a running checksum on a separate row so the
+// verification can detect lost or duplicated effects.
+class CreditTxn final : public txn::Transaction {
+ public:
+  CreditTxn(Key account, std::uint64_t amount) : account_(account), amount_(amount) {}
+
+  txn::TxnType type() const override { return kCreditType; }
+  void EncodeInputs(BinaryWriter& writer) const override {
+    writer.Put(account_);
+    writer.Put(amount_);
+  }
+  static std::unique_ptr<txn::Transaction> Decode(BinaryReader& reader) {
+    const auto account = reader.Get<Key>();
+    const auto amount = reader.Get<std::uint64_t>();
+    return std::make_unique<CreditTxn>(account, amount);
+  }
+
+  void AppendStep(txn::AppendContext& ctx) override {
+    ctx.DeclareUpdate(kAccounts, account_);
+  }
+  void Execute(txn::ExecContext& ctx) override {
+    std::uint64_t balance = 0;
+    ctx.Read(kAccounts, account_, &balance, sizeof(balance));
+    balance += amount_;
+    ctx.Write(kAccounts, account_, &balance, sizeof(balance));
+  }
+
+ private:
+  Key account_;
+  std::uint64_t amount_;
+};
+
+std::vector<std::unique_ptr<txn::Transaction>> MakeEpoch(Epoch epoch) {
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  Rng rng(9000 + epoch);
+  for (int i = 0; i < 500; ++i) {
+    const Key account = rng.NextBounded(kAccountCount);
+    const std::uint64_t amount = rng.NextRange(1, 9);
+    txns.push_back(std::make_unique<CreditTxn>(account, amount));
+  }
+  return txns;
+}
+
+core::DatabaseSpec Spec() {
+  core::DatabaseSpec spec;
+  spec.workers = 1;
+  spec.tables.push_back(core::TableSpec{.name = "accounts", .capacity_rows = 1024});
+  spec.value_blocks_per_core = 1024;
+  spec.log_bytes = 1u << 20;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string pool_path = argc > 1 ? argv[1] : "nvcaracal_demo.pool";
+  const core::DatabaseSpec spec = Spec();
+
+  sim::NvmConfig device_config;
+  device_config.size_bytes = core::Database::RequiredDeviceBytes(spec);
+  device_config.backing_file = pool_path;
+  sim::NvmDevice device(device_config);
+
+  txn::TxnRegistry registry;
+  registry.Register(kCreditType, CreditTxn::Decode);
+
+  core::Database db(device, spec);
+
+  if (!device.recovered_existing_file()) {
+    std::printf("[run 1] fresh pool file %s — loading and crashing mid-epoch\n",
+                pool_path.c_str());
+    db.Format();
+    for (Key account = 0; account < kAccountCount; ++account) {
+      const std::uint64_t balance = 1000;
+      db.BulkLoad(kAccounts, account, &balance, sizeof(balance));
+    }
+    db.FinalizeLoad();
+
+    db.ExecuteEpoch(MakeEpoch(1));
+    db.ExecuteEpoch(MakeEpoch(2));
+    std::printf("[run 1] two epochs committed (epoch=%u)\n", db.current_epoch());
+
+    // Crash after 200 of 500 transactions of epoch 4 executed.
+    int count = 0;
+    db.SetCrashHook([&count](core::CrashSite site) {
+      return site == core::CrashSite::kMidExecution && ++count > 200;
+    });
+    const core::EpochResult result = db.ExecuteEpoch(MakeEpoch(3));
+    std::printf("[run 1] simulated crash mid-epoch (crashed=%d). Run me again to recover!\n",
+                result.crashed ? 1 : 0);
+    // Exit without checkpointing — the file holds a torn epoch.
+    return 0;
+  }
+
+  std::printf("[run 2] found existing pool %s — recovering\n", pool_path.c_str());
+  const core::RecoveryReport report = db.Recover(registry);
+  std::printf("[run 2] recovered to epoch %u; scanned %zu rows in %.2f ms; replayed %zu "
+              "transactions in %.2f ms\n",
+              report.recovered_epoch, report.rows_scanned,
+              report.scan_rebuild_seconds * 1e3, report.replayed_txns,
+              report.replay_seconds * 1e3);
+
+  // Verify against a fresh in-memory reference run of the same three epochs.
+  std::uint64_t expected[kAccountCount];
+  for (auto& balance : expected) {
+    balance = 1000;
+  }
+  for (Epoch e = 1; e <= 3; ++e) {
+    Rng rng(9000 + e);
+    for (int i = 0; i < 500; ++i) {
+      const Key account = rng.NextBounded(kAccountCount);
+      expected[account] += rng.NextRange(1, 9);
+    }
+  }
+  std::size_t mismatches = 0;
+  for (Key account = 0; account < kAccountCount; ++account) {
+    std::uint64_t balance = 0;
+    db.ReadCommitted(kAccounts, account, &balance, sizeof(balance));
+    if (balance != expected[account]) {
+      ++mismatches;
+    }
+  }
+  if (mismatches == 0) {
+    std::printf("[run 2] verification OK: all %llu balances match the reference "
+                "(the crashed epoch was replayed exactly)\n",
+                static_cast<unsigned long long>(kAccountCount));
+    std::remove(pool_path.c_str());
+    return 0;
+  }
+  std::printf("[run 2] verification FAILED: %zu mismatching balances\n", mismatches);
+  return 1;
+}

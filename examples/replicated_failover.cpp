@@ -1,0 +1,81 @@
+// Replication + failover demo: a primary ships each epoch's transaction
+// inputs to a hot standby, which replays them deterministically. When the
+// primary "dies", the standby is promoted and keeps serving epochs with zero
+// data loss up to the last shipped epoch.
+//
+// Usage: replicated_failover [epochs] [txns_per_epoch]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/replication/replica.h"
+#include "src/sim/nvm_device.h"
+#include "src/workload/smallbank.h"
+
+int main(int argc, char** argv) {
+  using namespace nvc;
+
+  const std::size_t epochs = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 6;
+  const std::size_t txns_per_epoch = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2000;
+
+  workload::SmallBankConfig config;
+  config.customers = 10'000;
+  config.hotspot_customers = 300;
+  workload::SmallBankWorkload bank(config);
+  const core::DatabaseSpec spec = bank.Spec(1);
+
+  auto make_device = [&] {
+    sim::NvmConfig device_config;
+    device_config.size_bytes = core::Database::RequiredDeviceBytes(spec);
+    device_config.latency = sim::LatencyProfile::Optane();
+    return device_config;
+  };
+  sim::NvmDevice primary_device(make_device());
+  sim::NvmDevice standby_device(make_device());
+
+  core::Database primary(primary_device, spec);
+  core::Database standby(standby_device, spec);
+  std::printf("loading primary and standby with %llu customers...\n",
+              static_cast<unsigned long long>(config.customers));
+  primary.Format();
+  bank.Load(primary);
+  primary.FinalizeLoad();
+  standby.Format();
+  bank.Load(standby);
+  standby.FinalizeLoad();
+
+  repl::Replica replica(standby, workload::SmallBankWorkload::Registry());
+  repl::ReplicationChannel channel;
+
+  for (std::size_t e = 0; e < epochs; ++e) {
+    auto txns = bank.MakeEpoch(txns_per_epoch);
+    channel.Ship(repl::MakeBundle(primary.current_epoch() + 1, txns));
+    const core::EpochResult result = primary.ExecuteEpoch(std::move(txns));
+    std::printf("primary  epoch %2u: %7.0f txn/s (%zu committed, %zu aborted)\n",
+                result.epoch, result.committed / result.seconds, result.committed,
+                result.aborted);
+    // The standby applies asynchronously (here: every other epoch).
+    if (e % 2 == 1) {
+      const std::size_t applied = replica.CatchUp(channel);
+      std::printf("standby  caught up %zu epoch(s), now at epoch %u\n", applied,
+                  replica.applied_epoch());
+    }
+  }
+  replica.CatchUp(channel);
+
+  // Verify the standby matches the primary exactly before the "failure".
+  std::size_t diffs = 0;
+  for (std::uint64_t c = 0; c < config.customers; ++c) {
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+    primary.ReadCommitted(workload::kCheckingTable, c, &a, sizeof(a));
+    standby.ReadCommitted(workload::kCheckingTable, c, &b, sizeof(b));
+    diffs += a != b ? 1 : 0;
+  }
+  std::printf("\nstandby divergence before failover: %zu accounts (expect 0)\n", diffs);
+
+  std::printf("simulating primary failure — promoting the standby...\n");
+  const core::EpochResult result = standby.ExecuteEpoch(bank.MakeEpoch(txns_per_epoch));
+  std::printf("promoted epoch %2u: %7.0f txn/s — failover complete, no data lost\n",
+              result.epoch, result.committed / result.seconds);
+  return diffs == 0 ? 0 : 1;
+}

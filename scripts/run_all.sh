@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, regenerates every paper
+# figure and extension bench, and leaves the outputs in the repo root
+# (test_output.txt / bench_output.txt).
+#
+# Usage: scripts/run_all.sh [bench-scale]   (default scale 1.0)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-1}"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+export NVC_BENCH_SCALE="$SCALE"
+{
+  for b in build/bench/*; do
+    if [ -x "$b" ] && [ ! -d "$b" ]; then
+      echo "### $b (scale $SCALE)"
+      "$b"
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,27 @@
+// Hash functions for index sharding and key distribution.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace nvc {
+
+// Mixes a (table, key) pair into a well-distributed 64-bit hash.
+inline std::uint64_t HashKey(TableId table, Key key) {
+  return SplitMix64(key ^ (static_cast<std::uint64_t>(table) * 0x9e3779b97f4a7c15ULL));
+}
+
+// FNV-1a over an arbitrary byte range; used for log record checksums.
+inline std::uint64_t Fnv1a(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace nvc

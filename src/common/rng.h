@@ -1,0 +1,70 @@
+// Deterministic pseudo-random generators for workload construction.
+//
+// Workload generation must be reproducible from a seed so that recovery tests
+// can regenerate the exact transaction stream; std::mt19937 is avoided because
+// its distributions are not guaranteed identical across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace nvc {
+
+// splitmix64: used to seed and to hash integers into well-mixed values.
+constexpr std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// xoshiro-style 64-bit generator with explicit, portable output.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    state_ = SplitMix64(seed);
+    if (state_ == 0) {
+      state_ = 0x9e3779b97f4a7c15ULL;
+    }
+  }
+
+  std::uint64_t Next() {
+    // xorshift64*
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t NextRange(std::uint64_t lo, std::uint64_t hi) {
+    return lo + NextBounded(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  // Returns true with probability pct/100.
+  bool NextPercent(std::uint32_t pct) { return NextBounded(100) < pct; }
+
+ private:
+  std::uint64_t state_;
+};
+
+// TPC-C NURand non-uniform distribution (clause 2.1.6).
+class NuRand {
+ public:
+  NuRand(std::uint64_t a, std::uint64_t c) : a_(a), c_(c) {}
+
+  std::uint64_t Next(Rng& rng, std::uint64_t x, std::uint64_t y) const {
+    return (((rng.NextRange(0, a_) | rng.NextRange(x, y)) + c_) % (y - x + 1)) + x;
+  }
+
+ private:
+  std::uint64_t a_;
+  std::uint64_t c_;
+};
+
+}  // namespace nvc

@@ -1,0 +1,68 @@
+// Binary encode/decode helpers for transaction inputs.
+//
+// Transaction inputs are persisted verbatim in the NVMM input log and decoded
+// again during deterministic replay, so the wire format must be
+// position-independent and self-delimiting at the record level (the log layer
+// adds record framing).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace nvc {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  template <typename T>
+  void Put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+    out_.insert(out_.end(), p, p + sizeof(T));
+  }
+
+  void PutBytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), p, p + n);
+  }
+
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+class BinaryReader {
+ public:
+  BinaryReader(const std::uint8_t* data, std::size_t n) : data_(data), size_(n) {}
+
+  template <typename T>
+  T Get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    std::memcpy(&value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  void GetBytes(void* out, std::size_t n) {
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  void Skip(std::size_t n) { pos_ += n; }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ >= size_; }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace nvc

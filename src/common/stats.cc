@@ -1,0 +1,39 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nvc {
+
+double LatencyRecorder::Mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (double s : samples_) {
+    total += s;
+  }
+  return total / static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  auto lo = static_cast<std::size_t>(std::floor(rank));
+  auto hi = static_cast<std::size_t>(std::ceil(rank));
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double LatencyRecorder::Max() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+}  // namespace nvc

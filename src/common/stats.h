@@ -1,0 +1,107 @@
+// Lightweight statistics counters.
+//
+// Counters are sharded per core (cache-line padded) and summed on read, so the
+// hot path is a relaxed increment with no sharing.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace nvc {
+
+inline constexpr std::size_t kMaxCores = 64;
+
+// One relaxed 64-bit counter per core, padded to avoid false sharing.
+class ShardedCounter {
+ public:
+  void Add(std::size_t core, std::uint64_t n = 1) {
+    shards_[core % kMaxCores].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t Sum() const {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (auto& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kMaxCores> shards_{};
+};
+
+// Fixed set of engine-wide statistics. Kept as a plain struct of counters so
+// benches can snapshot and diff them between phases.
+struct EngineStats {
+  ShardedCounter nvm_read_bytes;
+  ShardedCounter nvm_write_bytes;
+  ShardedCounter nvm_read_lines;    // 256B-granule touches (locality accounting)
+  ShardedCounter nvm_write_lines;
+  ShardedCounter nvm_persist_ops;   // clwb-equivalents
+  ShardedCounter nvm_fences;
+  ShardedCounter transient_writes;  // intermediate versions written to DRAM
+  ShardedCounter persistent_writes; // final versions written to NVMM
+  ShardedCounter cache_hits;
+  ShardedCounter cache_misses;
+  ShardedCounter cache_evictions;
+  ShardedCounter minor_gc_runs;
+  ShardedCounter major_gc_runs;
+  ShardedCounter demotions;    // hot->cold value moves (cold-tier extension)
+  ShardedCounter cold_reads;   // value reads served from the cold tier
+  ShardedCounter log_bytes;
+  ShardedCounter txn_committed;
+  ShardedCounter txn_aborted;
+
+  void Reset() {
+    nvm_read_bytes.Reset();
+    nvm_write_bytes.Reset();
+    nvm_read_lines.Reset();
+    nvm_write_lines.Reset();
+    nvm_persist_ops.Reset();
+    nvm_fences.Reset();
+    transient_writes.Reset();
+    persistent_writes.Reset();
+    cache_hits.Reset();
+    cache_misses.Reset();
+    cache_evictions.Reset();
+    minor_gc_runs.Reset();
+    major_gc_runs.Reset();
+    demotions.Reset();
+    cold_reads.Reset();
+    log_bytes.Reset();
+    txn_committed.Reset();
+    txn_aborted.Reset();
+  }
+};
+
+// Simple percentile recorder for epoch latencies (figure 12).
+class LatencyRecorder {
+ public:
+  void Record(double micros) { samples_.push_back(micros); }
+  void Clear() { samples_.clear(); }
+  bool empty() const { return samples_.empty(); }
+  std::size_t count() const { return samples_.size(); }
+
+  double Mean() const;
+  double Percentile(double p) const;  // p in [0, 100]
+  double Max() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace nvc

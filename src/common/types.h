@@ -1,0 +1,57 @@
+// Core value types shared by every NVCaracal subsystem.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nvc {
+
+// Cache line size assumed by the persistence model (clwb granularity).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// Internal access granularity of Intel Optane Persistent Memory. Used for
+// locality accounting in the simulated device and as the default persistent
+// row size (paper section 5.3).
+inline constexpr std::size_t kNvmAccessGranularity = 256;
+
+using Epoch = std::uint32_t;
+using TableId = std::uint32_t;
+using Key = std::uint64_t;
+
+// Serial ID of a transaction: strictly increasing across the predetermined
+// serial order. The epoch occupies the upper 32 bits, so SIDs in later
+// epochs always compare greater, and the writing epoch of any version can be
+// recovered from its SID alone (needed by crash repair, paper section 4.5).
+class Sid {
+ public:
+  constexpr Sid() = default;
+  constexpr explicit Sid(std::uint64_t raw) : raw_(raw) {}
+  constexpr Sid(Epoch epoch, std::uint32_t seq)
+      : raw_((static_cast<std::uint64_t>(epoch) << 32) | seq) {}
+
+  constexpr std::uint64_t raw() const { return raw_; }
+  constexpr Epoch epoch() const { return static_cast<Epoch>(raw_ >> 32); }
+  constexpr std::uint32_t seq() const { return static_cast<std::uint32_t>(raw_); }
+  constexpr bool is_null() const { return raw_ == 0; }
+
+  friend constexpr bool operator==(Sid a, Sid b) { return a.raw_ == b.raw_; }
+  friend constexpr bool operator!=(Sid a, Sid b) { return a.raw_ != b.raw_; }
+  friend constexpr bool operator<(Sid a, Sid b) { return a.raw_ < b.raw_; }
+  friend constexpr bool operator<=(Sid a, Sid b) { return a.raw_ <= b.raw_; }
+  friend constexpr bool operator>(Sid a, Sid b) { return a.raw_ > b.raw_; }
+  friend constexpr bool operator>=(Sid a, Sid b) { return a.raw_ >= b.raw_; }
+
+ private:
+  std::uint64_t raw_ = 0;
+};
+
+inline constexpr Sid kNullSid{};
+
+// Rounds n up to the next multiple of align (align must be a power of two).
+constexpr std::size_t AlignUp(std::size_t n, std::size_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+constexpr bool IsPowerOfTwo(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace nvc

@@ -1,0 +1,64 @@
+#include "src/common/worker_pool.h"
+
+namespace nvc {
+
+WorkerPool::WorkerPool(std::size_t workers) : workers_(workers == 0 ? 1 : workers) {
+  threads_.reserve(workers_ - 1);
+  for (std::size_t i = 1; i < workers_; ++i) {
+    threads_.emplace_back([this, i] { ThreadMain(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& thread : threads_) {
+    thread.join();
+  }
+}
+
+void WorkerPool::RunParallel(const std::function<void(std::size_t)>& fn) {
+  if (workers_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    job_ = &fn;
+    pending_ = workers_ - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerPool::ThreadMain(std::size_t worker_id) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      if (shutdown_) {
+        return;
+      }
+      seen_generation = generation_;
+      job = job_;
+    }
+    (*job)(worker_id);
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      if (--pending_ == 0) {
+        done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+}  // namespace nvc

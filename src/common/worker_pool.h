@@ -1,0 +1,65 @@
+// Fixed-size worker pool used by the epoch phases.
+//
+// Every phase (insert, append, execute, GC) fans the same closure out to all
+// workers and waits for completion — a fork/join barrier per phase. Threads
+// are created once and reused across epochs. With a single worker the closure
+// runs inline on the caller, which keeps single-core benchmarks free of
+// scheduling noise.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nvc {
+
+class WorkerPool {
+ public:
+  // Creates a pool with `workers` logical workers (>= 1). Worker 0 is the
+  // calling thread; workers 1..n-1 are dedicated threads.
+  explicit WorkerPool(std::size_t workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t size() const { return workers_; }
+
+  // Runs fn(worker_id) on every worker and returns when all have finished.
+  // Must not be called re-entrantly.
+  void RunParallel(const std::function<void(std::size_t)>& fn);
+
+ private:
+  void ThreadMain(std::size_t worker_id);
+
+  std::size_t workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t pending_ = 0;
+  bool shutdown_ = false;
+};
+
+// Splits [0, total) into pool.size() contiguous chunks and returns the chunk
+// for `worker`: [begin, end).
+struct Range {
+  std::size_t begin;
+  std::size_t end;
+};
+
+inline Range SplitRange(std::size_t total, std::size_t workers, std::size_t worker) {
+  std::size_t chunk = total / workers;
+  std::size_t rem = total % workers;
+  std::size_t begin = worker * chunk + (worker < rem ? worker : rem);
+  std::size_t size = chunk + (worker < rem ? 1 : 0);
+  return {begin, begin + size};
+}
+
+}  // namespace nvc

@@ -1,0 +1,420 @@
+// Aria-style deterministic concurrency control (paper section 7 future
+// work; Lu et al., VLDB '20) integrated with the NVMM dual-version
+// checkpointing machinery.
+//
+// Epoch pipeline (contrast with Algorithm 1's Caracal pipeline):
+//
+//   log_transaction_inputs()        whole batch, deferred txns included
+//   GC_major() / evict / demote     unchanged init-phase work
+//   execute phase                   every transaction runs against the last
+//                                   epoch's snapshot; writes are buffered
+//                                   privately; write keys are reserved with
+//                                   an atomic min-SID per key
+//   commit phase                    a transaction commits iff none of its
+//                                   read or written keys carries a smaller
+//                                   writer reservation (no RAW, lowest-SID
+//                                   writer wins WAW); losers are deferred
+//                                   deterministically to the next batch
+//   apply phase                     committed buffered writes are applied —
+//                                   at most one writer per key, so each key
+//                                   is written to NVMM exactly once per
+//                                   epoch through the same PersistFinal /
+//                                   insert / delete paths as Caracal mode
+//   fence(); persist_epoch_number(); fence()
+//
+// Because conflict resolution is a pure function of the batch, replaying the
+// logged batch after a crash commits the same transactions and defers the
+// same ones — the standard recovery machinery (allocator revert, descriptor
+// repairs, case-3 overwrites) applies unchanged.
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/core/database.h"
+
+namespace nvc::core {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// Sharded reservation table: (table, key) -> minimum writer SID. Reservation
+// keys are hashed; a collision only merges reservations, which can defer a
+// transaction unnecessarily but never misses a conflict (conservative and
+// still deterministic).
+class ReservationTable {
+ public:
+  explicit ReservationTable(std::size_t shards = 16) : shards_(shards) {}
+
+  void ReserveWrite(TableId table, Key key, Sid sid) {
+    Shard& shard = ShardFor(table, key);
+    SpinLatchGuard guard(shard.latch);
+    auto [it, inserted] = shard.min_writer.try_emplace(HashKey(table, key), sid.raw());
+    if (!inserted && sid.raw() < it->second) {
+      it->second = sid.raw();
+    }
+  }
+
+  // The smallest writer SID reserved on the key, or 0 when none.
+  std::uint64_t MinWriter(TableId table, Key key) {
+    Shard& shard = ShardFor(table, key);
+    SpinLatchGuard guard(shard.latch);
+    auto it = shard.min_writer.find(HashKey(table, key));
+    return it == shard.min_writer.end() ? 0 : it->second;
+  }
+
+  void Clear() {
+    for (Shard& shard : shards_) {
+      shard.min_writer.clear();
+    }
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Shard {
+    SpinLatch latch;
+    std::unordered_map<std::uint64_t, std::uint64_t> min_writer;
+  };
+  Shard& ShardFor(TableId table, Key key) {
+    return shards_[HashKey(table, key) % shards_.size()];
+  }
+  std::vector<Shard> shards_;
+};
+
+struct BufferedOp {
+  enum Kind { kWrite, kInsert, kDelete } kind;
+  TableId table;
+  Key key;
+  std::vector<std::uint8_t> data;
+};
+
+struct AriaTxnState {
+  txn::Transaction* txn = nullptr;
+  Sid sid;
+  bool user_aborted = false;
+  bool deferred = false;
+  std::vector<std::pair<TableId, Key>> reads;
+  std::vector<BufferedOp> writes;
+};
+
+}  // namespace
+
+// Snapshot reads + private write buffering.
+class AriaExecContext final : public txn::ExecContext {
+ public:
+  AriaExecContext(Database* db, AriaTxnState* st, std::size_t core)
+      : db_(db), st_(st), core_(core) {}
+
+  int Read(TableId table, Key key, void* out, std::uint32_t cap) override {
+    // Read-your-own-writes from the buffer first (latest op wins).
+    for (auto it = st_->writes.rbegin(); it != st_->writes.rend(); ++it) {
+      if (it->table == table && it->key == key) {
+        if (it->kind == BufferedOp::kDelete) {
+          return -1;
+        }
+        std::memcpy(out, it->data.data(), std::min<std::size_t>(cap, it->data.size()));
+        return static_cast<int>(it->data.size());
+      }
+    }
+    st_->reads.emplace_back(table, key);
+    return db_->AriaSnapshotRead(table, key, out, cap, core_);
+  }
+
+  void Write(TableId table, Key key, const void* data, std::uint32_t size) override {
+    st_->writes.push_back(BufferedOp{
+        BufferedOp::kWrite, table, key,
+        std::vector<std::uint8_t>(static_cast<const std::uint8_t*>(data),
+                                  static_cast<const std::uint8_t*>(data) + size)});
+  }
+
+  void Insert(TableId table, Key key, const void* data, std::uint32_t size) override {
+    st_->writes.push_back(BufferedOp{
+        BufferedOp::kInsert, table, key,
+        std::vector<std::uint8_t>(static_cast<const std::uint8_t*>(data),
+                                  static_cast<const std::uint8_t*>(data) + size)});
+  }
+
+  void Delete(TableId table, Key key) override {
+    st_->writes.push_back(BufferedOp{BufferedOp::kDelete, table, key, {}});
+  }
+
+  void Abort() override { st_->user_aborted = true; }
+
+  bool FirstInRange(TableId table, Key lo, Key hi, Key* found) override {
+    return db_->tables_[table]->FirstInRange(lo, hi, found);
+  }
+  bool LastInRange(TableId table, Key lo, Key hi, Key* found) override {
+    return db_->tables_[table]->LastInRange(lo, hi, found);
+  }
+  std::uint64_t CounterEpochStart(txn::CounterId counter) const override {
+    return db_->counters_epoch_start_[counter];
+  }
+  Sid sid() const override { return st_->sid; }
+
+ private:
+  Database* db_;
+  AriaTxnState* st_;
+  std::size_t core_;
+};
+
+// Reads the latest version committed before the executing epoch (the Aria
+// snapshot). Bound-aware so replay skips versions the crashed epoch wrote.
+int Database::AriaSnapshotRead(TableId table, Key key, void* out, std::uint32_t cap,
+                               std::size_t core) {
+  vstore::RowEntry* entry = tables_[table]->Get(key);
+  if (entry == nullptr || entry->prow == 0) {
+    return -1;
+  }
+  if (spec_.enable_cache) {
+    vstore::CachedValue* cached = entry->cached.load(std::memory_order_acquire);
+    if (cached != nullptr) {
+      cache_->Touch(entry, epoch_);
+      stats_.cache_hits.Add(core);
+      std::memcpy(out, cached->data(), std::min(cap, cached->size));
+      return static_cast<int>(cached->size);
+    }
+    stats_.cache_misses.Add(core);
+  }
+  vstore::PersistentRow row = RowAt(entry);
+  const int slot = row.LatestSlotAtOrBefore(Sid(Sid(epoch_, 0).raw() - 1));
+  if (slot < 0) {
+    return -1;
+  }
+  const vstore::VersionDesc desc = row.ReadDesc(slot);
+  const vstore::ValueLoc loc(desc.loc);
+  if (loc.size() <= cap) {
+    ReadVersionValue(row, desc, out, core);
+    if (spec_.enable_cache) {
+      SpinLatchGuard guard(entry->latch);
+      if (entry->cached.load(std::memory_order_relaxed) == nullptr) {
+        cache_->Put(entry, out, loc.size(), epoch_, core);
+      }
+    }
+    return static_cast<int>(loc.size());
+  }
+  std::vector<std::uint8_t> tmp(loc.size());
+  ReadVersionValue(row, desc, tmp.data(), core);
+  std::memcpy(out, tmp.data(), cap);
+  return static_cast<int>(loc.size());
+}
+
+EpochResult Database::ExecuteEpochAria(std::vector<std::unique_ptr<txn::Transaction>> txns) {
+  assert(loaded_ && "call Format + FinalizeLoad (or Recover) first");
+  const auto start = std::chrono::steady_clock::now();
+  const Epoch epoch = current_epoch_ + 1;
+  epoch_ = epoch;
+
+  // Batch = previously deferred transactions (in their original relative
+  // order) followed by the new ones.
+  owned_txns_.clear();
+  owned_txns_.reserve(aria_deferred_.size() + txns.size());
+  for (auto& txn : aria_deferred_) {
+    owned_txns_.push_back(std::move(txn));
+  }
+  aria_deferred_.clear();
+  for (auto& txn : txns) {
+    owned_txns_.push_back(std::move(txn));
+  }
+
+  std::vector<AriaTxnState> states(owned_txns_.size());
+  for (std::size_t i = 0; i < owned_txns_.size(); ++i) {
+    states[i].txn = owned_txns_[i].get();
+    states[i].sid = Sid(epoch, static_cast<std::uint32_t>(i + 1));
+  }
+
+  EpochResult result;
+  result.epoch = epoch;
+  try {
+    if (ModeLogsInputs(spec_.mode) && !replaying_) {
+      last_log_bytes_ = log_->LogEpoch(epoch, owned_txns_, 0);
+      stats_.log_bytes.Add(0, last_log_bytes_);
+    }
+    MaybeCrash(CrashSite::kAfterLog);
+
+    for (auto& pool : value_pools_) {
+      pool->BeginEpoch();
+    }
+    for (auto& pool : row_pools_) {
+      pool->BeginEpoch();
+    }
+    if (cold_pool_ != nullptr) {
+      cold_pool_->BeginEpoch();
+    }
+    counters_epoch_start_.resize(counters_.size());
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      counters_epoch_start_[i] = counters_[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t w = 0; w < spec_.workers; ++w) {
+      pending_major_gc_[w] = std::move(core_state_[w].major_gc);
+      core_state_[w].major_gc.clear();
+    }
+    cold_frees_due_ = std::move(cold_frees_next_);
+    cold_frees_next_.clear();
+
+    RunMajorGc();
+    if (spec_.enable_cache) {
+      vstore::VersionCache::EvictCallback on_evict;
+      if (spec_.enable_cold_tier) {
+        on_evict = [this](vstore::RowEntry* entry) {
+          demotion_candidates_.push_back(entry);
+        };
+      }
+      cache_->EvictForEpoch(epoch, &stats_, on_evict);
+    }
+    if (spec_.enable_cold_tier) {
+      RunDemotions();
+    }
+    MaybeCrash(CrashSite::kAfterInsert);
+
+    // ---- Execute phase: snapshot reads, buffered writes, reservations ----
+    ReservationTable reservations;
+    const bool hook_each_txn = static_cast<bool>(crash_hook_) && spec_.workers == 1;
+    pool_.RunParallel([&](std::size_t w) {
+      for (std::size_t i = w; i < states.size(); i += spec_.workers) {
+        if (hook_each_txn) {
+          MaybeCrash(CrashSite::kMidExecution);
+        }
+        AriaTxnState& st = states[i];
+        AriaExecContext ctx(this, &st, w);
+        st.txn->Execute(ctx);
+        if (!st.user_aborted) {
+          for (const BufferedOp& op : st.writes) {
+            reservations.ReserveWrite(op.table, op.key, st.sid);
+          }
+        }
+      }
+    });
+    MaybeCrash(CrashSite::kAfterAppend);
+
+    // ---- Commit phase: conflict checks ----
+    pool_.RunParallel([&](std::size_t w) {
+      for (std::size_t i = w; i < states.size(); i += spec_.workers) {
+        AriaTxnState& st = states[i];
+        if (st.user_aborted) {
+          continue;
+        }
+        bool defer = false;
+        for (const BufferedOp& op : st.writes) {
+          const std::uint64_t min_writer = reservations.MinWriter(op.table, op.key);
+          if (min_writer != 0 && min_writer < st.sid.raw()) {
+            defer = true;  // WAW: a smaller writer owns the key this batch
+            break;
+          }
+        }
+        if (!defer) {
+          for (const auto& [table, key] : st.reads) {
+            const std::uint64_t min_writer = reservations.MinWriter(table, key);
+            if (min_writer != 0 && min_writer < st.sid.raw()) {
+              defer = true;  // RAW: read a key a smaller transaction writes
+              break;
+            }
+          }
+        }
+        st.deferred = defer;
+      }
+    });
+
+    // ---- Apply phase: committed writes reach NVMM once per key ----
+    // Per-transaction ops are coalesced per key first (only the net effect
+    // is applied): repeated writes keep the last data; write-after-insert is
+    // an insert with the final data; insert-then-delete is a no-op.
+    pool_.RunParallel([&](std::size_t w) {
+      for (std::size_t i = w; i < states.size(); i += spec_.workers) {
+        AriaTxnState& st = states[i];
+        if (st.user_aborted || st.deferred) {
+          continue;
+        }
+        std::vector<std::size_t> last_op;
+        std::vector<bool> inserted_key;
+        for (std::size_t op_index = 0; op_index < st.writes.size(); ++op_index) {
+          const BufferedOp& op = st.writes[op_index];
+          std::size_t found = last_op.size();
+          for (std::size_t j = 0; j < last_op.size(); ++j) {
+            const BufferedOp& prev = st.writes[last_op[j]];
+            if (prev.table == op.table && prev.key == op.key) {
+              found = j;
+              break;
+            }
+          }
+          if (found == last_op.size()) {
+            last_op.push_back(op_index);
+            inserted_key.push_back(op.kind == BufferedOp::kInsert);
+          } else {
+            last_op[found] = op_index;
+            if (op.kind == BufferedOp::kInsert) {
+              inserted_key[found] = true;
+            }
+          }
+        }
+        for (std::size_t j = 0; j < last_op.size(); ++j) {
+          const BufferedOp& op = st.writes[last_op[j]];
+          const bool fresh = inserted_key[j];
+          switch (op.kind) {
+            case BufferedOp::kInsert:
+              InsertRowInternal(op.table, op.key, op.data.data(),
+                                static_cast<std::uint32_t>(op.data.size()), st.sid, w);
+              break;
+            case BufferedOp::kWrite:
+              if (fresh) {
+                InsertRowInternal(op.table, op.key, op.data.data(),
+                                  static_cast<std::uint32_t>(op.data.size()), st.sid, w);
+              } else {
+                vstore::RowEntry* entry = tables_[op.table]->Get(op.key);
+                assert(entry != nullptr && "Aria write to a missing row");
+                PersistFinal(entry, st.sid, op.data.data(),
+                             static_cast<std::uint32_t>(op.data.size()), w);
+              }
+              break;
+            case BufferedOp::kDelete:
+              if (!fresh) {
+                vstore::RowEntry* entry = tables_[op.table]->Get(op.key);
+                assert(entry != nullptr && "Aria delete of a missing row");
+                ProcessDelete(entry, w);
+              }
+              break;
+          }
+        }
+      }
+    });
+    MaybeCrash(CrashSite::kAfterExecution);
+
+    // Deferred transactions carry over to the next batch, keeping order.
+    std::vector<std::unique_ptr<txn::Transaction>> still_deferred;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      const AriaTxnState& st = states[i];
+      if (st.deferred) {
+        still_deferred.push_back(std::move(owned_txns_[i]));
+        ++result.deferred;
+      } else if (st.user_aborted) {
+        ++result.aborted;
+        stats_.txn_aborted.Add(0);
+      } else {
+        ++result.committed;
+        stats_.txn_committed.Add(0);
+      }
+    }
+
+    for (CoreEpochState& cs : core_state_) {
+      for (vstore::RowEntry* entry : cs.deleted) {
+        tables_[entry->table]->Remove(entry->key);
+      }
+      cs.deleted.clear();
+    }
+
+    CheckpointEpoch(epoch);
+    FinishEpoch();
+    aria_deferred_ = std::move(still_deferred);
+    current_epoch_ = epoch;
+  } catch (const CrashedException&) {
+    result.crashed = true;
+    return result;
+  }
+
+  result.seconds = SecondsSince(start);
+  return result;
+}
+
+}  // namespace nvc::core

@@ -1,0 +1,403 @@
+#include "src/core/database.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace nvc::core {
+namespace {
+constexpr std::uint64_t kMagic = 0x4e564341524143ULL;  // "NVCARAC"
+constexpr std::uint32_t kVersion = 1;
+
+// Bulk-loaded rows all carry the first SID of epoch 1.
+constexpr Sid kLoadSid(1, 1);
+}  // namespace
+
+std::vector<DatabaseSpec::ValuePoolSpec> Database::EffectiveValuePools(
+    const DatabaseSpec& spec) {
+  std::vector<DatabaseSpec::ValuePoolSpec> pools = spec.value_pools;
+  if (pools.empty()) {
+    pools.push_back(DatabaseSpec::ValuePoolSpec{spec.value_block_size,
+                                                spec.value_blocks_per_core,
+                                                spec.value_freelist_capacity});
+  }
+  std::sort(pools.begin(), pools.end(),
+            [](const auto& a, const auto& b) { return a.block_size < b.block_size; });
+  return pools;
+}
+
+Database::Layout Database::ComputeLayout(const DatabaseSpec& spec) {
+  Layout layout;
+  std::uint64_t offset = 0;
+  layout.superblock = offset;
+  offset += AlignUp(sizeof(SuperBlock), kNvmAccessGranularity);
+  layout.counters = offset;
+  offset += AlignUp(2 * spec.counters.size() * sizeof(std::uint64_t) + sizeof(std::uint64_t),
+                    kNvmAccessGranularity);
+  layout.log = offset;
+  offset += InputLog::RequiredBytes(spec.log_bytes);
+
+  for (const auto& pool : EffectiveValuePools(spec)) {
+    alloc::PersistentPoolConfig value_config{
+        .block_size = pool.block_size,
+        .blocks_per_core = pool.blocks_per_core,
+        .freelist_capacity = pool.freelist_capacity,
+        .gc_tail = true,
+    };
+    const std::uint64_t bytes = alloc::PersistentPool::RequiredBytes(value_config, spec.workers);
+    layout.value_pools.push_back(
+        ValuePoolArea{.base = offset, .end = offset + bytes, .block_size = pool.block_size});
+    offset += bytes;
+  }
+
+  for (const TableSpec& table : spec.tables) {
+    alloc::PersistentPoolConfig row_config{
+        .block_size = table.row_size,
+        .blocks_per_core = (table.capacity_rows + spec.workers - 1) / spec.workers + 1,
+        .freelist_capacity = table.freelist_capacity,
+        .gc_tail = false,
+    };
+    layout.row_pools.push_back(offset);
+    offset += alloc::PersistentPool::RequiredBytes(row_config, spec.workers);
+  }
+  if (spec.enable_persistent_index) {
+    for (const TableSpec& table : spec.tables) {
+      layout.pindexes.push_back(offset);
+      offset += AlignUp(index::PersistentIndex::RequiredBytes(table.capacity_rows),
+                        kNvmAccessGranularity);
+    }
+    layout.gc_log = offset;
+    // Header + two parity halves: a torn write never corrupts the half the
+    // durable header points at.
+    offset += AlignUp(sizeof(GcLogHeader) + 2 * spec.gc_log_capacity * sizeof(std::uint64_t),
+                      kNvmAccessGranularity);
+  }
+  layout.total = offset;
+  return layout;
+}
+
+std::size_t Database::RequiredDeviceBytes(const DatabaseSpec& spec) {
+  return ComputeLayout(spec).total;
+}
+
+std::vector<Database::AreaInfo> Database::DescribeLayout(const DatabaseSpec& spec) {
+  const Layout layout = ComputeLayout(spec);
+  std::vector<AreaInfo> areas;
+  areas.push_back({"superblock", layout.superblock, sizeof(SuperBlock)});
+  areas.push_back({"counters", layout.counters,
+                   2 * spec.counters.size() * sizeof(std::uint64_t)});
+  areas.push_back({"input log (2 parity buffers)", layout.log,
+                   InputLog::RequiredBytes(spec.log_bytes)});
+  for (std::size_t i = 0; i < layout.value_pools.size(); ++i) {
+    areas.push_back({"value pool class " + std::to_string(layout.value_pools[i].block_size) +
+                         " B",
+                     layout.value_pools[i].base,
+                     layout.value_pools[i].end - layout.value_pools[i].base});
+  }
+  for (std::size_t i = 0; i < layout.row_pools.size(); ++i) {
+    const std::uint64_t end =
+        i + 1 < layout.row_pools.size()
+            ? layout.row_pools[i + 1]
+            : (layout.pindexes.empty() ? layout.total : layout.pindexes[0]);
+    areas.push_back({"row pool: " + spec.tables[i].name, layout.row_pools[i],
+                     end - layout.row_pools[i]});
+  }
+  for (std::size_t i = 0; i < layout.pindexes.size(); ++i) {
+    const std::uint64_t end =
+        i + 1 < layout.pindexes.size() ? layout.pindexes[i + 1] : layout.gc_log;
+    areas.push_back({"persistent index: " + spec.tables[i].name, layout.pindexes[i],
+                     end - layout.pindexes[i]});
+  }
+  if (spec.enable_persistent_index) {
+    areas.push_back({"gc log", layout.gc_log, layout.total - layout.gc_log});
+  }
+  return areas;
+}
+
+std::size_t Database::RequiredColdDeviceBytes(const DatabaseSpec& spec) {
+  if (!spec.enable_cold_tier) {
+    return 0;
+  }
+  return alloc::PersistentPool::RequiredBytes(
+      alloc::PersistentPoolConfig{.block_size = spec.cold_block_size,
+                                  .blocks_per_core = spec.cold_blocks_per_core,
+                                  .freelist_capacity = spec.cold_freelist_capacity,
+                                  .gc_tail = true},
+      spec.workers);
+}
+
+Database::Database(sim::NvmDevice& device, const DatabaseSpec& spec,
+                   sim::NvmDevice* cold_device)
+    : device_(device),
+      cold_device_(cold_device),
+      spec_(spec),
+      layout_(ComputeLayout(spec)),
+      pool_(spec.workers),
+      transient_(spec.workers),
+      core_state_(spec.workers),
+      pending_major_gc_(spec.workers) {
+  if (layout_.total > device_.size()) {
+    throw std::invalid_argument("Database: device too small for spec (need " +
+                                std::to_string(layout_.total) + " bytes)");
+  }
+  for (const TableSpec& table : spec_.tables) {
+    if (table.row_size < vstore::kRowHeaderSize) {
+      throw std::invalid_argument("Database: row_size below header size for " + table.name);
+    }
+  }
+
+  const auto value_pool_specs = EffectiveValuePools(spec_);
+  for (std::size_t i = 0; i < value_pool_specs.size(); ++i) {
+    alloc::PersistentPoolConfig value_config{
+        .block_size = value_pool_specs[i].block_size,
+        .blocks_per_core = value_pool_specs[i].blocks_per_core,
+        .freelist_capacity = value_pool_specs[i].freelist_capacity,
+        .gc_tail = true,
+    };
+    value_pools_.push_back(std::make_unique<alloc::PersistentPool>(
+        device_, value_config, layout_.value_pools[i].base, spec_.workers));
+  }
+
+  for (std::size_t i = 0; i < spec_.tables.size(); ++i) {
+    const TableSpec& table = spec_.tables[i];
+    alloc::PersistentPoolConfig row_config{
+        .block_size = table.row_size,
+        .blocks_per_core = (table.capacity_rows + spec_.workers - 1) / spec_.workers + 1,
+        .freelist_capacity = table.freelist_capacity,
+        .gc_tail = false,
+    };
+    row_pools_.push_back(std::make_unique<alloc::PersistentPool>(device_, row_config,
+                                                                 layout_.row_pools[i],
+                                                                 spec_.workers));
+    index::TableSchema schema{.id = static_cast<TableId>(i),
+                              .name = table.name,
+                              .row_size = table.row_size,
+                              .ordered = table.ordered};
+    tables_.push_back(std::make_unique<index::TableIndex>(schema));
+  }
+
+  if (spec_.enable_persistent_index) {
+    for (std::size_t i = 0; i < spec_.tables.size(); ++i) {
+      pindexes_.push_back(std::make_unique<index::PersistentIndex>(
+          device_, layout_.pindexes[i], spec_.tables[i].capacity_rows));
+    }
+  }
+
+  if (spec_.enable_cold_tier) {
+    if (cold_device_ == nullptr) {
+      throw std::invalid_argument("Database: enable_cold_tier requires a cold device");
+    }
+    if (cold_device_->size() < RequiredColdDeviceBytes(spec_)) {
+      throw std::invalid_argument("Database: cold device too small");
+    }
+    cold_pool_ = std::make_unique<alloc::PersistentPool>(
+        *cold_device_,
+        alloc::PersistentPoolConfig{.block_size = spec_.cold_block_size,
+                                    .blocks_per_core = spec_.cold_blocks_per_core,
+                                    .freelist_capacity = spec_.cold_freelist_capacity,
+                                    .gc_tail = true},
+        0, spec_.workers);
+  }
+
+  log_ = std::make_unique<InputLog>(device_, layout_.log, spec_.log_bytes);
+  cache_ = std::make_unique<vstore::VersionCache>(
+      spec_.enable_cache ? spec_.cache_max_entries : 0, spec_.cache_k, spec_.workers);
+  counters_ = std::vector<std::atomic<std::uint64_t>>(spec_.counters.size());
+  for (std::size_t i = 0; i < spec_.counters.size(); ++i) {
+    counters_[i].store(spec_.counters[i], std::memory_order_relaxed);
+  }
+}
+
+Database::~Database() = default;
+
+void Database::Format() {
+  auto* sb = device_.As<SuperBlock>(layout_.superblock);
+  std::memset(sb, 0, sizeof(SuperBlock));
+  sb->magic = kMagic;
+  sb->version = kVersion;
+  sb->table_count = static_cast<std::uint32_t>(spec_.tables.size());
+  sb->epoch = 0;
+  device_.Persist(layout_.superblock, sizeof(SuperBlock), 0);
+  for (auto& pool : value_pools_) {
+    pool->Format();
+  }
+  for (auto& pool : row_pools_) {
+    pool->Format();
+  }
+  log_->Format();
+  if (cold_pool_ != nullptr) {
+    cold_pool_->Format();
+  }
+  for (auto& pindex : pindexes_) {
+    pindex->Format();
+  }
+  if (spec_.enable_persistent_index) {
+    auto* header = device_.As<GcLogHeader>(layout_.gc_log);
+    *header = GcLogHeader{};
+    device_.Persist(layout_.gc_log, sizeof(GcLogHeader), 0);
+  }
+  PersistCounters(0);
+  PersistCounters(1);
+  device_.Fence(0);
+  current_epoch_ = 0;
+  loaded_ = false;
+}
+
+void Database::BulkLoad(TableId table, Key key, const void* data, std::uint32_t size) {
+  assert(!loaded_ && "BulkLoad after FinalizeLoad");
+  const std::size_t core = load_rr_++ % spec_.workers;
+  const std::uint64_t prow_off = row_pools_[table]->Alloc(core);
+  if (prow_off == 0) {
+    throw std::runtime_error("BulkLoad: row pool exhausted for table " +
+                             spec_.tables[table].name);
+  }
+  vstore::PersistentRow row(device_, prow_off, spec_.tables[table].row_size);
+  row.Init(table, key);
+
+  vstore::ValueLoc loc = row.FindInlineSpace(size);
+  if (loc.is_null()) {
+    loc = AllocValue(size, core);
+    device_.WritePersist(loc.offset(), data, size, core);
+  } else {
+    std::memcpy(device_.At(loc.offset()), data, size);
+  }
+  row.header()->v[0].sid = kLoadSid.raw();
+  row.header()->v[0].loc = loc.raw();
+  // One persist covers the header and any inline value.
+  device_.Persist(prow_off, spec_.tables[table].row_size, core);
+
+  bool created = false;
+  vstore::RowEntry* entry = tables_[table]->GetOrCreate(key, &created);
+  assert(created && "BulkLoad: duplicate key");
+  entry->prow = prow_off;
+  entry->latest_sid.store(kLoadSid.raw(), std::memory_order_relaxed);
+  if (spec_.enable_persistent_index) {
+    core_state_[core].index_deltas.push_back(
+        IndexDelta{.table = table, .is_delete = false, .key = key, .prow = prow_off});
+  }
+}
+
+void Database::FinalizeLoad() {
+  assert(!loaded_);
+  CheckpointEpoch(1);
+  current_epoch_ = 1;
+  loaded_ = true;
+}
+
+void Database::PersistCounters(Epoch epoch) {
+  if (counters_.empty()) {
+    return;
+  }
+  const std::size_t slot = epoch & 1;
+  const std::uint64_t base =
+      layout_.counters + slot * counters_.size() * sizeof(std::uint64_t);
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    *device_.As<std::uint64_t>(base + i * sizeof(std::uint64_t)) =
+        counters_[i].load(std::memory_order_relaxed);
+  }
+  device_.Persist(base, counters_.size() * sizeof(std::uint64_t), 0);
+}
+
+vstore::ValueLoc Database::AllocValue(std::uint32_t size, std::size_t core) {
+  for (std::size_t i = 0; i < value_pools_.size(); ++i) {
+    if (layout_.value_pools[i].block_size < size) {
+      continue;
+    }
+    const std::uint64_t offset = value_pools_[i]->Alloc(core);
+    if (offset != 0) {
+      return vstore::ValueLoc::Make(false, size, offset);
+    }
+    // Class exhausted: spill to the next larger class.
+  }
+  throw std::runtime_error("value pools exhausted for size " + std::to_string(size));
+}
+
+alloc::PersistentPool& Database::ValuePoolForOffset(std::uint64_t offset) {
+  for (std::size_t i = 0; i < layout_.value_pools.size(); ++i) {
+    if (offset >= layout_.value_pools[i].base && offset < layout_.value_pools[i].end) {
+      return *value_pools_[i];
+    }
+  }
+  throw std::logic_error("value offset outside every value pool area");
+}
+
+void Database::FreeValue(std::size_t core, const vstore::ValueLoc& loc) {
+  if (loc.is_cold()) {
+    cold_pool_->Free(core, loc.offset());
+    return;
+  }
+  ValuePoolForOffset(loc.offset()).Free(core, loc.offset());
+}
+
+void Database::FreeValueGc(std::size_t core, const vstore::ValueLoc& loc) {
+  if (loc.is_cold()) {
+    cold_pool_->FreeGc(core, loc.offset());
+    return;
+  }
+  ValuePoolForOffset(loc.offset()).FreeGc(core, loc.offset());
+}
+
+void Database::ReadVersionValue(vstore::PersistentRow& row, const vstore::VersionDesc& desc,
+                                void* out, std::size_t core) {
+  const vstore::ValueLoc loc(desc.loc);
+  if (loc.is_cold()) {
+    cold_device_->ChargeRead(loc.offset(), loc.size(), core);
+    std::memcpy(out, cold_device_->At(loc.offset()), loc.size());
+    stats_.cold_reads.Add(core);
+    return;
+  }
+  row.ReadValue(desc, out, core);
+}
+
+void Database::FenceAll() {
+  for (std::size_t core = 0; core < spec_.workers; ++core) {
+    device_.Fence(core);
+  }
+}
+
+int Database::ReadCommitted(TableId table, Key key, void* out, std::uint32_t cap) {
+  vstore::RowEntry* entry = tables_[table]->Get(key);
+  if (entry == nullptr || entry->prow == 0) {
+    return -1;
+  }
+  vstore::PersistentRow row = RowAt(entry);
+  const vstore::VersionDesc v1 = row.ReadDesc(1);
+  const vstore::VersionDesc desc = (v1.sid != 0 && !vstore::ValueLoc(v1.loc).is_null())
+                                       ? v1
+                                       : row.ReadDesc(0);
+  if (desc.sid == 0 || vstore::ValueLoc(desc.loc).is_null()) {
+    return -1;
+  }
+  const vstore::ValueLoc loc(desc.loc);
+  if (cap < loc.size()) {
+    std::vector<std::uint8_t> tmp(loc.size());
+    ReadVersionValue(row, desc, tmp.data(), 0);
+    std::memcpy(out, tmp.data(), cap);
+    return static_cast<int>(cap);
+  }
+  ReadVersionValue(row, desc, out, 0);
+  return static_cast<int>(loc.size());
+}
+
+MemoryBreakdown Database::GetMemoryBreakdown() const {
+  MemoryBreakdown breakdown;
+  for (const auto& table : tables_) {
+    breakdown.dram_index_bytes += table->ApproxBytes();
+  }
+  breakdown.dram_transient_bytes = transient_.high_water_bytes();
+  breakdown.dram_cache_bytes = cache_->bytes();
+  for (const auto& pool : row_pools_) {
+    breakdown.nvm_row_bytes += pool->bytes_in_use();
+  }
+  for (const auto& pool : value_pools_) {
+    breakdown.nvm_value_bytes += pool->bytes_in_use();
+  }
+  if (cold_pool_ != nullptr) {
+    breakdown.cold_value_bytes = cold_pool_->bytes_in_use();
+  }
+  breakdown.nvm_log_bytes = last_log_bytes_;
+  return breakdown;
+}
+
+}  // namespace nvc::core

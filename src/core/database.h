@@ -1,0 +1,358 @@
+// NVCaracal: a deterministic database with NVMM dual-version checkpointing.
+//
+// This is the engine described in sections 4 and 5 of the paper. Epoch
+// processing follows Algorithm 1:
+//
+//   for each epoch:
+//     log_transaction_inputs()        (NVCaracal mode)
+//     insert_step()                   persistent rows created in NVMM
+//     GC_major()                      collect stale versions of rows updated
+//                                     in the previous epoch
+//     evict_cache()                   epoch-based K-LRU
+//     append_step()                   build sorted transient version arrays
+//     execute_phase()                 PWV execution; the final write per row
+//                                     is checkpointed to NVMM
+//     fence(); persist_epoch_number(); fence()
+//     transient_pool_free()
+//
+// Failure model: destroying the Database object models losing DRAM; calling
+// NvmDevice::Crash() (or restarting the process with a file-backed device)
+// models losing unflushed NVMM lines. A fresh Database over the same device
+// then runs Recover() to rebuild the index and deterministically replay the
+// crashed epoch from the input log.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "src/alloc/persistent_pool.h"
+#include "src/alloc/transient_pool.h"
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/common/worker_pool.h"
+#include "src/core/config.h"
+#include "src/core/input_log.h"
+#include "src/index/persistent_index.h"
+#include "src/index/table_index.h"
+#include "src/sim/nvm_device.h"
+#include "src/txn/transaction.h"
+#include "src/vstore/persistent_row.h"
+#include "src/vstore/version_array.h"
+#include "src/vstore/version_cache.h"
+
+namespace nvc::core {
+
+struct EpochResult {
+  Epoch epoch = 0;
+  std::size_t committed = 0;
+  std::size_t aborted = 0;   // user-level aborts
+  std::size_t deferred = 0;  // Aria: conflict-deferred to the next batch
+  double seconds = 0;
+  bool crashed = false;  // a crash hook fired; the Database must be discarded
+};
+
+struct RecoveryReport {
+  Epoch recovered_epoch = 0;       // last checkpointed epoch
+  bool replayed = false;           // a complete log for the crashed epoch existed
+  bool used_persistent_index = false;  // fast rebuild path (no full row scan)
+  std::size_t rows_scanned = 0;
+  std::size_t replayed_txns = 0;
+  std::size_t reverted_versions = 0;  // kRevertAndReplay only
+  double load_txn_seconds = 0;
+  double scan_rebuild_seconds = 0;
+  double revert_seconds = 0;       // folded into the scan pass; timed separately
+  double replay_seconds = 0;
+  double total_seconds() const {
+    return load_txn_seconds + scan_rebuild_seconds + revert_seconds + replay_seconds;
+  }
+};
+
+// DRAM / NVMM footprint breakdown (figure 8).
+struct MemoryBreakdown {
+  std::size_t dram_index_bytes = 0;
+  std::size_t dram_transient_bytes = 0;  // transient pool high-water mark
+  std::size_t dram_cache_bytes = 0;
+  std::size_t nvm_row_bytes = 0;
+  std::size_t nvm_value_bytes = 0;
+  std::size_t nvm_log_bytes = 0;
+  std::size_t cold_value_bytes = 0;  // values demoted to block storage
+  std::size_t dram_total() const {
+    return dram_index_bytes + dram_transient_bytes + dram_cache_bytes;
+  }
+  std::size_t nvm_total() const { return nvm_row_bytes + nvm_value_bytes + nvm_log_bytes; }
+};
+
+// Sites where tests can inject a simulated process crash (the hook returns
+// true to crash). After a crash the Database object must be destroyed,
+// NvmDevice::Crash()/CrashChaos() invoked, and a fresh Database recovered.
+enum class CrashSite {
+  kAfterLog,
+  kAfterInsert,
+  kDuringMajorGc,   // between the free pass and the descriptor pass
+  kAfterGcPersist,
+  kAfterAppend,
+  kMidExecution,    // between transactions (single-worker runs)
+  kAfterExecution,
+  kBeforeEpochPersist,
+};
+using CrashHook = std::function<bool(CrashSite)>;
+
+class Database {
+ public:
+  // Device bytes the spec requires; size the NvmDevice with at least this.
+  static std::size_t RequiredDeviceBytes(const DatabaseSpec& spec);
+
+  // Human-readable map of the on-device areas (offline inspection tooling).
+  struct AreaInfo {
+    std::string name;
+    std::uint64_t offset;
+    std::uint64_t bytes;
+  };
+  static std::vector<AreaInfo> DescribeLayout(const DatabaseSpec& spec);
+
+  // `cold_device` backs the optional cold tier (spec.enable_cold_tier);
+  // size it with RequiredColdDeviceBytes and give it a block-storage latency
+  // profile + 4096-byte access granule.
+  Database(sim::NvmDevice& device, const DatabaseSpec& spec,
+           sim::NvmDevice* cold_device = nullptr);
+  ~Database();
+
+  static std::size_t RequiredColdDeviceBytes(const DatabaseSpec& spec);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Initializes a fresh database on the device. Follow with BulkLoad calls
+  // and exactly one FinalizeLoad before the first ExecuteEpoch.
+  void Format();
+
+  // Writes one row during initial population (bypasses epoch machinery but
+  // still pays NVMM costs).
+  void BulkLoad(TableId table, Key key, const void* data, std::uint32_t size);
+
+  // Checkpoints the loaded state as epoch 1.
+  void FinalizeLoad();
+
+  // Rebuilds DRAM state from the device after a crash and deterministically
+  // replays the crashed epoch from the input log if one is complete.
+  RecoveryReport Recover(const txn::TxnRegistry& registry);
+
+  // Processes one epoch of transactions (batch = epoch, paper footnote 1).
+  EpochResult ExecuteEpoch(std::vector<std::unique_ptr<txn::Transaction>> txns);
+
+  // ---- Introspection ---------------------------------------------------------
+
+  Epoch current_epoch() const { return current_epoch_; }
+  const DatabaseSpec& spec() const { return spec_; }
+  EngineStats& stats() { return stats_; }
+  std::uint64_t counter_value(txn::CounterId id) const {
+    return counters_[id].load(std::memory_order_relaxed);
+  }
+  std::size_t table_rows(TableId table) const { return tables_[table]->entries(); }
+
+  // Reads the latest committed value of a row outside any epoch (tests,
+  // examples). Returns the size or -1 when absent.
+  int ReadCommitted(TableId table, Key key, void* out, std::uint32_t cap);
+
+  MemoryBreakdown GetMemoryBreakdown() const;
+
+  void SetCrashHook(CrashHook hook) { crash_hook_ = std::move(hook); }
+
+  index::TableIndex& table_index(TableId table) { return *tables_[table]; }
+
+ private:
+  friend class EngineInsertContext;
+  friend class EngineAppendContext;
+  friend class EngineExecContext;
+  friend class AriaExecContext;
+
+  struct ValuePoolArea {
+    std::uint64_t base = 0;
+    std::uint64_t end = 0;
+    std::size_t block_size = 0;
+  };
+  struct Layout {
+    std::uint64_t superblock = 0;
+    std::uint64_t counters = 0;
+    std::uint64_t log = 0;
+    std::vector<ValuePoolArea> value_pools;  // ascending block size
+    std::vector<std::uint64_t> row_pools;
+    std::vector<std::uint64_t> pindexes;  // persistent index areas (optional)
+    std::uint64_t gc_log = 0;             // persisted major-GC list (optional)
+    std::uint64_t total = 0;
+  };
+  static Layout ComputeLayout(const DatabaseSpec& spec);
+
+  // Value-pool size classes (legacy single pool when spec.value_pools empty).
+  static std::vector<DatabaseSpec::ValuePoolSpec> EffectiveValuePools(
+      const DatabaseSpec& spec);
+
+  struct SuperBlock {
+    std::uint64_t magic;
+    std::uint32_t version;
+    std::uint32_t table_count;
+    std::uint64_t epoch;  // last checkpointed epoch number
+    std::uint64_t reserved[5];
+  };
+  static_assert(sizeof(SuperBlock) == kCacheLineSize);
+
+  // Per-transaction epoch state.
+  struct TxnState {
+    txn::Transaction* txn = nullptr;
+    Sid sid;
+    bool aborted = false;
+    std::vector<vstore::RowEntry*> writes;    // declared write set (append step)
+    std::vector<vstore::RowEntry*> inserted;  // rows created in the insert step
+  };
+
+  // ---- Aria concurrency control (aria.cc) -------------------------------------
+  EpochResult ExecuteEpochAria(std::vector<std::unique_ptr<txn::Transaction>> txns);
+  int AriaSnapshotRead(TableId table, Key key, void* out, std::uint32_t cap,
+                       std::size_t core);
+
+  // ---- Epoch phases (epoch.cc) ----------------------------------------------
+  void RunInsertStep();
+  void RunMajorGc();
+  void RunAppendStep();
+  void RunBatchAppendStep();
+  void RunExecutePhase();
+  void CheckpointEpoch(Epoch epoch);
+  void FinishEpoch();
+  bool MaybeCrash(CrashSite site);
+
+  // ---- Row operations (epoch.cc) --------------------------------------------
+  vstore::RowEntry* InsertRowInternal(TableId table, Key key, const void* data,
+                                      std::uint32_t size, Sid sid, std::size_t core);
+  void DeclareWrite(TxnState& st, TableId table, Key key, std::size_t core);
+  int ReadRow(TableId table, Key key, Sid sid, void* out, std::uint32_t cap, std::size_t core);
+  int ReadPreEpoch(TableId table, Key key, void* out, std::uint32_t cap, std::size_t core);
+  void WriteRow(TxnState& st, TableId table, Key key, const void* data, std::uint32_t size,
+                std::size_t core);
+  void DeleteRow(TxnState& st, TableId table, Key key, std::size_t core);
+  void PostExecute(TxnState& st, std::size_t core);
+
+  // Checkpoints `data` as the row's version `sid` in NVMM (the epoch's final
+  // write; paper 4.5). Handles minor GC and crash-repair case 3.
+  void PersistFinal(vstore::RowEntry* entry, Sid sid, const void* data, std::uint32_t size,
+                    std::size_t core);
+
+  // ---- Value pool routing (multi-size classes + cold tier) --------------------
+  // Allocates a value block for `size` bytes from the smallest fitting class.
+  vstore::ValueLoc AllocValue(std::uint32_t size, std::size_t core);
+  // Maps a value offset back to its owning pool (disjoint areas).
+  alloc::PersistentPool& ValuePoolForOffset(std::uint64_t offset);
+  void FreeValue(std::size_t core, const vstore::ValueLoc& loc);
+  void FreeValueGc(std::size_t core, const vstore::ValueLoc& loc);
+
+  // Tier-aware value read (hot NVMM, inline, or cold block storage).
+  void ReadVersionValue(vstore::PersistentRow& row, const vstore::VersionDesc& desc,
+                        void* out, std::size_t core);
+
+  // Cold-tier demotion (init phase; see DatabaseSpec::enable_cold_tier).
+  void RunDemotions();
+  // Walks back from an IGNOREd final slot to the latest non-ignored version
+  // and checkpoints it (paper 4.6).
+  void ResolveIgnoredFinal(vstore::RowEntry* entry, std::size_t core);
+  void ProcessDelete(vstore::RowEntry* entry, std::size_t core);
+
+  // Copies the row's latest pre-epoch value into the version array's initial
+  // slot (append step).
+  void FillInitialVersion(vstore::RowEntry* entry, vstore::VersionArray* va, std::size_t core);
+
+  void FenceAll();
+  void PersistCounters(Epoch epoch);
+
+  vstore::PersistentRow RowAt(const vstore::RowEntry* entry) {
+    return vstore::PersistentRow(device_, entry->prow,
+                                 tables_[entry->table]->schema().row_size);
+  }
+
+  // ---- Recovery (recovery.cc) ------------------------------------------------
+  void ScanAndRebuild(RecoveryReport* report);
+  void FastRebuildFromPersistentIndex(RecoveryReport* report);
+  // Shared per-row crash repair + major-GC list rebuild (paper 4.5 / 5.5).
+  void RepairAndCollectGc(vstore::PersistentRow& row, vstore::RowEntry* entry,
+                          Epoch crashed_epoch, std::size_t core);
+
+  // Persisted major-GC list (with enable_persistent_index).
+  struct GcLogHeader {
+    std::uint32_t epoch;
+    std::uint32_t count;
+    std::uint32_t overflow;
+    std::uint32_t reserved;
+  };
+  void WriteGcLog(Epoch epoch);
+
+  sim::NvmDevice& device_;
+  sim::NvmDevice* cold_device_ = nullptr;
+  DatabaseSpec spec_;
+  Layout layout_;
+  WorkerPool pool_;
+  alloc::TransientPool transient_;
+  std::vector<std::unique_ptr<alloc::PersistentPool>> value_pools_;  // ascending block size
+  std::vector<std::unique_ptr<alloc::PersistentPool>> row_pools_;
+  std::unique_ptr<alloc::PersistentPool> cold_pool_;  // on cold_device_ (optional)
+  std::vector<std::unique_ptr<index::PersistentIndex>> pindexes_;  // per table (optional)
+  std::vector<std::unique_ptr<index::TableIndex>> tables_;
+  std::unique_ptr<InputLog> log_;
+  std::unique_ptr<vstore::VersionCache> cache_;
+  std::vector<std::atomic<std::uint64_t>> counters_;
+  std::vector<std::uint64_t> counters_epoch_start_;
+  EngineStats stats_;
+
+  Epoch current_epoch_ = 0;  // last completed epoch
+  Epoch epoch_ = 0;          // epoch currently executing
+  bool loaded_ = false;
+  std::size_t load_rr_ = 0;  // round-robin core for bulk load
+
+  // Per-epoch state.
+  std::vector<std::unique_ptr<txn::Transaction>> owned_txns_;
+  std::vector<TxnState> txn_states_;
+  std::atomic<std::size_t> epoch_committed_{0};
+  std::atomic<std::size_t> epoch_aborted_{0};
+  struct IndexDelta {
+    TableId table;
+    bool is_delete;
+    Key key;
+    std::uint64_t prow;
+  };
+  struct alignas(kCacheLineSize) CoreEpochState {
+    std::vector<vstore::RowEntry*> major_gc;   // rows to collect next epoch
+    std::vector<vstore::RowEntry*> deleted;    // index removals at epoch end
+    std::vector<IndexDelta> index_deltas;      // persistent-index batch (optional)
+  };
+  std::vector<CoreEpochState> core_state_;
+  std::vector<std::vector<vstore::RowEntry*>> pending_major_gc_;  // consumed this epoch
+
+  // Batch-append intent buffers: [owner core][collecting worker].
+  struct BatchIntent {
+    vstore::RowEntry* entry;
+    std::uint64_t sid;
+  };
+  std::vector<std::vector<std::vector<BatchIntent>>> append_intents_;
+
+  bool replaying_ = false;
+  std::unordered_set<std::uint64_t> gc_dedup_;  // value offsets already freed by crashed GC
+
+  // Cold tier: rows whose cache entry aged out (demotion candidates for this
+  // epoch) and hot-value blocks to free once the demoting epoch committed.
+  std::vector<vstore::RowEntry*> demotion_candidates_;
+  std::vector<vstore::ValueLoc> cold_frees_next_;  // freed in the NEXT epoch's GC
+  std::vector<vstore::ValueLoc> cold_frees_due_;
+
+  CrashHook crash_hook_;
+  std::size_t last_log_bytes_ = 0;
+
+  // Aria: transactions deferred by conflicts, re-queued at the front of the
+  // next batch (deterministic from the batch composition).
+  std::vector<std::unique_ptr<txn::Transaction>> aria_deferred_;
+
+  struct CrashedException {};
+};
+
+}  // namespace nvc::core

@@ -1,0 +1,74 @@
+#include "src/core/input_log.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "src/common/hash.h"
+#include "src/common/serializer.h"
+#include "src/txn/stream.h"
+
+namespace nvc::core {
+
+InputLog::InputLog(sim::NvmDevice& device, std::uint64_t base_offset, std::size_t buffer_bytes)
+    : device_(device), base_(base_offset), buffer_bytes_(buffer_bytes) {}
+
+void InputLog::Format() {
+  for (int parity = 0; parity < 2; ++parity) {
+    auto* header = device_.As<LogHeader>(base_ + parity * buffer_bytes_);
+    std::memset(header, 0, sizeof(LogHeader));
+    device_.Persist(base_ + parity * buffer_bytes_, sizeof(LogHeader), 0);
+  }
+  device_.Fence(0);
+}
+
+std::size_t InputLog::LogEpoch(Epoch epoch,
+                               const std::vector<std::unique_ptr<txn::Transaction>>& txns,
+                               std::size_t core) {
+  const std::vector<std::uint8_t> payload = txn::EncodeTxnStream(txns);
+
+  const std::uint64_t buffer = BufferOffset(epoch);
+  if (sizeof(LogHeader) + payload.size() > buffer_bytes_) {
+    throw std::runtime_error("InputLog: epoch inputs exceed log buffer size");
+  }
+
+  // Invalidate the buffer first so a crash mid-write cannot leave a stale
+  // complete header in front of new payload bytes.
+  auto* header = device_.As<LogHeader>(buffer);
+  header->complete = 0;
+  device_.Persist(buffer + offsetof(LogHeader, complete), sizeof(std::uint64_t), core);
+  device_.Fence(core);
+
+  // Bulk, sequential payload write at close to full NVMM bandwidth.
+  device_.WritePersist(buffer + sizeof(LogHeader), payload.data(), payload.size(), core);
+  header->epoch = epoch;
+  header->txn_count = static_cast<std::uint32_t>(txns.size());
+  header->payload_bytes = payload.size();
+  header->checksum = Fnv1a(payload.data(), payload.size());
+  device_.Persist(buffer, sizeof(LogHeader), core);
+  device_.Fence(core);
+
+  header->complete = 1;
+  device_.Persist(buffer + offsetof(LogHeader, complete), sizeof(std::uint64_t), core);
+  device_.Fence(core);
+  return payload.size();
+}
+
+bool InputLog::LoadEpoch(Epoch epoch, const txn::TxnRegistry& registry,
+                         std::vector<std::unique_ptr<txn::Transaction>>* out,
+                         std::size_t core) const {
+  const std::uint64_t buffer = BufferOffset(epoch);
+  device_.ChargeRead(buffer, sizeof(LogHeader), core);
+  const auto* header = device_.As<LogHeader>(buffer);
+  if (header->complete != 1 || header->epoch != epoch) {
+    return false;
+  }
+  const std::uint8_t* payload = device_.At(buffer + sizeof(LogHeader));
+  device_.ChargeRead(buffer + sizeof(LogHeader), header->payload_bytes, core);
+  if (Fnv1a(payload, header->payload_bytes) != header->checksum) {
+    return false;
+  }
+  *out = txn::DecodeTxnStream(payload, header->payload_bytes, header->txn_count, registry);
+  return true;
+}
+
+}  // namespace nvc::core

@@ -1,0 +1,66 @@
+// NVMM input log (paper section 4.3).
+//
+// At the beginning of every epoch, the inputs and predetermined serial order
+// of all transactions in the epoch are appended to NVMM and persisted before
+// the execution phase starts. Only the log of the currently-executing epoch
+// is ever needed (earlier epochs are covered by the checkpoint), so two
+// buffers are used alternately by epoch parity.
+//
+// Record format inside a buffer:
+//   LogHeader { epoch, txn_count, payload_bytes, checksum, complete }
+//   repeated { type: u32, size: u32, payload[size] }
+//
+// The complete flag is persisted after the payload (fence in between), so a
+// torn log is detected and the epoch is simply not replayed — it never
+// started executing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/nvm_device.h"
+#include "src/txn/transaction.h"
+
+namespace nvc::core {
+
+class InputLog {
+ public:
+  static std::size_t RequiredBytes(std::size_t buffer_bytes) { return 2 * buffer_bytes; }
+
+  InputLog(sim::NvmDevice& device, std::uint64_t base_offset, std::size_t buffer_bytes);
+
+  void Format();
+
+  // Serializes and persists the inputs of all transactions for `epoch`.
+  // Returns the number of bytes logged. Issues its own fences; on return the
+  // log is durable and marked complete.
+  std::size_t LogEpoch(Epoch epoch,
+                       const std::vector<std::unique_ptr<txn::Transaction>>& txns,
+                       std::size_t core);
+
+  // Reads back the complete log for `epoch`, decoding each record through
+  // the registry. Returns false when no complete log for that epoch exists.
+  bool LoadEpoch(Epoch epoch, const txn::TxnRegistry& registry,
+                 std::vector<std::unique_ptr<txn::Transaction>>* out, std::size_t core) const;
+
+ private:
+  struct LogHeader {
+    Epoch epoch;
+    std::uint32_t txn_count;
+    std::uint64_t payload_bytes;
+    std::uint64_t checksum;
+    std::uint64_t complete;
+  };
+
+  std::uint64_t BufferOffset(Epoch epoch) const {
+    return base_ + (epoch & 1) * buffer_bytes_;
+  }
+
+  sim::NvmDevice& device_;
+  std::uint64_t base_;
+  std::size_t buffer_bytes_;
+};
+
+}  // namespace nvc::core

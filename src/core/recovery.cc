@@ -1,0 +1,256 @@
+// Failure recovery (paper sections 4.3, 4.5, 5.4, 5.5, 6.2.3, 6.8).
+//
+// Recovery steps, each timed for the figure-11 breakdown:
+//   1. load the crashed epoch's transactions from the NVMM input log;
+//   2. revert the persistent allocator pools to the last checkpointed epoch
+//      and scan every persistent row once, repairing intervening-crash
+//      descriptor states, rebuilding the DRAM index, and rebuilding the
+//      major-GC list (rows with two versions whose stale version is
+//      non-inline); under RecoveryPolicy::kRevertAndReplay also reset every
+//      version written by the crashed epoch (TPC-C's non-deterministic
+//      order-id counters);
+//   3. deterministically replay the crashed epoch using the regular
+//      epoch-processing path, with an idempotence dedup set so re-run major
+//      GC cannot double-free persistent values.
+#include <cassert>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/core/database.h"
+
+namespace nvc::core {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4e564341524143ULL;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+RecoveryReport Database::Recover(const txn::TxnRegistry& registry) {
+  RecoveryReport report;
+  device_.ChargeRead(layout_.superblock, sizeof(SuperBlock), 0);
+  const auto* sb = device_.As<SuperBlock>(layout_.superblock);
+  if (sb->magic != kMagic) {
+    throw std::runtime_error("Recover: device is not a formatted NVCaracal database");
+  }
+  if (sb->table_count != spec_.tables.size()) {
+    throw std::runtime_error("Recover: table schema mismatch with the on-device layout");
+  }
+  const Epoch last_checkpointed = static_cast<Epoch>(sb->epoch);
+  report.recovered_epoch = last_checkpointed;
+  current_epoch_ = last_checkpointed;
+  loaded_ = true;
+
+  // Revert the persistent pools to the checkpointed offsets (5.4, 5.5).
+  for (auto& pool : value_pools_) {
+    pool->Recover(last_checkpointed);
+  }
+  for (auto& pool : row_pools_) {
+    pool->Recover(last_checkpointed);
+  }
+  if (cold_pool_ != nullptr) {
+    // The parity slots hold max'd bump offsets when a demotion batch made
+    // its allocations non-revertible (see RunDemotions); blocks referenced
+    // by durable descriptors therefore stay allocated.
+    cold_pool_->Recover(last_checkpointed);
+  }
+
+  // Restore the deterministic-order counters from the checkpointed slot.
+  if (!counters_.empty()) {
+    const std::size_t slot = last_checkpointed & 1;
+    const std::uint64_t base =
+        layout_.counters + slot * counters_.size() * sizeof(std::uint64_t);
+    device_.ChargeRead(base, counters_.size() * sizeof(std::uint64_t), 0);
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      counters_[i].store(*device_.As<std::uint64_t>(base + i * sizeof(std::uint64_t)),
+                         std::memory_order_relaxed);
+    }
+  }
+
+  // Step 1 — load the crashed epoch's inputs (complete logs only).
+  auto load_start = std::chrono::steady_clock::now();
+  std::vector<std::unique_ptr<txn::Transaction>> replay_txns;
+  const bool has_log = ModeLogsInputs(spec_.mode) &&
+                       log_->LoadEpoch(last_checkpointed + 1, registry, &replay_txns, 0);
+  report.load_txn_seconds = SecondsSince(load_start);
+  report.replayed = has_log;
+  report.replayed_txns = replay_txns.size();
+
+  // Step 2 — rebuild the DRAM index. With the persistent NVMM index (and a
+  // fully deterministic workload), the compact slot array replaces the full
+  // row scan; otherwise scan every persistent row once.
+  auto scan_start = std::chrono::steady_clock::now();
+  bool fast_path = spec_.enable_persistent_index &&
+                   spec_.recovery == RecoveryPolicy::kReplayInPlace;
+  if (fast_path) {
+    device_.ChargeRead(layout_.gc_log, sizeof(GcLogHeader), 0);
+    const auto* gc_header = device_.As<GcLogHeader>(layout_.gc_log);
+    if (gc_header->overflow != 0) {
+      fast_path = false;  // persisted GC list overflowed: fall back to scan
+    }
+  }
+  if (fast_path) {
+    FastRebuildFromPersistentIndex(&report);
+    report.used_persistent_index = true;
+  } else {
+    ScanAndRebuild(&report);
+  }
+  report.scan_rebuild_seconds = SecondsSince(scan_start) - report.revert_seconds;
+
+  // Step 3 — deterministic replay through the regular epoch path.
+  if (has_log) {
+    auto replay_start = std::chrono::steady_clock::now();
+    gc_dedup_.clear();
+    for (auto& pool : value_pools_) {
+      const auto window = pool->GcWindowEntries();
+      gc_dedup_.insert(window.begin(), window.end());
+    }
+    replaying_ = true;
+    EpochResult result = ExecuteEpoch(std::move(replay_txns));
+    replaying_ = false;
+    gc_dedup_.clear();
+    if (result.crashed) {
+      throw std::runtime_error("Recover: crash hook fired during replay");
+    }
+    report.replay_seconds = SecondsSince(replay_start);
+  }
+  return report;
+}
+
+void Database::ScanAndRebuild(RecoveryReport* report) {
+  for (auto& table : tables_) {
+    table->Clear();
+  }
+  const Epoch crashed_epoch = current_epoch_ + 1;
+  const Sid checkpoint_bound(Sid(crashed_epoch, 0).raw() - 1);
+  const bool revert = spec_.recovery == RecoveryPolicy::kRevertAndReplay;
+
+  std::atomic<std::size_t> rows_scanned{0};
+  std::atomic<std::size_t> reverted{0};
+  std::atomic<std::uint64_t> revert_nanos{0};
+
+  for (std::size_t t = 0; t < row_pools_.size(); ++t) {
+    alloc::PersistentPool& pool = *row_pools_[t];
+    const std::size_t row_size = spec_.tables[t].row_size;
+    const auto free_set = pool.BuildFreeSet();
+    pool_.RunParallel([&, t, row_size](std::size_t w) {
+      pool.ForEachAllocated(w, free_set, [&](std::uint64_t offset) {
+        device_.ChargeRead(offset, row_size, w);
+        vstore::PersistentRow row(device_, offset, row_size);
+        vstore::PersistentRowHeader* h = row.header();
+        if ((h->flags & vstore::kRowValid) == 0) {
+          return;
+        }
+        rows_scanned.fetch_add(1, std::memory_order_relaxed);
+
+        // TPC-C revert mode: reset versions written by the crashed epoch
+        // before replay (6.2.3).
+        if (revert && h->v[1].sid != 0 && Sid(h->v[1].sid).epoch() == crashed_epoch) {
+          const auto revert_start = std::chrono::steady_clock::now();
+          row.WriteDesc(1, Sid(0), vstore::ValueLoc{}, w);
+          reverted.fetch_add(1, std::memory_order_relaxed);
+          revert_nanos.fetch_add(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - revert_start)
+                  .count(),
+              std::memory_order_relaxed);
+        }
+
+        bool created = false;
+        vstore::RowEntry* entry = tables_[t]->GetOrCreate(h->key, &created);
+        assert(created && "duplicate persistent row key during recovery scan");
+        entry->prow = offset;
+        RepairAndCollectGc(row, entry, crashed_epoch, w);
+        const int latest = row.LatestSlotAtOrBefore(checkpoint_bound);
+        entry->latest_sid.store(latest >= 0 ? h->v[latest].sid : 0, std::memory_order_relaxed);
+      });
+    });
+  }
+  report->rows_scanned = rows_scanned.load(std::memory_order_relaxed);
+  report->reverted_versions = reverted.load(std::memory_order_relaxed);
+  report->revert_seconds =
+      static_cast<double>(revert_nanos.load(std::memory_order_relaxed)) * 1e-9;
+}
+
+// Intervening-crash descriptor repairs (paper 4.5 cases 1 and 2; case 3 —
+// a crashed-epoch SID in version 2 — is handled during replay by
+// PersistFinal) and major-GC list rebuild (paper 5.5).
+void Database::RepairAndCollectGc(vstore::PersistentRow& row, vstore::RowEntry* entry,
+                                  Epoch crashed_epoch, std::size_t core) {
+  vstore::PersistentRowHeader* h = row.header();
+  if (h->v[0].sid != 0 && h->v[0].sid == h->v[1].sid &&
+      Sid(h->v[0].sid).epoch() != crashed_epoch) {
+    // Case 1: GC crashed while copying version 2 to version 1.
+    if (h->v[0].loc != h->v[1].loc) {
+      row.WriteDesc(0, Sid(h->v[0].sid), vstore::ValueLoc(h->v[1].loc), core);
+    }
+  }
+  if (h->v[1].sid == 0 && h->v[1].loc != 0) {
+    // Case 2: GC crashed while resetting version 2.
+    row.WriteDesc(1, Sid(0), vstore::ValueLoc{}, core);
+  }
+  // Rows still carrying two versions whose stale version the minor collector
+  // cannot handle go back on the major-GC list.
+  if (h->v[0].sid != 0 && h->v[1].sid != 0 && !vstore::ValueLoc(h->v[1].loc).is_null() &&
+      Sid(h->v[1].sid).epoch() != crashed_epoch) {
+    const bool stale_inline = vstore::ValueLoc(h->v[0].loc).is_inline();
+    if (!spec_.enable_minor_gc || !stale_inline) {
+      core_state_[core].major_gc.push_back(entry);
+    }
+  }
+}
+
+// Fast recovery: rebuild the DRAM index from the persistent NVMM index and
+// repair only the rows named by the persisted major-GC list — no full row
+// scan. Latest-SID resolution is deferred to first access (lazy load in
+// ReadRow).
+void Database::FastRebuildFromPersistentIndex(RecoveryReport* report) {
+  for (auto& table : tables_) {
+    table->Clear();
+  }
+  const Epoch crashed_epoch = current_epoch_ + 1;
+  std::size_t rows = 0;
+  for (std::size_t t = 0; t < pindexes_.size(); ++t) {
+    pindexes_[t]->ForEachLive(
+        current_epoch_,
+        [&](Key key, std::uint64_t prow) {
+          bool created = false;
+          vstore::RowEntry* entry = tables_[t]->GetOrCreate(key, &created);
+          assert(created && "duplicate key in the persistent index");
+          entry->prow = prow;
+          entry->latest_sid.store(0, std::memory_order_relaxed);  // lazy
+          ++rows;
+        },
+        0);
+  }
+  report->rows_scanned = rows;
+
+  // Repair pass over exactly the rows the crashed epoch's major GC touched
+  // (the list persisted at the last checkpoint, in its parity half).
+  const auto* gc_header = device_.As<GcLogHeader>(layout_.gc_log);
+  const std::uint64_t entries_base =
+      layout_.gc_log + sizeof(GcLogHeader) +
+      (gc_header->epoch & 1) * spec_.gc_log_capacity * sizeof(std::uint64_t);
+  device_.ChargeRead(entries_base, gc_header->count * sizeof(std::uint64_t), 0);
+  std::size_t core = 0;
+  for (std::uint32_t i = 0; i < gc_header->count; ++i) {
+    const std::uint64_t packed =
+        *device_.As<std::uint64_t>(entries_base + i * sizeof(std::uint64_t));
+    const auto table = static_cast<TableId>(packed >> 48);
+    const std::uint64_t offset = packed & ((1ULL << 48) - 1);
+    vstore::PersistentRow row(device_, offset, spec_.tables[table].row_size);
+    device_.ChargeRead(offset, vstore::kRowHeaderSize, 0);
+    vstore::RowEntry* entry = tables_[table]->Get(row.header()->key);
+    if (entry == nullptr || entry->prow != offset) {
+      continue;  // row deleted in the checkpointed epoch after being listed
+    }
+    RepairAndCollectGc(row, entry, crashed_epoch, core);
+    core = (core + 1) % spec_.workers;
+  }
+}
+
+}  // namespace nvc::core

@@ -1,0 +1,118 @@
+#include "src/index/persistent_index.h"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/common/hash.h"
+
+namespace nvc::index {
+namespace {
+
+std::uint64_t NextPow2(std::uint64_t n) {
+  std::uint64_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+std::size_t PersistentIndex::RequiredBytes(std::uint64_t max_rows) {
+  return NextPow2(max_rows * 2 + 16) * sizeof(Slot);
+}
+
+PersistentIndex::PersistentIndex(sim::NvmDevice& device, std::uint64_t base_offset,
+                                 std::uint64_t max_rows)
+    : device_(device), base_(base_offset), capacity_(NextPow2(max_rows * 2 + 16)),
+      mask_(capacity_ - 1) {}
+
+void PersistentIndex::Format() {
+  std::memset(device_.At(base_), 0, capacity_ * sizeof(Slot));
+  device_.Persist(base_, capacity_ * sizeof(Slot), 0);
+}
+
+std::uint64_t PersistentIndex::Probe(Key key) const {
+  std::uint64_t index = SplitMix64(key) & mask_;
+  std::uint64_t first_free = ~0ULL;
+  for (std::uint64_t step = 0; step < capacity_; ++step) {
+    const Slot* slot = SlotAt(index);
+    if (slot->state == kFree) {
+      return first_free != ~0ULL ? first_free : index;
+    }
+    if (slot->key == key) {
+      return index;  // used slot for this key (live or tombstoned)
+    }
+    // Used slot for another key: keep probing. (Tombstoned slots of other
+    // keys are not reused — reuse would break probe chains; the table is
+    // sized for twice the live rows, and deleted keys are commonly
+    // re-inserted, reusing their own slot.)
+    index = (index + 1) & mask_;
+  }
+  return first_free;
+}
+
+void PersistentIndex::ApplyInsert(Key key, std::uint64_t prow, Epoch epoch, std::size_t core) {
+  const std::uint64_t index = Probe(key);
+  if (index == ~0ULL) {
+    throw std::runtime_error("PersistentIndex: table full");
+  }
+  Slot* slot = SlotAt(index);
+  // Store order: payload fields first, the state/publish word last, all in
+  // one 32-byte (half-line) persist. A torn write leaves either a free slot
+  // or a fully-tagged one; either is recoverable.
+  slot->key = key;
+  slot->prow = prow;
+  slot->epoch_added = epoch;
+  slot->epoch_deleted = 0;
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+  slot->state = kUsed;
+  device_.Persist(SlotOffset(index), sizeof(Slot), core);
+}
+
+void PersistentIndex::ApplyDelete(Key key, Epoch epoch, std::size_t core) {
+  const std::uint64_t index = Probe(key);
+  if (index == ~0ULL) {
+    return;  // unknown key: nothing to delete (idempotent)
+  }
+  Slot* slot = SlotAt(index);
+  if (slot->state != kUsed || slot->key != key) {
+    return;
+  }
+  slot->epoch_deleted = epoch;
+  device_.Persist(SlotOffset(index), sizeof(Slot), core);
+}
+
+void PersistentIndex::ForEachLive(Epoch last_checkpointed_epoch,
+                                  const std::function<void(Key, std::uint64_t)>& fn,
+                                  std::size_t core) const {
+  device_.ChargeRead(base_, capacity_ * sizeof(Slot), core);
+  for (std::uint64_t index = 0; index < capacity_; ++index) {
+    const Slot* slot = SlotAt(index);
+    if (slot->state != kUsed) {
+      continue;
+    }
+    if (slot->epoch_added > last_checkpointed_epoch) {
+      continue;  // insert from the crashed epoch: reverted with the pools
+    }
+    if (slot->epoch_deleted != 0 && slot->epoch_deleted <= last_checkpointed_epoch) {
+      continue;  // committed delete
+    }
+    // Includes tombstones of the crashed epoch: the delete reverted.
+    fn(slot->key, slot->prow);
+  }
+}
+
+std::uint64_t PersistentIndex::live_slots() const {
+  std::uint64_t live = 0;
+  for (std::uint64_t index = 0; index < capacity_; ++index) {
+    const Slot* slot = SlotAt(index);
+    if (slot->state == kUsed && slot->epoch_deleted == 0) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+}  // namespace nvc::index

@@ -1,0 +1,119 @@
+#include "src/index/table_index.h"
+
+namespace nvc::index {
+
+TableIndex::TableIndex(const TableSchema& schema, std::size_t shards) : schema_(schema) {
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+vstore::RowEntry* TableIndex::Get(Key key) {
+  Shard& shard = ShardFor(key);
+  SpinLatchGuard guard(shard.latch);
+  auto it = shard.map.find(key);
+  return it == shard.map.end() ? nullptr : it->second;
+}
+
+vstore::RowEntry* TableIndex::GetOrCreate(Key key, bool* created) {
+  Shard& shard = ShardFor(key);
+  vstore::RowEntry* entry = nullptr;
+  {
+    SpinLatchGuard guard(shard.latch);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      *created = false;
+      return it->second;
+    }
+    shard.slab.emplace_back();
+    entry = &shard.slab.back();
+    entry->key = key;
+    entry->table = schema_.id;
+    shard.map.emplace(key, entry);
+    *created = true;
+  }
+  if (schema_.ordered) {
+    SpinLatchGuard guard(ordered_latch_);
+    ordered_.emplace(key, entry);
+  }
+  return entry;
+}
+
+void TableIndex::Remove(Key key) {
+  Shard& shard = ShardFor(key);
+  {
+    SpinLatchGuard guard(shard.latch);
+    shard.map.erase(key);
+    // The slab entry is intentionally leaked until Clear(): execution-phase
+    // readers may still hold the pointer until the epoch ends.
+  }
+  if (schema_.ordered) {
+    SpinLatchGuard guard(ordered_latch_);
+    ordered_.erase(key);
+  }
+}
+
+bool TableIndex::FirstInRange(Key lo, Key hi, Key* found) {
+  SpinLatchGuard guard(ordered_latch_);
+  auto it = ordered_.lower_bound(lo);
+  if (it == ordered_.end() || it->first > hi) {
+    return false;
+  }
+  *found = it->first;
+  return true;
+}
+
+bool TableIndex::LastInRange(Key lo, Key hi, Key* found) {
+  SpinLatchGuard guard(ordered_latch_);
+  auto it = ordered_.upper_bound(hi);
+  if (it == ordered_.begin()) {
+    return false;
+  }
+  --it;
+  if (it->first < lo) {
+    return false;
+  }
+  *found = it->first;
+  return true;
+}
+
+void TableIndex::ForRange(Key lo, Key hi,
+                          const std::function<void(Key, vstore::RowEntry*)>& fn) {
+  SpinLatchGuard guard(ordered_latch_);
+  for (auto it = ordered_.lower_bound(lo); it != ordered_.end() && it->first <= hi; ++it) {
+    fn(it->first, it->second);
+  }
+}
+
+std::size_t TableIndex::entries() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->map.size();
+  }
+  return total;
+}
+
+std::size_t TableIndex::ApproxBytes() const {
+  // Hash node (~56 B with bucket overhead) + RowEntry slab storage, plus the
+  // ordered map node (~72 B) when present.
+  std::size_t per_entry = 56 + sizeof(vstore::RowEntry);
+  if (schema_.ordered) {
+    per_entry += 72;
+  }
+  return entries() * per_entry;
+}
+
+void TableIndex::Clear() {
+  for (auto& shard : shards_) {
+    SpinLatchGuard guard(shard->latch);
+    shard->map.clear();
+    shard->slab.clear();
+  }
+  if (schema_.ordered) {
+    SpinLatchGuard guard(ordered_latch_);
+    ordered_.clear();
+  }
+}
+
+}  // namespace nvc::index

@@ -1,0 +1,90 @@
+// DRAM row index (paper section 4: "Currently, we store the row index in
+// DRAM for performance"; rebuilt from the persistent rows after a crash).
+//
+// Point lookups go through a sharded hash table. Tables that need range
+// operations (TPC-C order processing) additionally maintain an ordered map.
+// Structural changes (inserts/removals) happen only in the initialization
+// phase and at epoch boundaries, so execution-phase lookups are latch-free.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/latch.h"
+#include "src/common/types.h"
+#include "src/vstore/row_entry.h"
+
+namespace nvc::index {
+
+struct TableSchema {
+  TableId id = 0;
+  std::string name;
+  std::size_t row_size = kNvmAccessGranularity;  // persistent row block size
+  bool ordered = false;                          // maintain the ordered map
+};
+
+class TableIndex {
+ public:
+  explicit TableIndex(const TableSchema& schema, std::size_t shards = 16);
+
+  TableIndex(const TableIndex&) = delete;
+  TableIndex& operator=(const TableIndex&) = delete;
+
+  const TableSchema& schema() const { return schema_; }
+
+  // Point lookup; nullptr when absent.
+  vstore::RowEntry* Get(Key key);
+
+  // Inserts a new entry (insert step / recovery rebuild). Returns the entry;
+  // sets *created=false if the key already existed.
+  vstore::RowEntry* GetOrCreate(Key key, bool* created);
+
+  // Removes the entry for key (deferred deletion processing at epoch end).
+  void Remove(Key key);
+
+  // ---- Ordered operations (schema.ordered only) -----------------------------
+
+  // Smallest key in [lo, hi]; false when empty.
+  bool FirstInRange(Key lo, Key hi, Key* found);
+
+  // Largest key in [lo, hi]; false when empty.
+  bool LastInRange(Key lo, Key hi, Key* found);
+
+  // Invokes fn for every entry with key in [lo, hi], ascending.
+  void ForRange(Key lo, Key hi, const std::function<void(Key, vstore::RowEntry*)>& fn);
+
+  // ---- Accounting ------------------------------------------------------------
+
+  std::size_t entries() const;
+  // Approximate DRAM footprint of the index structures (figure 8).
+  std::size_t ApproxBytes() const;
+
+  // Clears all entries (recovery rebuilds from the NVM scan).
+  void Clear();
+
+ private:
+  struct alignas(kCacheLineSize) Shard {
+    SpinLatch latch;
+    std::unordered_map<Key, vstore::RowEntry*> map;
+    std::deque<vstore::RowEntry> slab;  // stable addresses for entries
+  };
+
+  Shard& ShardFor(Key key) {
+    return *shards_[HashKey(schema_.id, key) % shards_.size()];
+  }
+
+  TableSchema schema_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  SpinLatch ordered_latch_;
+  std::map<Key, vstore::RowEntry*> ordered_;
+};
+
+}  // namespace nvc::index

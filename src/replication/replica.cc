@@ -1,0 +1,36 @@
+#include "src/replication/replica.h"
+
+#include <stdexcept>
+
+namespace nvc::repl {
+
+bool Replica::Apply(const EpochBundle& bundle) {
+  if (bundle.epoch <= db_.current_epoch()) {
+    return false;  // already applied (e.g. re-shipped after replica recovery)
+  }
+  if (bundle.epoch != db_.current_epoch() + 1) {
+    throw std::runtime_error("Replica: bundle for epoch " + std::to_string(bundle.epoch) +
+                             " but replica is at epoch " +
+                             std::to_string(db_.current_epoch()));
+  }
+  auto txns = txn::DecodeTxnStream(bundle.payload.data(), bundle.payload.size(),
+                                   bundle.txn_count, registry_);
+  const core::EpochResult result = db_.ExecuteEpoch(std::move(txns));
+  if (result.crashed) {
+    throw std::runtime_error("Replica: crash hook fired while applying epoch " +
+                             std::to_string(bundle.epoch));
+  }
+  return true;
+}
+
+std::size_t Replica::CatchUp(ReplicationChannel& channel) {
+  std::size_t applied = 0;
+  while (channel.HasBundle()) {
+    if (Apply(channel.Next())) {
+      ++applied;
+    }
+  }
+  return applied;
+}
+
+}  // namespace nvc::repl

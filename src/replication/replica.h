@@ -1,0 +1,86 @@
+// Deterministic replication by input-log shipping (paper section 1:
+// "deterministic databases use input logging and deterministic replay for
+// failure recovery, which also simplifies replication [SLOG]").
+//
+// The primary serializes each epoch's transaction inputs into an EpochBundle
+// — the same byte format as the NVMM input log — and ships it to replicas.
+// A replica applies bundles in epoch order through the regular
+// epoch-processing path, so its database is byte-equivalent to the primary's
+// at every epoch boundary. Because the replica's own engine logs the inputs
+// to its own NVMM before executing, a replica crash recovers with the
+// standard mechanism and resumes applying where it left off; on primary
+// failure the replica is simply promoted by sending new epochs to it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/core/database.h"
+#include "src/txn/stream.h"
+#include "src/txn/transaction.h"
+
+namespace nvc::repl {
+
+// One epoch's worth of transaction inputs in serial order.
+struct EpochBundle {
+  Epoch epoch = 0;
+  std::uint32_t txn_count = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// Serializes an epoch for shipping. Call before handing the transactions to
+// ExecuteEpoch (which consumes them).
+inline EpochBundle MakeBundle(Epoch epoch,
+                              const std::vector<std::unique_ptr<txn::Transaction>>& txns) {
+  EpochBundle bundle;
+  bundle.epoch = epoch;
+  bundle.txn_count = static_cast<std::uint32_t>(txns.size());
+  bundle.payload = txn::EncodeTxnStream(txns);
+  return bundle;
+}
+
+// A simple in-order shipping channel (in-process; stands in for the network).
+class ReplicationChannel {
+ public:
+  void Ship(EpochBundle bundle) { queue_.push_back(std::move(bundle)); }
+  bool HasBundle() const { return !queue_.empty(); }
+  EpochBundle Next() {
+    EpochBundle bundle = std::move(queue_.front());
+    queue_.pop_front();
+    return bundle;
+  }
+  std::size_t backlog() const { return queue_.size(); }
+
+ private:
+  std::deque<EpochBundle> queue_;
+};
+
+// Applies shipped bundles to a standby database in strict epoch order.
+class Replica {
+ public:
+  // The database must have been loaded with the same initial state as the
+  // primary (Format + identical BulkLoads + FinalizeLoad), or recovered from
+  // its own pool after a replica crash.
+  Replica(core::Database& db, txn::TxnRegistry registry)
+      : db_(db), registry_(std::move(registry)) {}
+
+  // Applies one bundle. Returns false (without side effects) when the
+  // bundle is not the next epoch — stale bundles after a replica recovery
+  // are skipped by the caller via applied_epoch().
+  bool Apply(const EpochBundle& bundle);
+
+  // Drains every ready bundle from a channel; returns how many were applied.
+  std::size_t CatchUp(ReplicationChannel& channel);
+
+  Epoch applied_epoch() const { return db_.current_epoch(); }
+  core::Database& db() { return db_; }
+  const txn::TxnRegistry& registry() const { return registry_; }
+
+ private:
+  core::Database& db_;
+  txn::TxnRegistry registry_;
+};
+
+}  // namespace nvc::repl

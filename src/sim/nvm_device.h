@@ -1,0 +1,192 @@
+// Simulated non-volatile main memory device.
+//
+// The paper evaluates on Intel Optane DCPMM (App Direct / fsdax). That
+// hardware is unavailable, so this module provides an instrumented in-process
+// replacement that preserves the three properties the paper's design depends
+// on:
+//
+//   1. Cost asymmetry vs DRAM. Reads and persisted writes are charged a
+//      configurable delay (busy-wait, TSC-calibrated) so that NVM op *counts*
+//      translate into wall-clock differences with Optane-like ratios.
+//   2. Byte addressability with cache-line persistence ordering. Stores land
+//      immediately in the region; durability requires Persist (clwb) on the
+//      touched lines followed by Fence (sfence). Crash simulation reverts any
+//      line whose latest contents were not covered by a persist+fence pair.
+//   3. 256 B internal access granularity. Reads and persists are accounted in
+//      256 B granules, which is what makes the paper's inline heap and
+//      same-cache-line version descriptors matter.
+//
+// Two backends:
+//   * anonymous: heap region, optional shadow "persisted image" enabling
+//     Crash()/chaos-crash testing within a process, and
+//   * file-backed: mmap of a file (like fsdax), giving real persistence
+//     across process restarts for the example applications.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+
+namespace nvc::sim {
+
+// Per-operation delays in nanoseconds. A zero field disables that delay.
+struct LatencyProfile {
+  std::uint32_t read_ns_per_granule = 0;   // per 256 B granule read from NVM
+  std::uint32_t write_ns_per_line = 0;     // per 64 B cache line persisted
+  std::uint32_t fence_ns = 0;              // per Fence
+
+  // No injected delays; use for functional tests and the all-DRAM baseline.
+  static constexpr LatencyProfile None() { return {}; }
+
+  // Optane-like asymmetry. The paper measured DRAM at 3.2x NVM random-read
+  // and 11.9x NVM random-write throughput; with DRAM random access around
+  // 90 ns these deltas reproduce those ratios at simulation scale. The
+  // fence cost models the sfence-after-clwb stall on ADR platforms (the
+  // dominant per-transaction durability cost for non-batched designs).
+  static constexpr LatencyProfile Optane() { return {.read_ns_per_granule = 200,
+                                                     .write_ns_per_line = 450,
+                                                     .fence_ns = 500}; }
+
+  // Fast-NVMe-like block storage for the cold tier (pair with a 4096-byte
+  // access granule): page reads around 10 us, high per-line write cost.
+  static constexpr LatencyProfile FastSsd() { return {.read_ns_per_granule = 10'000,
+                                                      .write_ns_per_line = 2'000,
+                                                      .fence_ns = 2'000}; }
+
+  // Uniformly scales all delays (for fast CI runs or stress runs).
+  LatencyProfile Scaled(double factor) const;
+};
+
+// Whether the device maintains a shadow persisted image for crash testing.
+enum class CrashTracking {
+  kNone,    // no shadow; Crash() is unavailable (benchmark configurations)
+  kShadow,  // shadow image; Crash() reverts unpersisted lines
+};
+
+struct NvmConfig {
+  std::size_t size_bytes = 0;
+  LatencyProfile latency = LatencyProfile::None();
+  CrashTracking crash_tracking = CrashTracking::kNone;
+  std::string backing_file;  // empty = anonymous region
+
+  // Internal access granularity for read accounting. 256 B models Optane;
+  // 4096 B models a block device (the cold-tier extension).
+  std::size_t access_granule = kNvmAccessGranularity;
+};
+
+// Cumulative device statistics (per-core sharded; Sum() on read).
+struct NvmStats {
+  ShardedCounter read_bytes;
+  ShardedCounter read_granules;   // 256 B granule touches
+  ShardedCounter write_bytes;     // bytes covered by Persist
+  ShardedCounter persisted_lines; // 64 B lines covered by Persist
+  ShardedCounter persist_ops;
+  ShardedCounter fences;
+
+  void Reset() {
+    read_bytes.Reset();
+    read_granules.Reset();
+    write_bytes.Reset();
+    persisted_lines.Reset();
+    persist_ops.Reset();
+    fences.Reset();
+  }
+};
+
+class NvmDevice {
+ public:
+  explicit NvmDevice(const NvmConfig& config);
+  ~NvmDevice();
+
+  NvmDevice(const NvmDevice&) = delete;
+  NvmDevice& operator=(const NvmDevice&) = delete;
+
+  std::size_t size() const { return size_; }
+  const NvmConfig& config() const { return config_; }
+  bool file_backed() const { return !config_.backing_file.empty(); }
+
+  // True when the backing file already existed (recovery path for examples).
+  bool recovered_existing_file() const { return recovered_existing_file_; }
+
+  // Raw access. Offsets are used as the stable persistent representation;
+  // pointers are only valid for the lifetime of this mapping.
+  std::uint8_t* At(std::uint64_t offset) { return base_ + offset; }
+  const std::uint8_t* At(std::uint64_t offset) const { return base_ + offset; }
+
+  template <typename T>
+  T* As(std::uint64_t offset) {
+    return reinterpret_cast<T*>(base_ + offset);
+  }
+
+  std::uint64_t OffsetOf(const void* p) const {
+    return static_cast<std::uint64_t>(static_cast<const std::uint8_t*>(p) - base_);
+  }
+
+  // Charges read latency + stats for an NVM read of [offset, offset+n).
+  // The caller performs the actual load through At()/As().
+  void ChargeRead(std::uint64_t offset, std::size_t n, std::size_t core);
+
+  // Flushes [offset, offset+n) toward persistence (clwb-equivalent): charges
+  // write latency + stats and stages the lines for the next Fence. Data is
+  // durable only after a subsequent Fence from the same core.
+  void Persist(std::uint64_t offset, std::size_t n, std::size_t core);
+
+  // Convenience: memcpy into the region followed by Persist.
+  void WritePersist(std::uint64_t offset, const void* src, std::size_t n, std::size_t core);
+
+  // Ordering + durability point (sfence-equivalent) for this core's staged
+  // persists.
+  void Fence(std::size_t core);
+
+  // Accounting-only charges for data that has no concrete location in the
+  // region — used by the all-NVMM baseline, where version arrays and
+  // intermediate values notionally live in NVMM. Charges latency + stats as
+  // if n well-aligned bytes were read / persisted.
+  void ChargeSyntheticRead(std::size_t n, std::size_t core);
+  void ChargeSyntheticWrite(std::size_t n, std::size_t core);
+
+  // --- Crash simulation (CrashTracking::kShadow only) ---------------------
+
+  // Simulates a power failure: every line reverts to its last fenced
+  // contents. The caller must have quiesced all workers.
+  void Crash();
+
+  // Chaos variant: each *unfenced dirty* line independently survives with
+  // probability keep_probability (real hardware may write back cache lines
+  // at any time). Deterministic from seed.
+  void CrashChaos(std::uint64_t seed, double keep_probability);
+
+  NvmStats& stats() { return stats_; }
+  const NvmStats& stats() const { return stats_; }
+
+ private:
+  struct PendingRange {
+    std::uint64_t offset;
+    std::uint64_t length;
+  };
+  struct alignas(kCacheLineSize) CorePending {
+    std::vector<PendingRange> ranges;
+  };
+
+  void ApplyToShadow(const PendingRange& range);
+
+  NvmConfig config_;
+  std::size_t size_;
+  std::uint8_t* base_ = nullptr;
+  int fd_ = -1;
+  bool recovered_existing_file_ = false;
+  std::unique_ptr<std::uint8_t[]> shadow_;
+  std::array<CorePending, kMaxCores> pending_{};
+  NvmStats stats_;
+};
+
+// Calibrated busy-wait used for latency injection. Exposed for tests.
+void SpinDelayNs(std::uint32_t ns);
+
+}  // namespace nvc::sim

@@ -1,0 +1,58 @@
+// Serialized transaction streams: the wire/log format shared by the NVMM
+// input log (src/core/input_log.*) and the replication log shipper
+// (src/replication/*). Record format: repeated { type: u32, size: u32,
+// payload[size] }.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "src/common/serializer.h"
+#include "src/txn/transaction.h"
+
+namespace nvc::txn {
+
+// Encodes the inputs of all transactions, in serial order.
+inline std::vector<std::uint8_t> EncodeTxnStream(
+    const std::vector<std::unique_ptr<Transaction>>& txns) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(64 * txns.size());
+  BinaryWriter writer(payload);
+  for (const auto& txn : txns) {
+    writer.Put<std::uint32_t>(txn->type());
+    const std::size_t size_pos = payload.size();
+    writer.Put<std::uint32_t>(0);
+    const std::size_t body_start = payload.size();
+    txn->EncodeInputs(writer);
+    const auto body_size = static_cast<std::uint32_t>(payload.size() - body_start);
+    std::memcpy(payload.data() + size_pos, &body_size, sizeof(body_size));
+  }
+  return payload;
+}
+
+// Decodes `count` transactions back out of a stream. Throws when a type is
+// not registered.
+inline std::vector<std::unique_ptr<Transaction>> DecodeTxnStream(
+    const std::uint8_t* data, std::size_t bytes, std::uint32_t count,
+    const TxnRegistry& registry) {
+  BinaryReader reader(data, bytes);
+  std::vector<std::unique_ptr<Transaction>> txns;
+  txns.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto type = reader.Get<std::uint32_t>();
+    const auto size = reader.Get<std::uint32_t>();
+    BinaryReader body(data + reader.pos(), size);
+    auto txn = registry.Decode(type, body);
+    if (txn == nullptr) {
+      throw std::runtime_error("DecodeTxnStream: unregistered transaction type " +
+                               std::to_string(type));
+    }
+    txns.push_back(std::move(txn));
+    reader.Skip(size);
+  }
+  return txns;
+}
+
+}  // namespace nvc::txn

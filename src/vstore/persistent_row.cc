@@ -1,0 +1,62 @@
+#include "src/vstore/persistent_row.h"
+
+namespace nvc::vstore {
+
+ValueLoc PersistentRow::FindInlineSpace(std::uint32_t size) const {
+  const std::size_t heap = inline_heap_size();
+  if (size > heap) {
+    return ValueLoc{};
+  }
+  const std::uint64_t heap_off = inline_heap_offset();
+  const std::size_t half = heap / 2;
+
+  // Candidate placements: two half-heap slots when the value fits in a half,
+  // otherwise the single whole-heap slot.
+  std::uint64_t candidates[2];
+  int candidate_count = 0;
+  if (size <= half && half > 0) {
+    candidates[candidate_count++] = heap_off;
+    candidates[candidate_count++] = heap_off + half;
+  } else {
+    candidates[candidate_count++] = heap_off;
+  }
+
+  const PersistentRowHeader* h = header();
+  for (int c = 0; c < candidate_count; ++c) {
+    const std::uint64_t begin = candidates[c];
+    const std::uint64_t end = begin + size;
+    bool overlaps = false;
+    for (const VersionDesc& desc : h->v) {
+      const ValueLoc live(desc.loc);
+      if (live.is_null() || !live.is_inline()) {
+        continue;
+      }
+      const std::uint64_t live_begin = live.offset();
+      const std::uint64_t live_end = live_begin + live.size();
+      if (begin < live_end && live_begin < end) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) {
+      return ValueLoc::Make(/*is_inline=*/true, size, begin);
+    }
+  }
+  return ValueLoc{};
+}
+
+void PersistentRow::ReadValue(const VersionDesc& desc, void* out, std::size_t core) const {
+  const ValueLoc loc(desc.loc);
+  assert(!loc.is_null());
+  if (loc.is_inline()) {
+    // Inline values ride on the same 256 B granule(s) as the header in the
+    // common 256 B-row case; charging the whole row captures that locality.
+    device_->ChargeRead(offset_, row_size_, core);
+  } else {
+    device_->ChargeRead(offset_, kRowHeaderSize, core);
+    device_->ChargeRead(loc.offset(), loc.size(), core);
+  }
+  std::memcpy(out, device_->At(loc.offset()), loc.size());
+}
+
+}  // namespace nvc::vstore

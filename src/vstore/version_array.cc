@@ -1,0 +1,87 @@
+#include "src/vstore/version_array.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace nvc::vstore {
+namespace {
+constexpr std::uint32_t kInitialCapacity = 4;
+}
+
+VersionArray* VersionArray::Create(alloc::TransientPool& pool, std::size_t core) {
+  return CreateWithCapacity(pool, core, kInitialCapacity - 1);
+}
+
+VersionArray* VersionArray::CreateWithCapacity(alloc::TransientPool& pool, std::size_t core,
+                                               std::uint32_t versions) {
+  auto* array = static_cast<VersionArray*>(pool.Alloc(core, sizeof(VersionArray)));
+  array->count_ = 1;
+  array->capacity_ = versions + 1;  // +1 for the initial version
+  array->entries_ = static_cast<VersionEntry*>(
+      pool.Alloc(core, array->capacity_ * sizeof(VersionEntry)));
+  array->entries_[0].sid = 0;
+  array->entries_[0].state.store(kPending, std::memory_order_relaxed);
+  return array;
+}
+
+void VersionArray::Append(alloc::TransientPool& pool, std::size_t core, Sid sid) {
+  if (count_ == capacity_) {
+    const std::uint32_t new_capacity = capacity_ * 2;
+    auto* grown =
+        static_cast<VersionEntry*>(pool.Alloc(core, new_capacity * sizeof(VersionEntry)));
+    for (std::uint32_t i = 0; i < count_; ++i) {
+      grown[i].sid = entries_[i].sid;
+      grown[i].state.store(entries_[i].state.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    }
+    entries_ = grown;
+    capacity_ = new_capacity;
+  }
+  // Sorted insert. Appends mostly arrive in near-sorted order, so scan from
+  // the back. Long arrays on hot rows make this quadratic — the append-phase
+  // slowdown the paper observes for contended small-row YCSB (section 6.9).
+  std::uint32_t pos = count_;
+  while (pos > 0 && entries_[pos - 1].sid > sid.raw()) {
+    entries_[pos].sid = entries_[pos - 1].sid;
+    entries_[pos].state.store(entries_[pos - 1].state.load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+    --pos;
+  }
+  assert(pos == 0 || entries_[pos - 1].sid != sid.raw());
+  entries_[pos].sid = sid.raw();
+  entries_[pos].state.store(kPending, std::memory_order_relaxed);
+  ++count_;
+}
+
+int VersionArray::FindSlot(Sid sid) const {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = count_;
+  while (lo < hi) {
+    const std::uint32_t mid = (lo + hi) / 2;
+    if (entries_[mid].sid < sid.raw()) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < count_ && entries_[lo].sid == sid.raw()) {
+    return static_cast<int>(lo);
+  }
+  return -1;
+}
+
+int VersionArray::LatestBefore(Sid sid) const {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = count_;
+  while (lo < hi) {
+    const std::uint32_t mid = (lo + hi) / 2;
+    if (entries_[mid].sid < sid.raw()) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<int>(lo) - 1;
+}
+
+}  // namespace nvc::vstore

@@ -1,0 +1,82 @@
+// Transient sorted version arrays (paper sections 3.1.2 and 4.1).
+//
+// Unlike a traditional MVCC linked list, Caracal stores all row versions of
+// an epoch in a sorted array, built during the append step of the
+// initialization phase and discarded with the transient pool at epoch end.
+// Entry 0 is the *initial version* — a copy of the row's value from before
+// this epoch — so execution-phase readers resolve every read from the array
+// with one binary search.
+//
+// Entry states double as the value pointer:
+//   kPending   — placeholder created in the append step; readers spin-wait
+//   kIgnore    — transaction aborted (paper 4.6) or no pre-epoch value exists
+//   kTombstone — row deleted by this version's transaction
+//   otherwise  — pointer to a TransientValue in the transient pool
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/alloc/transient_pool.h"
+#include "src/common/types.h"
+
+namespace nvc::vstore {
+
+inline constexpr std::uint64_t kPending = 0;
+inline constexpr std::uint64_t kIgnore = 1;
+inline constexpr std::uint64_t kTombstone = 2;
+
+// Value bytes in the transient pool, prefixed with their size.
+struct TransientValue {
+  std::uint32_t size;
+  // data bytes follow
+  std::uint8_t* data() { return reinterpret_cast<std::uint8_t*>(this + 1); }
+  const std::uint8_t* data() const { return reinterpret_cast<const std::uint8_t*>(this + 1); }
+};
+
+struct VersionEntry {
+  std::uint64_t sid;
+  std::atomic<std::uint64_t> state;
+
+  bool IsValuePointer(std::uint64_t s) const { return s > kTombstone; }
+};
+
+class VersionArray {
+ public:
+  // Creates an array in the transient pool with one slot for the initial
+  // version (sid 0), whose state the caller sets.
+  static VersionArray* Create(alloc::TransientPool& pool, std::size_t core);
+
+  // Batch-append variant: exact capacity for `versions` appends is reserved
+  // up front, so no growth-copies happen.
+  static VersionArray* CreateWithCapacity(alloc::TransientPool& pool, std::size_t core,
+                                          std::uint32_t versions);
+
+  // Sorted insert of a pending version for `sid` (append step; caller holds
+  // the row latch). Grows the array in the transient pool as needed.
+  void Append(alloc::TransientPool& pool, std::size_t core, Sid sid);
+
+  std::uint32_t count() const { return count_; }
+  VersionEntry& entry(std::uint32_t i) { return entries_[i]; }
+  const VersionEntry& entry(std::uint32_t i) const { return entries_[i]; }
+
+  // Index of the exact entry for sid (the writer's own slot), or -1.
+  int FindSlot(Sid sid) const;
+
+  // Index of the latest entry with sid strictly smaller than `sid`
+  // (readers); always >= 0 because slot 0 is the initial version.
+  int LatestBefore(Sid sid) const;
+
+  // True when `sid` owns the last (highest-SID) slot, i.e. its write is the
+  // epoch's final write for this row.
+  bool IsFinal(Sid sid) const { return count_ > 0 && entries_[count_ - 1].sid == sid.raw(); }
+
+  VersionEntry& last() { return entries_[count_ - 1]; }
+
+ private:
+  std::uint32_t count_ = 0;
+  std::uint32_t capacity_ = 0;
+  VersionEntry* entries_ = nullptr;
+};
+
+}  // namespace nvc::vstore

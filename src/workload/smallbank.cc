@@ -1,0 +1,249 @@
+#include "src/workload/smallbank.h"
+
+namespace nvc::workload {
+namespace {
+
+// An amount no account can cover — used to realize the configured abort rate.
+constexpr Balance kImpossibleAmount = 1'000'000'000'000LL;
+
+Balance ReadBalance(txn::ExecContext& ctx, TableId table, std::uint64_t customer) {
+  Balance balance = 0;
+  ctx.Read(table, customer, &balance, sizeof(balance));
+  return balance;
+}
+
+void WriteBalance(txn::ExecContext& ctx, TableId table, std::uint64_t customer,
+                  Balance balance) {
+  ctx.Write(table, customer, &balance, sizeof(balance));
+}
+
+}  // namespace
+
+core::DatabaseSpec SmallBankWorkload::Spec(std::size_t workers) const {
+  core::DatabaseSpec spec;
+  spec.workers = workers;
+  for (const char* name : {"savings", "checking"}) {
+    spec.tables.push_back(core::TableSpec{
+        .name = name,
+        .row_size = config_.row_size,
+        .ordered = false,
+        .capacity_rows = config_.customers + 16,
+        .freelist_capacity = 1 << 10,
+    });
+  }
+  spec.value_block_size = 256;
+  spec.value_blocks_per_core = 1024;  // 8-byte balances always inline
+  spec.value_freelist_capacity = 2048;
+  spec.log_bytes = 16u << 20;
+  spec.recovery = core::RecoveryPolicy::kReplayInPlace;
+  return spec;
+}
+
+void SmallBankWorkload::Load(core::Database& db) const {
+  for (std::uint64_t customer = 0; customer < config_.customers; ++customer) {
+    db.BulkLoad(kSavingsTable, customer, &config_.initial_balance,
+                sizeof(config_.initial_balance));
+    db.BulkLoad(kCheckingTable, customer, &config_.initial_balance,
+                sizeof(config_.initial_balance));
+  }
+}
+
+std::uint64_t SmallBankWorkload::PickCustomer() {
+  if (rng_.NextPercent(90)) {
+    return rng_.NextBounded(config_.hotspot_customers);
+  }
+  return rng_.NextBounded(config_.customers);
+}
+
+std::vector<std::unique_ptr<txn::Transaction>> SmallBankWorkload::MakeEpoch(std::size_t count) {
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  txns.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t c0 = PickCustomer();
+    std::uint64_t c1 = PickCustomer();
+    while (c1 == c0) {
+      c1 = (c1 + 1) % config_.customers;
+    }
+    const Balance small = static_cast<Balance>(rng_.NextRange(1, 100));
+    const bool force_abort = rng_.NextPercent(config_.abort_percent);
+    switch (rng_.NextBounded(5)) {
+      case 0:
+        txns.push_back(std::make_unique<SbAmalgamateTxn>(c0, c1));
+        break;
+      case 1:
+        txns.push_back(std::make_unique<SbDepositCheckingTxn>(c0, small));
+        break;
+      case 2:
+        txns.push_back(std::make_unique<SbSendPaymentTxn>(c0, c1, small));
+        break;
+      case 3:
+        txns.push_back(std::make_unique<SbTransactSavingTxn>(
+            c0, force_abort ? -kImpossibleAmount : -small));
+        break;
+      default:
+        txns.push_back(std::make_unique<SbWriteCheckTxn>(
+            c0, force_abort ? kImpossibleAmount : small));
+        break;
+    }
+  }
+  return txns;
+}
+
+txn::TxnRegistry SmallBankWorkload::Registry() {
+  txn::TxnRegistry registry;
+  registry.Register(kSbAmalgamate, SbAmalgamateTxn::Decode);
+  registry.Register(kSbDepositChecking, SbDepositCheckingTxn::Decode);
+  registry.Register(kSbSendPayment, SbSendPaymentTxn::Decode);
+  registry.Register(kSbTransactSaving, SbTransactSavingTxn::Decode);
+  registry.Register(kSbWriteCheck, SbWriteCheckTxn::Decode);
+  return registry;
+}
+
+Balance SmallBankWorkload::TotalMoney(core::Database& db, std::uint64_t customers) {
+  Balance total = 0;
+  for (std::uint64_t customer = 0; customer < customers; ++customer) {
+    Balance balance = 0;
+    db.ReadCommitted(kSavingsTable, customer, &balance, sizeof(balance));
+    total += balance;
+    balance = 0;
+    db.ReadCommitted(kCheckingTable, customer, &balance, sizeof(balance));
+    total += balance;
+  }
+  return total;
+}
+
+// ---- Amalgamate ---------------------------------------------------------------
+
+void SbAmalgamateTxn::EncodeInputs(BinaryWriter& writer) const {
+  writer.Put(a_);
+  writer.Put(b_);
+}
+
+std::unique_ptr<txn::Transaction> SbAmalgamateTxn::Decode(BinaryReader& reader) {
+  const auto a = reader.Get<std::uint64_t>();
+  const auto b = reader.Get<std::uint64_t>();
+  return std::make_unique<SbAmalgamateTxn>(a, b);
+}
+
+void SbAmalgamateTxn::AppendStep(txn::AppendContext& ctx) {
+  ctx.DeclareUpdate(kSavingsTable, a_);
+  ctx.DeclareUpdate(kCheckingTable, a_);
+  ctx.DeclareUpdate(kCheckingTable, b_);
+}
+
+void SbAmalgamateTxn::Execute(txn::ExecContext& ctx) {
+  const Balance savings_a = ReadBalance(ctx, kSavingsTable, a_);
+  const Balance checking_a = ReadBalance(ctx, kCheckingTable, a_);
+  const Balance checking_b = ReadBalance(ctx, kCheckingTable, b_);
+  WriteBalance(ctx, kSavingsTable, a_, 0);
+  WriteBalance(ctx, kCheckingTable, a_, 0);
+  WriteBalance(ctx, kCheckingTable, b_, checking_b + savings_a + checking_a);
+}
+
+// ---- DepositChecking ------------------------------------------------------------
+
+void SbDepositCheckingTxn::EncodeInputs(BinaryWriter& writer) const {
+  writer.Put(customer_);
+  writer.Put(amount_);
+}
+
+std::unique_ptr<txn::Transaction> SbDepositCheckingTxn::Decode(BinaryReader& reader) {
+  const auto customer = reader.Get<std::uint64_t>();
+  const auto amount = reader.Get<Balance>();
+  return std::make_unique<SbDepositCheckingTxn>(customer, amount);
+}
+
+void SbDepositCheckingTxn::AppendStep(txn::AppendContext& ctx) {
+  ctx.DeclareUpdate(kCheckingTable, customer_);
+}
+
+void SbDepositCheckingTxn::Execute(txn::ExecContext& ctx) {
+  const Balance checking = ReadBalance(ctx, kCheckingTable, customer_);
+  WriteBalance(ctx, kCheckingTable, customer_, checking + amount_);
+}
+
+// ---- SendPayment ------------------------------------------------------------------
+
+void SbSendPaymentTxn::EncodeInputs(BinaryWriter& writer) const {
+  writer.Put(from_);
+  writer.Put(to_);
+  writer.Put(amount_);
+}
+
+std::unique_ptr<txn::Transaction> SbSendPaymentTxn::Decode(BinaryReader& reader) {
+  const auto from = reader.Get<std::uint64_t>();
+  const auto to = reader.Get<std::uint64_t>();
+  const auto amount = reader.Get<Balance>();
+  return std::make_unique<SbSendPaymentTxn>(from, to, amount);
+}
+
+void SbSendPaymentTxn::AppendStep(txn::AppendContext& ctx) {
+  ctx.DeclareUpdate(kCheckingTable, from_);
+  ctx.DeclareUpdate(kCheckingTable, to_);
+}
+
+void SbSendPaymentTxn::Execute(txn::ExecContext& ctx) {
+  const Balance from_balance = ReadBalance(ctx, kCheckingTable, from_);
+  if (from_balance < amount_) {
+    ctx.Abort();  // before any writes (paper 3.1.1)
+    return;
+  }
+  const Balance to_balance = ReadBalance(ctx, kCheckingTable, to_);
+  WriteBalance(ctx, kCheckingTable, from_, from_balance - amount_);
+  WriteBalance(ctx, kCheckingTable, to_, to_balance + amount_);
+}
+
+// ---- TransactSaving ---------------------------------------------------------------
+
+void SbTransactSavingTxn::EncodeInputs(BinaryWriter& writer) const {
+  writer.Put(customer_);
+  writer.Put(amount_);
+}
+
+std::unique_ptr<txn::Transaction> SbTransactSavingTxn::Decode(BinaryReader& reader) {
+  const auto customer = reader.Get<std::uint64_t>();
+  const auto amount = reader.Get<Balance>();
+  return std::make_unique<SbTransactSavingTxn>(customer, amount);
+}
+
+void SbTransactSavingTxn::AppendStep(txn::AppendContext& ctx) {
+  ctx.DeclareUpdate(kSavingsTable, customer_);
+}
+
+void SbTransactSavingTxn::Execute(txn::ExecContext& ctx) {
+  const Balance savings = ReadBalance(ctx, kSavingsTable, customer_);
+  if (savings + amount_ < 0) {
+    ctx.Abort();
+    return;
+  }
+  WriteBalance(ctx, kSavingsTable, customer_, savings + amount_);
+}
+
+// ---- WriteCheck --------------------------------------------------------------------
+
+void SbWriteCheckTxn::EncodeInputs(BinaryWriter& writer) const {
+  writer.Put(customer_);
+  writer.Put(amount_);
+}
+
+std::unique_ptr<txn::Transaction> SbWriteCheckTxn::Decode(BinaryReader& reader) {
+  const auto customer = reader.Get<std::uint64_t>();
+  const auto amount = reader.Get<Balance>();
+  return std::make_unique<SbWriteCheckTxn>(customer, amount);
+}
+
+void SbWriteCheckTxn::AppendStep(txn::AppendContext& ctx) {
+  ctx.DeclareUpdate(kCheckingTable, customer_);
+}
+
+void SbWriteCheckTxn::Execute(txn::ExecContext& ctx) {
+  const Balance savings = ReadBalance(ctx, kSavingsTable, customer_);
+  const Balance checking = ReadBalance(ctx, kCheckingTable, customer_);
+  if (savings + checking < amount_) {
+    ctx.Abort();
+    return;
+  }
+  WriteBalance(ctx, kCheckingTable, customer_, checking - amount_);
+}
+
+}  // namespace nvc::workload

@@ -1,0 +1,165 @@
+// SmallBank OLTP benchmark (paper section 6.2.2, Table 2).
+//
+// Two tables — savings and checking balances keyed by customer id, 8-byte
+// values — and five transaction types chosen uniformly: Amalgamate,
+// DepositChecking, SendPayment, TransactSaving and WriteCheck. TransactSaving
+// and WriteCheck abort on insufficient funds; the generator arranges a ~10%
+// abort rate for those two types. A hotspot subset of customers receives 90%
+// of the transactions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/config.h"
+#include "src/core/database.h"
+#include "src/txn/transaction.h"
+
+namespace nvc::workload {
+
+inline constexpr TableId kSavingsTable = 0;
+inline constexpr TableId kCheckingTable = 1;
+
+inline constexpr txn::TxnType kSbAmalgamate = 20;
+inline constexpr txn::TxnType kSbDepositChecking = 21;
+inline constexpr txn::TxnType kSbSendPayment = 22;
+inline constexpr txn::TxnType kSbTransactSaving = 23;
+inline constexpr txn::TxnType kSbWriteCheck = 24;
+
+// Balances are signed 64-bit "cents".
+using Balance = std::int64_t;
+
+struct SmallBankConfig {
+  std::uint64_t customers = 50'000;
+  std::uint64_t hotspot_customers = 1'000;  // targeted by 90% of transactions
+  Balance initial_balance = 1'000'000;
+  std::uint32_t abort_percent = 10;  // guaranteed-insufficient amounts
+  std::uint64_t seed = 43;
+  std::size_t row_size = 128;  // Table 4: SmallBank persistent row size
+};
+
+class SmallBankWorkload {
+ public:
+  explicit SmallBankWorkload(const SmallBankConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  const SmallBankConfig& config() const { return config_; }
+
+  core::DatabaseSpec Spec(std::size_t workers) const;
+  void Load(core::Database& db) const;
+  std::vector<std::unique_ptr<txn::Transaction>> MakeEpoch(std::size_t count);
+  static txn::TxnRegistry Registry();
+
+  // Sum of all savings and checking balances. Deposits, savings transactions
+  // and checks move money in and out of the bank, so tests compare this
+  // against a reference model rather than asserting invariance.
+  static Balance TotalMoney(core::Database& db, std::uint64_t customers);
+
+ private:
+  std::uint64_t PickCustomer();
+
+  SmallBankConfig config_;
+  Rng rng_;
+};
+
+// ---- Transactions ------------------------------------------------------------
+
+// Moves all funds of customer a into customer b's checking account.
+class SbAmalgamateTxn final : public txn::Transaction {
+ public:
+  SbAmalgamateTxn(std::uint64_t a, std::uint64_t b) : a_(a), b_(b) {}
+  txn::TxnType type() const override { return kSbAmalgamate; }
+  void EncodeInputs(BinaryWriter& writer) const override;
+  static std::unique_ptr<txn::Transaction> Decode(BinaryReader& reader);
+  void AppendStep(txn::AppendContext& ctx) override;
+  void Execute(txn::ExecContext& ctx) override;
+
+  std::uint64_t a() const { return a_; }
+  std::uint64_t b() const { return b_; }
+
+ private:
+  std::uint64_t a_;
+  std::uint64_t b_;
+};
+
+class SbDepositCheckingTxn final : public txn::Transaction {
+ public:
+  SbDepositCheckingTxn(std::uint64_t customer, Balance amount)
+      : customer_(customer), amount_(amount) {}
+  txn::TxnType type() const override { return kSbDepositChecking; }
+  void EncodeInputs(BinaryWriter& writer) const override;
+  static std::unique_ptr<txn::Transaction> Decode(BinaryReader& reader);
+  void AppendStep(txn::AppendContext& ctx) override;
+  void Execute(txn::ExecContext& ctx) override;
+
+  std::uint64_t customer() const { return customer_; }
+  Balance amount() const { return amount_; }
+
+ private:
+  std::uint64_t customer_;
+  Balance amount_;
+};
+
+// Transfers between two customers' checking accounts; aborts on
+// insufficient funds.
+class SbSendPaymentTxn final : public txn::Transaction {
+ public:
+  SbSendPaymentTxn(std::uint64_t from, std::uint64_t to, Balance amount)
+      : from_(from), to_(to), amount_(amount) {}
+  txn::TxnType type() const override { return kSbSendPayment; }
+  void EncodeInputs(BinaryWriter& writer) const override;
+  static std::unique_ptr<txn::Transaction> Decode(BinaryReader& reader);
+  void AppendStep(txn::AppendContext& ctx) override;
+  void Execute(txn::ExecContext& ctx) override;
+
+  std::uint64_t from() const { return from_; }
+  std::uint64_t to() const { return to_; }
+  Balance amount() const { return amount_; }
+
+ private:
+  std::uint64_t from_;
+  std::uint64_t to_;
+  Balance amount_;
+};
+
+// Adds amount to a savings balance; aborts if the result would be negative.
+class SbTransactSavingTxn final : public txn::Transaction {
+ public:
+  SbTransactSavingTxn(std::uint64_t customer, Balance amount)
+      : customer_(customer), amount_(amount) {}
+  txn::TxnType type() const override { return kSbTransactSaving; }
+  void EncodeInputs(BinaryWriter& writer) const override;
+  static std::unique_ptr<txn::Transaction> Decode(BinaryReader& reader);
+  void AppendStep(txn::AppendContext& ctx) override;
+  void Execute(txn::ExecContext& ctx) override;
+
+  std::uint64_t customer() const { return customer_; }
+  Balance amount() const { return amount_; }
+
+ private:
+  std::uint64_t customer_;
+  Balance amount_;
+};
+
+// Cashes a check against checking; aborts if savings + checking < amount.
+class SbWriteCheckTxn final : public txn::Transaction {
+ public:
+  SbWriteCheckTxn(std::uint64_t customer, Balance amount)
+      : customer_(customer), amount_(amount) {}
+  txn::TxnType type() const override { return kSbWriteCheck; }
+  void EncodeInputs(BinaryWriter& writer) const override;
+  static std::unique_ptr<txn::Transaction> Decode(BinaryReader& reader);
+  void AppendStep(txn::AppendContext& ctx) override;
+  void Execute(txn::ExecContext& ctx) override;
+
+  std::uint64_t customer() const { return customer_; }
+  Balance amount() const { return amount_; }
+
+ private:
+  std::uint64_t customer_;
+  Balance amount_;
+};
+
+}  // namespace nvc::workload

@@ -1,0 +1,680 @@
+#include "src/workload/tpcc.h"
+
+#include <cstring>
+#include <string>
+#include <unordered_set>
+
+#include "src/workload/tpcc_txns.h"
+
+namespace nvc::workload {
+namespace {
+
+template <typename T>
+T ReadRow(txn::ExecContext& ctx, TableId table, Key key, bool* found = nullptr) {
+  T row{};
+  const int n = ctx.Read(table, key, &row, sizeof(row));
+  if (found != nullptr) {
+    *found = n >= 0;
+  }
+  return row;
+}
+
+void FillName(char* out, std::size_t n, std::uint64_t seed) {
+  static const char alphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    seed = SplitMix64(seed);
+    out[i] = alphabet[seed % 26];
+  }
+  out[n - 1] = '\0';
+}
+
+}  // namespace
+
+core::DatabaseSpec TpccWorkload::Spec(std::size_t workers) const {
+  const std::uint64_t w = config_.warehouses;
+  const std::uint64_t districts = w * kDistrictsPerWarehouse;
+  const std::uint64_t customers = districts * config_.customers_per_district;
+  const std::uint64_t initial_orders = districts * config_.initial_orders_per_district;
+  const std::uint64_t order_capacity = initial_orders + config_.new_order_capacity;
+
+  core::DatabaseSpec spec;
+  spec.workers = workers;
+  spec.recovery = core::RecoveryPolicy::kRevertAndReplay;
+
+  auto table = [&](const char* name, std::uint64_t capacity,
+                   std::size_t freelist = 1 << 10) {
+    spec.tables.push_back(core::TableSpec{
+        .name = name,
+        .row_size = config_.row_size,
+        .ordered = false,
+        .capacity_rows = capacity + 64,
+        .freelist_capacity = freelist,
+    });
+  };
+  // Order must match enum TpccTable. The dynamic tables need free-list
+  // headroom proportional to their churn: Delivery deletes NewOrder rows and
+  // rolled-back NewOrders free their Order/NewOrder/OrderLine inserts.
+  table("warehouse", w);
+  table("district", districts);
+  table("customer", customers);
+  table("history", order_capacity + config_.new_order_capacity);
+  table("new_order", order_capacity, /*freelist=*/order_capacity + 1024);
+  table("order", order_capacity, /*freelist=*/order_capacity + 1024);
+  table("order_line", order_capacity * kMaxOrderLines,
+        /*freelist=*/order_capacity * kMaxOrderLines / 2 + 1024);
+  table("item", config_.items);
+  table("stock", w * config_.items);
+  table("customer_last_order", customers);
+
+  // All row payloads fit the 256-byte rows' inline heap; the value pool only
+  // backs occasional spill (kept small).
+  spec.value_block_size = 256;
+  spec.value_blocks_per_core = 4096;
+  spec.value_freelist_capacity = 8192;
+  spec.log_bytes = 32u << 20;
+
+  // Counters: order + delivery per district, history per warehouse.
+  spec.counters.assign(2 * districts + w, 0);
+  for (std::uint64_t wid = 1; wid <= w; ++wid) {
+    for (std::uint64_t d = 1; d <= kDistrictsPerWarehouse; ++d) {
+      spec.counters[OrderCounter(config_, wid, d)] = config_.initial_orders_per_district + 1;
+      // 30% of the initial orders are undelivered (spec: 2101..3000).
+      spec.counters[DeliveryCounter(config_, wid, d)] =
+          config_.initial_orders_per_district * 7 / 10 + 1;
+    }
+    spec.counters[HistoryCounter(config_, wid)] = 1;
+  }
+  return spec;
+}
+
+void TpccWorkload::Load(core::Database& db) const {
+  Rng rng(config_.seed ^ 0x70cc);
+
+  for (std::uint64_t i = 1; i <= config_.items; ++i) {
+    ItemRow item{};
+    item.price = static_cast<std::int64_t>(rng.NextRange(100, 10'000));
+    item.im_id = static_cast<std::int32_t>(rng.NextBounded(10'000));
+    FillName(item.name, sizeof(item.name), i);
+    db.BulkLoad(kItem, ItemKey(i), &item, sizeof(item));
+  }
+
+  for (std::uint64_t w = 1; w <= config_.warehouses; ++w) {
+    WarehouseRow warehouse{};
+    warehouse.ytd = 0;
+    warehouse.tax_pct = static_cast<std::int32_t>(rng.NextBounded(2000));
+    FillName(warehouse.name, sizeof(warehouse.name), w);
+    db.BulkLoad(kWarehouse, WarehouseKey(w), &warehouse, sizeof(warehouse));
+
+    for (std::uint64_t i = 1; i <= config_.items; ++i) {
+      StockRow stock{};
+      stock.quantity = static_cast<std::int32_t>(rng.NextRange(10, 100));
+      FillName(stock.dist_info, sizeof(stock.dist_info), w * 1'000'003 + i);
+      db.BulkLoad(kStock, StockKey(w, i), &stock, sizeof(stock));
+    }
+
+    for (std::uint64_t d = 1; d <= kDistrictsPerWarehouse; ++d) {
+      DistrictRow district{};
+      district.tax_pct = static_cast<std::int32_t>(rng.NextBounded(2000));
+      FillName(district.name, sizeof(district.name), w * 16 + d);
+      db.BulkLoad(kDistrict, DistrictKey(w, d), &district, sizeof(district));
+
+      for (std::uint64_t c = 1; c <= config_.customers_per_district; ++c) {
+        CustomerRow customer{};
+        customer.balance = -1000;  // spec: C_BALANCE = -10.00
+        FillName(customer.last_name, sizeof(customer.last_name), c);
+        customer.credit[0] = rng.NextPercent(10) ? 'B' : 'G';
+        customer.credit[1] = 'C';
+        db.BulkLoad(kCustomer, CustomerKey(w, d, c), &customer, sizeof(customer));
+      }
+
+      // Initial orders 1..N over a random permutation of customers; the last
+      // 30% are undelivered (have NewOrder rows, no carrier).
+      const std::uint64_t delivered_upto = config_.initial_orders_per_district * 7 / 10;
+      std::vector<std::uint64_t> last_order(config_.customers_per_district + 1, 0);
+      for (std::uint64_t o = 1; o <= config_.initial_orders_per_district; ++o) {
+        const std::uint64_t c = rng.NextRange(1, config_.customers_per_district);
+        last_order[c] = o;
+        OrderRow order{};
+        order.c_id = static_cast<std::uint32_t>(c);
+        order.ol_cnt = static_cast<std::uint32_t>(rng.NextRange(5, kMaxOrderLines));
+        order.all_local = 1;
+        order.entry_date = static_cast<std::int64_t>(o);
+        order.carrier_id =
+            o <= delivered_upto ? static_cast<std::uint32_t>(rng.NextRange(1, 10)) : 0;
+        db.BulkLoad(kOrderTable, OrderKey(w, d, o), &order, sizeof(order));
+
+        for (std::uint64_t ol = 1; ol <= order.ol_cnt; ++ol) {
+          OrderLineRow line{};
+          line.i_id = static_cast<std::uint32_t>(rng.NextRange(1, config_.items));
+          line.supply_w = static_cast<std::uint32_t>(w);
+          line.quantity = 5;
+          line.amount = o <= delivered_upto
+                            ? static_cast<std::int64_t>(rng.NextRange(1, 999'999))
+                            : 0;
+          line.delivery_date = o <= delivered_upto ? static_cast<std::int64_t>(o) : 0;
+          db.BulkLoad(kOrderLine, OrderLineKey(w, d, o, ol), &line, sizeof(line));
+        }
+        if (o > delivered_upto) {
+          NewOrderRow new_order{1};
+          db.BulkLoad(kNewOrderTable, NewOrderKey(w, d, o), &new_order, sizeof(new_order));
+        }
+      }
+      for (std::uint64_t c = 1; c <= config_.customers_per_district; ++c) {
+        CustomerLastOrderRow last{last_order[c]};
+        db.BulkLoad(kCustomerLastOrder, CustomerKey(w, d, c), &last, sizeof(last));
+      }
+    }
+  }
+}
+
+std::vector<std::unique_ptr<txn::Transaction>> TpccWorkload::MakeEpoch(std::size_t count) {
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  txns.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t pick = rng_.NextBounded(100);
+    if (pick < config_.new_order_pct) {
+      txns.push_back(MakeNewOrder());
+    } else if (pick < config_.new_order_pct + config_.payment_pct) {
+      txns.push_back(MakePayment());
+    } else if (pick < config_.new_order_pct + config_.payment_pct + config_.order_status_pct) {
+      txns.push_back(MakeOrderStatus());
+    } else if (pick < config_.new_order_pct + config_.payment_pct + config_.order_status_pct +
+                          config_.delivery_pct) {
+      txns.push_back(MakeDelivery());
+    } else {
+      txns.push_back(MakeStockLevel());
+    }
+  }
+  return txns;
+}
+
+std::unique_ptr<txn::Transaction> TpccWorkload::MakeNewOrder() {
+  const auto w = static_cast<std::uint32_t>(rng_.NextRange(1, config_.warehouses));
+  const auto d = static_cast<std::uint32_t>(rng_.NextRange(1, kDistrictsPerWarehouse));
+  const auto c = static_cast<std::uint32_t>(rng_.NextRange(1, config_.customers_per_district));
+  const auto ol_cnt = static_cast<std::uint32_t>(rng_.NextRange(5, kMaxOrderLines));
+  const bool rollback = config_.new_order_rollback_pct > 0 &&
+                        rng_.NextPercent(config_.new_order_rollback_pct);
+  std::vector<NewOrderLine> lines;
+  std::unordered_set<std::uint32_t> seen;
+  lines.reserve(ol_cnt);
+  while (lines.size() < ol_cnt) {
+    // TPC-C 2.4.1.4: a rollback transaction's last item id is unused.
+    const auto item = (rollback && lines.size() + 1 == ol_cnt)
+                          ? config_.items + 1
+                          : static_cast<std::uint32_t>(rng_.NextRange(1, config_.items));
+    if (!seen.insert(item).second) {
+      continue;
+    }
+    NewOrderLine line;
+    line.item = item;
+    // 1% remote supply warehouse (when more than one exists).
+    line.supply_w = (config_.warehouses > 1 && rng_.NextPercent(1))
+                        ? static_cast<std::uint32_t>(rng_.NextRange(1, config_.warehouses))
+                        : w;
+    line.quantity = static_cast<std::uint32_t>(rng_.NextRange(1, 10));
+    lines.push_back(line);
+  }
+  return std::make_unique<TpccNewOrderTxn>(&config_, w, d, c,
+                                           static_cast<std::int64_t>(rng_.Next() >> 32),
+                                           std::move(lines));
+}
+
+std::unique_ptr<txn::Transaction> TpccWorkload::MakePayment() {
+  const auto w = static_cast<std::uint32_t>(rng_.NextRange(1, config_.warehouses));
+  const auto d = static_cast<std::uint32_t>(rng_.NextRange(1, kDistrictsPerWarehouse));
+  std::uint32_t c_w = w;
+  std::uint32_t c_d = d;
+  if (config_.warehouses > 1 && rng_.NextPercent(15)) {
+    do {
+      c_w = static_cast<std::uint32_t>(rng_.NextRange(1, config_.warehouses));
+    } while (c_w == w);
+    c_d = static_cast<std::uint32_t>(rng_.NextRange(1, kDistrictsPerWarehouse));
+  }
+  const auto c = static_cast<std::uint32_t>(rng_.NextRange(1, config_.customers_per_district));
+  const auto amount = static_cast<std::int64_t>(rng_.NextRange(100, 500'000));
+  return std::make_unique<TpccPaymentTxn>(&config_, w, d, c_w, c_d, c, amount,
+                                          static_cast<std::int64_t>(rng_.Next() >> 32));
+}
+
+std::unique_ptr<txn::Transaction> TpccWorkload::MakeOrderStatus() {
+  const auto w = static_cast<std::uint32_t>(rng_.NextRange(1, config_.warehouses));
+  const auto d = static_cast<std::uint32_t>(rng_.NextRange(1, kDistrictsPerWarehouse));
+  const auto c = static_cast<std::uint32_t>(rng_.NextRange(1, config_.customers_per_district));
+  return std::make_unique<TpccOrderStatusTxn>(&config_, w, d, c);
+}
+
+std::unique_ptr<txn::Transaction> TpccWorkload::MakeDelivery() {
+  const auto w = static_cast<std::uint32_t>(rng_.NextRange(1, config_.warehouses));
+  const auto carrier = static_cast<std::uint32_t>(rng_.NextRange(1, 10));
+  return std::make_unique<TpccDeliveryTxn>(&config_, w, carrier,
+                                           static_cast<std::int64_t>(rng_.Next() >> 32));
+}
+
+std::unique_ptr<txn::Transaction> TpccWorkload::MakeStockLevel() {
+  const auto w = static_cast<std::uint32_t>(rng_.NextRange(1, config_.warehouses));
+  const auto d = static_cast<std::uint32_t>(rng_.NextRange(1, kDistrictsPerWarehouse));
+  const auto threshold = static_cast<std::int32_t>(rng_.NextRange(10, 20));
+  return std::make_unique<TpccStockLevelTxn>(&config_, w, d, threshold);
+}
+
+txn::TxnRegistry TpccWorkload::Registry() const {
+  txn::TxnRegistry registry;
+  const TpccConfig* config = &config_;
+  registry.Register(kTpccNewOrder, [config](BinaryReader& r) {
+    return TpccNewOrderTxn::Decode(config, r);
+  });
+  registry.Register(kTpccPayment, [config](BinaryReader& r) {
+    return TpccPaymentTxn::Decode(config, r);
+  });
+  registry.Register(kTpccOrderStatus, [config](BinaryReader& r) {
+    return TpccOrderStatusTxn::Decode(config, r);
+  });
+  registry.Register(kTpccDelivery, [config](BinaryReader& r) {
+    return TpccDeliveryTxn::Decode(config, r);
+  });
+  registry.Register(kTpccStockLevel, [config](BinaryReader& r) {
+    return TpccStockLevelTxn::Decode(config, r);
+  });
+  return registry;
+}
+
+// ---- NewOrder ---------------------------------------------------------------------
+
+void TpccNewOrderTxn::EncodeInputs(BinaryWriter& writer) const {
+  writer.Put(w_);
+  writer.Put(d_);
+  writer.Put(c_);
+  writer.Put(entry_date_);
+  writer.Put<std::uint32_t>(static_cast<std::uint32_t>(lines_.size()));
+  for (const NewOrderLine& line : lines_) {
+    writer.Put(line);
+  }
+}
+
+std::unique_ptr<txn::Transaction> TpccNewOrderTxn::Decode(const TpccConfig* config,
+                                                          BinaryReader& reader) {
+  const auto w = reader.Get<std::uint32_t>();
+  const auto d = reader.Get<std::uint32_t>();
+  const auto c = reader.Get<std::uint32_t>();
+  const auto entry_date = reader.Get<std::int64_t>();
+  const auto n = reader.Get<std::uint32_t>();
+  std::vector<NewOrderLine> lines(n);
+  for (auto& line : lines) {
+    line = reader.Get<NewOrderLine>();
+  }
+  return std::make_unique<TpccNewOrderTxn>(config, w, d, c, entry_date, std::move(lines));
+}
+
+void TpccNewOrderTxn::InsertStep(txn::InsertContext& ctx) {
+  o_id_ = ctx.CounterFetchAdd(OrderCounter(*config_, w_, d_), 1);
+
+  OrderRow order{};
+  order.c_id = c_;
+  order.carrier_id = 0;
+  order.ol_cnt = static_cast<std::uint32_t>(lines_.size());
+  order.all_local = 1;
+  for (const NewOrderLine& line : lines_) {
+    if (line.supply_w != w_) {
+      order.all_local = 0;
+    }
+  }
+  order.entry_date = entry_date_;
+  ctx.InsertRow(kOrderTable, OrderKey(w_, d_, o_id_), &order, sizeof(order));
+
+  NewOrderRow new_order{1};
+  ctx.InsertRow(kNewOrderTable, NewOrderKey(w_, d_, o_id_), &new_order, sizeof(new_order));
+
+  // Order lines are created without data; the amounts depend on item prices
+  // read during execution.
+  for (std::uint64_t ol = 1; ol <= lines_.size(); ++ol) {
+    ctx.InsertRow(kOrderLine, OrderLineKey(w_, d_, o_id_, ol), nullptr, 0);
+  }
+}
+
+void TpccNewOrderTxn::AppendStep(txn::AppendContext& ctx) {
+  // Validate item ids against the (stable, read-only) item table first: a
+  // rollback transaction (unused item id, TPC-C 2.4.1.4) has no write set —
+  // its stock rows may not even exist. Execution re-checks and aborts.
+  for (const NewOrderLine& line : lines_) {
+    ItemRow item{};
+    if (ctx.ReadPreEpoch(kItem, ItemKey(line.item), &item, sizeof(item)) < 0) {
+      return;
+    }
+  }
+  for (const NewOrderLine& line : lines_) {
+    ctx.DeclareUpdate(kStock, StockKey(line.supply_w, line.item));
+  }
+  for (std::uint64_t ol = 1; ol <= lines_.size(); ++ol) {
+    ctx.DeclareUpdate(kOrderLine, OrderLineKey(w_, d_, o_id_, ol));
+  }
+  ctx.DeclareUpdate(kCustomerLastOrder, CustomerKey(w_, d_, c_));
+}
+
+void TpccNewOrderTxn::Execute(txn::ExecContext& ctx) {
+  // Reads that the full transaction performs for the result set.
+  (void)ReadRow<DistrictRow>(ctx, kDistrict, DistrictKey(w_, d_));
+  (void)ReadRow<WarehouseRow>(ctx, kWarehouse, WarehouseKey(w_));
+  (void)ReadRow<CustomerRow>(ctx, kCustomer, CustomerKey(w_, d_, c_));
+
+  // All validity checks precede all writes (paper 3.1.1): an unused item id
+  // rolls the transaction back (TPC-C 2.4.1.4); the rows created in the
+  // insert step are discarded by the engine.
+  std::array<ItemRow, kMaxOrderLines> items{};
+  for (std::size_t i = 0; i < lines_.size(); ++i) {
+    bool found = false;
+    items[i] = ReadRow<ItemRow>(ctx, kItem, ItemKey(lines_[i].item), &found);
+    if (!found) {
+      ctx.Abort();
+      return;
+    }
+  }
+
+  for (std::uint64_t ol = 1; ol <= lines_.size(); ++ol) {
+    const NewOrderLine& input = lines_[ol - 1];
+    const ItemRow& item = items[ol - 1];
+
+    StockRow stock = ReadRow<StockRow>(ctx, kStock, StockKey(input.supply_w, input.item));
+    if (stock.quantity >= static_cast<std::int32_t>(input.quantity) + 10) {
+      stock.quantity -= static_cast<std::int32_t>(input.quantity);
+    } else {
+      stock.quantity = stock.quantity - static_cast<std::int32_t>(input.quantity) + 91;
+    }
+    stock.ytd += input.quantity;
+    stock.order_cnt += 1;
+    if (input.supply_w != w_) {
+      stock.remote_cnt += 1;
+    }
+    ctx.Write(kStock, StockKey(input.supply_w, input.item), &stock, sizeof(stock));
+
+    OrderLineRow line{};
+    line.i_id = input.item;
+    line.supply_w = input.supply_w;
+    line.quantity = static_cast<std::int32_t>(input.quantity);
+    line.amount = item.price * input.quantity;
+    line.delivery_date = 0;
+    ctx.Write(kOrderLine, OrderLineKey(w_, d_, o_id_, ol), &line, sizeof(line));
+  }
+
+  CustomerLastOrderRow last{o_id_};
+  ctx.Write(kCustomerLastOrder, CustomerKey(w_, d_, c_), &last, sizeof(last));
+}
+
+// ---- Payment -----------------------------------------------------------------------
+
+void TpccPaymentTxn::EncodeInputs(BinaryWriter& writer) const {
+  writer.Put(w_);
+  writer.Put(d_);
+  writer.Put(c_w_);
+  writer.Put(c_d_);
+  writer.Put(c_);
+  writer.Put(amount_);
+  writer.Put(date_);
+}
+
+std::unique_ptr<txn::Transaction> TpccPaymentTxn::Decode(const TpccConfig* config,
+                                                         BinaryReader& reader) {
+  const auto w = reader.Get<std::uint32_t>();
+  const auto d = reader.Get<std::uint32_t>();
+  const auto c_w = reader.Get<std::uint32_t>();
+  const auto c_d = reader.Get<std::uint32_t>();
+  const auto c = reader.Get<std::uint32_t>();
+  const auto amount = reader.Get<std::int64_t>();
+  const auto date = reader.Get<std::int64_t>();
+  return std::make_unique<TpccPaymentTxn>(config, w, d, c_w, c_d, c, amount, date);
+}
+
+void TpccPaymentTxn::InsertStep(txn::InsertContext& ctx) {
+  const std::uint64_t seq = ctx.CounterFetchAdd(HistoryCounter(*config_, w_), 1);
+  HistoryRow history{};
+  history.customer_key = CustomerKey(c_w_, c_d_, c_);
+  history.amount = amount_;
+  history.date = date_;
+  ctx.InsertRow(kHistory, HistoryKey(w_, seq), &history, sizeof(history));
+}
+
+void TpccPaymentTxn::AppendStep(txn::AppendContext& ctx) {
+  ctx.DeclareUpdate(kWarehouse, WarehouseKey(w_));
+  ctx.DeclareUpdate(kDistrict, DistrictKey(w_, d_));
+  ctx.DeclareUpdate(kCustomer, CustomerKey(c_w_, c_d_, c_));
+}
+
+void TpccPaymentTxn::Execute(txn::ExecContext& ctx) {
+  WarehouseRow warehouse = ReadRow<WarehouseRow>(ctx, kWarehouse, WarehouseKey(w_));
+  warehouse.ytd += amount_;
+  ctx.Write(kWarehouse, WarehouseKey(w_), &warehouse, sizeof(warehouse));
+
+  DistrictRow district = ReadRow<DistrictRow>(ctx, kDistrict, DistrictKey(w_, d_));
+  district.ytd += amount_;
+  ctx.Write(kDistrict, DistrictKey(w_, d_), &district, sizeof(district));
+
+  CustomerRow customer = ReadRow<CustomerRow>(ctx, kCustomer, CustomerKey(c_w_, c_d_, c_));
+  customer.balance -= amount_;
+  customer.ytd_payment += amount_;
+  customer.payment_cnt += 1;
+  ctx.Write(kCustomer, CustomerKey(c_w_, c_d_, c_), &customer, sizeof(customer));
+}
+
+// ---- OrderStatus --------------------------------------------------------------------
+
+void TpccOrderStatusTxn::EncodeInputs(BinaryWriter& writer) const {
+  writer.Put(w_);
+  writer.Put(d_);
+  writer.Put(c_);
+}
+
+std::unique_ptr<txn::Transaction> TpccOrderStatusTxn::Decode(const TpccConfig* config,
+                                                             BinaryReader& reader) {
+  const auto w = reader.Get<std::uint32_t>();
+  const auto d = reader.Get<std::uint32_t>();
+  const auto c = reader.Get<std::uint32_t>();
+  return std::make_unique<TpccOrderStatusTxn>(config, w, d, c);
+}
+
+void TpccOrderStatusTxn::Execute(txn::ExecContext& ctx) {
+  bool found = false;
+  const CustomerLastOrderRow last =
+      ReadRow<CustomerLastOrderRow>(ctx, kCustomerLastOrder, CustomerKey(w_, d_, c_), &found);
+  if (!found || last.o_id == 0) {
+    return;
+  }
+  const OrderRow order =
+      ReadRow<OrderRow>(ctx, kOrderTable, OrderKey(w_, d_, last.o_id), &found);
+  if (!found) {
+    return;
+  }
+  std::int64_t total = 0;
+  for (std::uint64_t ol = 1; ol <= order.ol_cnt; ++ol) {
+    const OrderLineRow line =
+        ReadRow<OrderLineRow>(ctx, kOrderLine, OrderLineKey(w_, d_, last.o_id, ol), &found);
+    if (found) {
+      total += line.amount;
+    }
+  }
+  (void)total;
+}
+
+// ---- Delivery -----------------------------------------------------------------------
+
+void TpccDeliveryTxn::EncodeInputs(BinaryWriter& writer) const {
+  writer.Put(w_);
+  writer.Put(carrier_);
+  writer.Put(date_);
+}
+
+std::unique_ptr<txn::Transaction> TpccDeliveryTxn::Decode(const TpccConfig* config,
+                                                          BinaryReader& reader) {
+  const auto w = reader.Get<std::uint32_t>();
+  const auto carrier = reader.Get<std::uint32_t>();
+  const auto date = reader.Get<std::int64_t>();
+  return std::make_unique<TpccDeliveryTxn>(config, w, carrier, date);
+}
+
+void TpccDeliveryTxn::InsertStep(txn::InsertContext& ctx) {
+  for (std::uint64_t d = 1; d <= kDistrictsPerWarehouse; ++d) {
+    // Deliver the oldest undelivered order, restricted to orders placed in
+    // previous epochs so the write set is computable from stable rows.
+    const std::uint64_t bound = ctx.CounterEpochStart(OrderCounter(*config_, w_, d));
+    const std::uint64_t o =
+        ctx.CounterFetchAddIfLess(DeliveryCounter(*config_, w_, d), bound);
+    o_ids_[d - 1] = (o == ~0ULL) ? 0 : o;
+  }
+}
+
+void TpccDeliveryTxn::AppendStep(txn::AppendContext& ctx) {
+  for (std::uint64_t d = 1; d <= kDistrictsPerWarehouse; ++d) {
+    const std::uint64_t o = o_ids_[d - 1];
+    if (o == 0) {
+      continue;
+    }
+    OrderRow order{};
+    const int n = ctx.ReadPreEpoch(kOrderTable, OrderKey(w_, d, o), &order, sizeof(order));
+    if (n < 0) {
+      o_ids_[d - 1] = 0;  // should not happen; skip defensively
+      continue;
+    }
+    customers_[d - 1] = order.c_id;
+    ol_counts_[d - 1] = order.ol_cnt;
+    ctx.DeclareDelete(kNewOrderTable, NewOrderKey(w_, d, o));
+    ctx.DeclareUpdate(kOrderTable, OrderKey(w_, d, o));
+    for (std::uint64_t ol = 1; ol <= order.ol_cnt; ++ol) {
+      ctx.DeclareUpdate(kOrderLine, OrderLineKey(w_, d, o, ol));
+    }
+    ctx.DeclareUpdate(kCustomer, CustomerKey(w_, d, order.c_id));
+  }
+}
+
+void TpccDeliveryTxn::Execute(txn::ExecContext& ctx) {
+  for (std::uint64_t d = 1; d <= kDistrictsPerWarehouse; ++d) {
+    const std::uint64_t o = o_ids_[d - 1];
+    if (o == 0) {
+      continue;
+    }
+    std::int64_t total = 0;
+    for (std::uint64_t ol = 1; ol <= ol_counts_[d - 1]; ++ol) {
+      OrderLineRow line =
+          ReadRow<OrderLineRow>(ctx, kOrderLine, OrderLineKey(w_, d, o, ol));
+      total += line.amount;
+      line.delivery_date = date_;
+      ctx.Write(kOrderLine, OrderLineKey(w_, d, o, ol), &line, sizeof(line));
+    }
+
+    OrderRow order = ReadRow<OrderRow>(ctx, kOrderTable, OrderKey(w_, d, o));
+    order.carrier_id = carrier_;
+    ctx.Write(kOrderTable, OrderKey(w_, d, o), &order, sizeof(order));
+
+    CustomerRow customer =
+        ReadRow<CustomerRow>(ctx, kCustomer, CustomerKey(w_, d, customers_[d - 1]));
+    customer.balance += total;
+    customer.delivery_cnt += 1;
+    ctx.Write(kCustomer, CustomerKey(w_, d, customers_[d - 1]), &customer, sizeof(customer));
+
+    ctx.Delete(kNewOrderTable, NewOrderKey(w_, d, o));
+  }
+}
+
+// ---- StockLevel ---------------------------------------------------------------------
+
+void TpccStockLevelTxn::EncodeInputs(BinaryWriter& writer) const {
+  writer.Put(w_);
+  writer.Put(d_);
+  writer.Put(threshold_);
+}
+
+std::unique_ptr<txn::Transaction> TpccStockLevelTxn::Decode(const TpccConfig* config,
+                                                            BinaryReader& reader) {
+  const auto w = reader.Get<std::uint32_t>();
+  const auto d = reader.Get<std::uint32_t>();
+  const auto threshold = reader.Get<std::int32_t>();
+  return std::make_unique<TpccStockLevelTxn>(config, w, d, threshold);
+}
+
+void TpccStockLevelTxn::Execute(txn::ExecContext& ctx) {
+  const std::uint64_t next_o = ctx.CounterEpochStart(OrderCounter(*config_, w_, d_));
+  const std::uint64_t from = next_o > 20 ? next_o - 20 : 1;
+  std::unordered_set<std::uint32_t> low_items;
+  bool found = false;
+  for (std::uint64_t o = from; o < next_o; ++o) {
+    const OrderRow order = ReadRow<OrderRow>(ctx, kOrderTable, OrderKey(w_, d_, o), &found);
+    if (!found) {
+      continue;
+    }
+    for (std::uint64_t ol = 1; ol <= order.ol_cnt; ++ol) {
+      const OrderLineRow line =
+          ReadRow<OrderLineRow>(ctx, kOrderLine, OrderLineKey(w_, d_, o, ol), &found);
+      if (!found) {
+        continue;
+      }
+      const StockRow stock =
+          ReadRow<StockRow>(ctx, kStock, StockKey(w_, line.i_id), &found);
+      if (found && stock.quantity < threshold_) {
+        low_items.insert(line.i_id);
+      }
+    }
+  }
+  (void)low_items;
+}
+
+// ---- Consistency check ----------------------------------------------------------------
+
+bool TpccWorkload::CheckConsistency(core::Database& db, const TpccConfig& config,
+                                    std::string* message) {
+  // Check: every order id below the delivery counter has carrier != 0 and no
+  // NewOrder row; every order at or above it has a NewOrder row iff it is
+  // undelivered. Also per-district monotonic counters never exceed capacity.
+  for (std::uint64_t w = 1; w <= config.warehouses; ++w) {
+    for (std::uint64_t d = 1; d <= kDistrictsPerWarehouse; ++d) {
+      const std::uint64_t next_delivery =
+          db.counter_value(DeliveryCounter(config, w, d));
+      const std::uint64_t next_order = db.counter_value(OrderCounter(config, w, d));
+      if (next_delivery > next_order) {
+        *message = "delivery counter ran past the order counter";
+        return false;
+      }
+      for (std::uint64_t o = 1; o < next_order; ++o) {
+        OrderRow order{};
+        NewOrderRow new_order{};
+        const bool has_new_order =
+            db.ReadCommitted(kNewOrderTable, NewOrderKey(w, d, o), &new_order,
+                             sizeof(new_order)) >= 0;
+        if (db.ReadCommitted(kOrderTable, OrderKey(w, d, o), &order, sizeof(order)) < 0) {
+          // Order-id gap from a rolled-back NewOrder (2.4.1.4): the counter
+          // advanced but every inserted row was discarded with the abort.
+          if (has_new_order) {
+            *message = "NewOrder row for a rolled-back order o=" + std::to_string(o);
+            return false;
+          }
+          continue;
+        }
+        const bool delivered = o < next_delivery;
+        if (delivered == has_new_order) {
+          *message = "NewOrder row inconsistency at w=" + std::to_string(w) +
+                     " d=" + std::to_string(d) + " o=" + std::to_string(o) +
+                     " delivered=" + std::to_string(delivered);
+          return false;
+        }
+        if (delivered && order.carrier_id == 0) {
+          *message = "delivered order without carrier at o=" + std::to_string(o);
+          return false;
+        }
+        // Every order line of a delivered order must have a delivery date.
+        for (std::uint64_t ol = 1; ol <= order.ol_cnt; ++ol) {
+          OrderLineRow line{};
+          if (db.ReadCommitted(kOrderLine, OrderLineKey(w, d, o, ol), &line, sizeof(line)) <
+              0) {
+            *message = "missing order line o=" + std::to_string(o) +
+                       " ol=" + std::to_string(ol);
+            return false;
+          }
+          if (delivered && line.delivery_date == 0) {
+            *message = "undelivered line in delivered order o=" + std::to_string(o);
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace nvc::workload

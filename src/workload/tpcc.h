@@ -1,0 +1,213 @@
+// TPC-C workload (paper section 6.2.3, Table 3) with Caracal's two
+// determinism modifications:
+//
+//   * Payment receives the customer ID as a transaction input instead of a
+//     by-last-name lookup;
+//   * NewOrder draws its order id from an atomic per-district counter during
+//     the insert step instead of incrementing D_NEXT_O_ID.
+//
+// Because the counters make execution not fully deterministic across replay,
+// the TPC-C spec uses RecoveryPolicy::kRevertAndReplay (paper 6.2.3): the
+// engine persists the counters each epoch and recovery reverts all versions
+// written by the crashed epoch before replaying.
+//
+// Beyond the paper, Delivery is determinized one step further: it only
+// delivers orders placed in *previous* epochs (epoch-start counter
+// snapshot), so its write set is computable during initialization from
+// stable rows.
+//
+// Schema notes: keys are bit-packed into 64 bits; row payloads carry the
+// fields the five transactions actually touch, trimmed to inline-friendly
+// sizes (the paper reports almost all TPC-C values inline in 256-byte rows).
+// OrderStatus uses an auxiliary customer-last-order table maintained by
+// NewOrder instead of a secondary index.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/config.h"
+#include "src/core/database.h"
+#include "src/txn/transaction.h"
+
+namespace nvc::workload {
+
+// ---- Tables -----------------------------------------------------------------
+
+enum TpccTable : TableId {
+  kWarehouse = 0,
+  kDistrict,
+  kCustomer,
+  kHistory,
+  kNewOrderTable,
+  kOrderTable,
+  kOrderLine,
+  kItem,
+  kStock,
+  kCustomerLastOrder,
+  kTpccTableCount,
+};
+
+inline constexpr std::uint32_t kDistrictsPerWarehouse = 10;
+inline constexpr std::uint32_t kMaxOrderLines = 15;
+
+// ---- Key encodings -----------------------------------------------------------
+
+inline Key WarehouseKey(std::uint64_t w) { return w; }
+inline Key DistrictKey(std::uint64_t w, std::uint64_t d) { return (w << 4) | d; }
+inline Key CustomerKey(std::uint64_t w, std::uint64_t d, std::uint64_t c) {
+  return (DistrictKey(w, d) << 12) | c;
+}
+inline Key ItemKey(std::uint64_t i) { return i; }
+inline Key StockKey(std::uint64_t w, std::uint64_t i) { return (w << 20) | i; }
+inline Key OrderKey(std::uint64_t w, std::uint64_t d, std::uint64_t o) {
+  return (DistrictKey(w, d) << 32) | o;
+}
+inline Key NewOrderKey(std::uint64_t w, std::uint64_t d, std::uint64_t o) {
+  return OrderKey(w, d, o);
+}
+inline Key OrderLineKey(std::uint64_t w, std::uint64_t d, std::uint64_t o, std::uint64_t ol) {
+  return ((DistrictKey(w, d) << 28 | o) << 4) | ol;
+}
+inline Key HistoryKey(std::uint64_t w, std::uint64_t seq) { return (w << 40) | seq; }
+
+// ---- Row payloads --------------------------------------------------------------
+
+struct WarehouseRow {
+  std::int64_t ytd;
+  std::int32_t tax_pct;  // basis points
+  char name[20];
+};
+
+struct DistrictRow {
+  std::int64_t ytd;
+  std::int32_t tax_pct;
+  char name[20];
+};
+
+struct CustomerRow {
+  std::int64_t balance;
+  std::int64_t ytd_payment;
+  std::int32_t payment_cnt;
+  std::int32_t delivery_cnt;
+  char last_name[16];
+  char credit[2];
+  char pad[6];
+};
+
+struct ItemRow {
+  std::int64_t price;
+  std::int32_t im_id;
+  char name[20];
+};
+
+struct StockRow {
+  std::int32_t quantity;
+  std::int32_t order_cnt;
+  std::int32_t remote_cnt;
+  std::int32_t pad;
+  std::int64_t ytd;
+  char dist_info[24];
+};
+
+struct OrderRow {
+  std::uint32_t c_id;
+  std::uint32_t carrier_id;  // 0 = undelivered
+  std::uint32_t ol_cnt;
+  std::uint32_t all_local;
+  std::int64_t entry_date;
+};
+
+struct NewOrderRow {
+  std::uint64_t flag;
+};
+
+struct OrderLineRow {
+  std::uint32_t i_id;
+  std::uint32_t supply_w;
+  std::int64_t delivery_date;  // 0 = undelivered
+  std::int32_t quantity;
+  std::int32_t pad;
+  std::int64_t amount;
+};
+
+struct HistoryRow {
+  std::uint64_t customer_key;
+  std::int64_t amount;
+  std::int64_t date;
+};
+
+struct CustomerLastOrderRow {
+  std::uint64_t o_id;
+};
+
+// ---- Configuration ---------------------------------------------------------------
+
+struct TpccConfig {
+  std::uint32_t warehouses = 8;  // 1 = high contention (Table 3)
+  std::uint32_t items = 10'000;
+  std::uint32_t customers_per_district = 300;
+  std::uint32_t initial_orders_per_district = 300;  // last 30% undelivered
+  // Capacity headroom for orders created at runtime (sizes the pools).
+  std::uint32_t new_order_capacity = 50'000;
+  std::uint64_t seed = 44;
+  std::size_t row_size = 256;
+
+  // TPC-C clause 2.4.1.4: ~1% of NewOrder transactions carry an invalid
+  // item id and must roll back (before any writes; inserted rows are
+  // discarded). Set to 0 to disable.
+  std::uint32_t new_order_rollback_pct = 1;
+
+  // Transaction mix in percent (standard-ish: 45/43/4/4/4).
+  std::uint32_t new_order_pct = 45;
+  std::uint32_t payment_pct = 43;
+  std::uint32_t order_status_pct = 4;
+  std::uint32_t delivery_pct = 4;  // remainder goes to StockLevel
+};
+
+// Counter ids.
+inline txn::CounterId OrderCounter(const TpccConfig& config, std::uint64_t w, std::uint64_t d) {
+  (void)config;
+  return static_cast<txn::CounterId>((w - 1) * kDistrictsPerWarehouse + (d - 1));
+}
+inline txn::CounterId DeliveryCounter(const TpccConfig& config, std::uint64_t w,
+                                      std::uint64_t d) {
+  return static_cast<txn::CounterId>(config.warehouses * kDistrictsPerWarehouse +
+                                     (w - 1) * kDistrictsPerWarehouse + (d - 1));
+}
+inline txn::CounterId HistoryCounter(const TpccConfig& config, std::uint64_t w) {
+  return static_cast<txn::CounterId>(2 * config.warehouses * kDistrictsPerWarehouse + (w - 1));
+}
+
+class TpccWorkload {
+ public:
+  explicit TpccWorkload(const TpccConfig& config) : config_(config), rng_(config.seed) {}
+
+  const TpccConfig& config() const { return config_; }
+
+  core::DatabaseSpec Spec(std::size_t workers) const;
+  void Load(core::Database& db) const;
+  std::vector<std::unique_ptr<txn::Transaction>> MakeEpoch(std::size_t count);
+  txn::TxnRegistry Registry() const;
+
+  // Consistency checks used by the tests (TPC-C clause 3.3-style).
+  // Sum of order-line amounts of delivered orders equals the total customer
+  // balance credit from deliveries, etc. Returns false + message on failure.
+  static bool CheckConsistency(core::Database& db, const TpccConfig& config,
+                               std::string* message);
+
+ private:
+  std::unique_ptr<txn::Transaction> MakeNewOrder();
+  std::unique_ptr<txn::Transaction> MakePayment();
+  std::unique_ptr<txn::Transaction> MakeOrderStatus();
+  std::unique_ptr<txn::Transaction> MakeDelivery();
+  std::unique_ptr<txn::Transaction> MakeStockLevel();
+
+  TpccConfig config_;
+  Rng rng_;
+};
+
+}  // namespace nvc::workload

@@ -1,0 +1,131 @@
+// The five TPC-C transactions (see tpcc.h for the determinism notes).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/workload/tpcc.h"
+
+namespace nvc::workload {
+
+inline constexpr txn::TxnType kTpccNewOrder = 30;
+inline constexpr txn::TxnType kTpccPayment = 31;
+inline constexpr txn::TxnType kTpccOrderStatus = 32;
+inline constexpr txn::TxnType kTpccDelivery = 33;
+inline constexpr txn::TxnType kTpccStockLevel = 34;
+
+struct NewOrderLine {
+  std::uint32_t item;
+  std::uint32_t supply_w;
+  std::uint32_t quantity;
+};
+
+class TpccNewOrderTxn final : public txn::Transaction {
+ public:
+  TpccNewOrderTxn(const TpccConfig* config, std::uint32_t w, std::uint32_t d, std::uint32_t c,
+                  std::int64_t entry_date, std::vector<NewOrderLine> lines)
+      : config_(config), w_(w), d_(d), c_(c), entry_date_(entry_date),
+        lines_(std::move(lines)) {}
+
+  txn::TxnType type() const override { return kTpccNewOrder; }
+  void EncodeInputs(BinaryWriter& writer) const override;
+  static std::unique_ptr<txn::Transaction> Decode(const TpccConfig* config,
+                                                  BinaryReader& reader);
+
+  void InsertStep(txn::InsertContext& ctx) override;
+  void AppendStep(txn::AppendContext& ctx) override;
+  void Execute(txn::ExecContext& ctx) override;
+
+ private:
+  const TpccConfig* config_;
+  std::uint32_t w_, d_, c_;
+  std::int64_t entry_date_;
+  std::vector<NewOrderLine> lines_;
+  std::uint64_t o_id_ = 0;  // drawn in the insert step
+};
+
+class TpccPaymentTxn final : public txn::Transaction {
+ public:
+  TpccPaymentTxn(const TpccConfig* config, std::uint32_t w, std::uint32_t d, std::uint32_t c_w,
+                 std::uint32_t c_d, std::uint32_t c, std::int64_t amount, std::int64_t date)
+      : config_(config), w_(w), d_(d), c_w_(c_w), c_d_(c_d), c_(c), amount_(amount),
+        date_(date) {}
+
+  txn::TxnType type() const override { return kTpccPayment; }
+  void EncodeInputs(BinaryWriter& writer) const override;
+  static std::unique_ptr<txn::Transaction> Decode(const TpccConfig* config,
+                                                  BinaryReader& reader);
+
+  void InsertStep(txn::InsertContext& ctx) override;
+  void AppendStep(txn::AppendContext& ctx) override;
+  void Execute(txn::ExecContext& ctx) override;
+
+ private:
+  const TpccConfig* config_;
+  std::uint32_t w_, d_, c_w_, c_d_, c_;
+  std::int64_t amount_, date_;
+};
+
+class TpccOrderStatusTxn final : public txn::Transaction {
+ public:
+  TpccOrderStatusTxn(const TpccConfig* config, std::uint32_t w, std::uint32_t d, std::uint32_t c)
+      : config_(config), w_(w), d_(d), c_(c) {}
+
+  txn::TxnType type() const override { return kTpccOrderStatus; }
+  void EncodeInputs(BinaryWriter& writer) const override;
+  static std::unique_ptr<txn::Transaction> Decode(const TpccConfig* config,
+                                                  BinaryReader& reader);
+
+  void Execute(txn::ExecContext& ctx) override;  // read-only
+
+ private:
+  const TpccConfig* config_;
+  std::uint32_t w_, d_, c_;
+};
+
+class TpccDeliveryTxn final : public txn::Transaction {
+ public:
+  TpccDeliveryTxn(const TpccConfig* config, std::uint32_t w, std::uint32_t carrier,
+                  std::int64_t date)
+      : config_(config), w_(w), carrier_(carrier), date_(date) {}
+
+  txn::TxnType type() const override { return kTpccDelivery; }
+  void EncodeInputs(BinaryWriter& writer) const override;
+  static std::unique_ptr<txn::Transaction> Decode(const TpccConfig* config,
+                                                  BinaryReader& reader);
+
+  void InsertStep(txn::InsertContext& ctx) override;
+  void AppendStep(txn::AppendContext& ctx) override;
+  void Execute(txn::ExecContext& ctx) override;
+
+ private:
+  const TpccConfig* config_;
+  std::uint32_t w_, carrier_;
+  std::int64_t date_;
+  // Per-district order picked in the insert step (0 = none undelivered) and
+  // the order metadata read in the append step.
+  std::array<std::uint64_t, kDistrictsPerWarehouse> o_ids_{};
+  std::array<std::uint32_t, kDistrictsPerWarehouse> customers_{};
+  std::array<std::uint32_t, kDistrictsPerWarehouse> ol_counts_{};
+};
+
+class TpccStockLevelTxn final : public txn::Transaction {
+ public:
+  TpccStockLevelTxn(const TpccConfig* config, std::uint32_t w, std::uint32_t d,
+                    std::int32_t threshold)
+      : config_(config), w_(w), d_(d), threshold_(threshold) {}
+
+  txn::TxnType type() const override { return kTpccStockLevel; }
+  void EncodeInputs(BinaryWriter& writer) const override;
+  static std::unique_ptr<txn::Transaction> Decode(const TpccConfig* config,
+                                                  BinaryReader& reader);
+
+  void Execute(txn::ExecContext& ctx) override;  // read-only
+
+ private:
+  const TpccConfig* config_;
+  std::uint32_t w_, d_;
+  std::int32_t threshold_;
+};
+
+}  // namespace nvc::workload

@@ -1,0 +1,123 @@
+#include "src/workload/ycsb.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/vstore/persistent_row.h"
+
+namespace nvc::workload {
+
+core::DatabaseSpec YcsbWorkload::Spec(std::size_t workers) const {
+  core::DatabaseSpec spec;
+  spec.workers = workers;
+  spec.tables.push_back(core::TableSpec{
+      .name = "ycsb",
+      .row_size = config_.row_size,
+      .ordered = false,
+      .capacity_rows = config_.rows + 16,
+      .freelist_capacity = 1 << 10,
+  });
+  // When values do not fit inline, every row needs a pool block per live
+  // version; two versions can be live at once.
+  const bool values_inline =
+      config_.value_size <= (config_.row_size - vstore::kRowHeaderSize) / 2;
+  spec.value_block_size = AlignUp(config_.value_size, 256);
+  spec.value_blocks_per_core =
+      values_inline ? 1024 : (2 * config_.rows) / workers + 1024;
+  spec.value_freelist_capacity = spec.value_blocks_per_core + 1024;
+  spec.log_bytes = 32u << 20;
+  spec.recovery = core::RecoveryPolicy::kReplayInPlace;
+  return spec;
+}
+
+void YcsbWorkload::FillRow(Key key, std::uint8_t* out, std::uint32_t size) {
+  std::uint64_t state = SplitMix64(key ^ 0xabcdefULL);
+  for (std::uint32_t i = 0; i < size; ++i) {
+    if (i % 8 == 0) {
+      state = SplitMix64(state);
+    }
+    out[i] = static_cast<std::uint8_t>(state >> ((i % 8) * 8));
+  }
+}
+
+void YcsbWorkload::Load(core::Database& db) const {
+  std::vector<std::uint8_t> value(config_.value_size);
+  for (std::uint64_t key = 0; key < config_.rows; ++key) {
+    FillRow(key, value.data(), config_.value_size);
+    db.BulkLoad(kYcsbTable, key, value.data(), config_.value_size);
+  }
+}
+
+std::vector<std::unique_ptr<txn::Transaction>> YcsbWorkload::MakeEpoch(std::size_t count) {
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  txns.reserve(count);
+  for (std::size_t t = 0; t < count; ++t) {
+    std::vector<Key> keys;
+    keys.reserve(config_.ops_per_txn);
+    for (std::uint32_t op = 0; op < config_.ops_per_txn; ++op) {
+      const bool hot = op < config_.hot_ops;
+      Key key;
+      do {
+        key = hot ? rng_.NextBounded(config_.hot_rows)
+                  : config_.hot_rows + rng_.NextBounded(config_.rows - config_.hot_rows);
+      } while (std::find(keys.begin(), keys.end(), key) != keys.end());
+      keys.push_back(key);
+    }
+    txns.push_back(std::make_unique<YcsbRmwTxn>(&config_, std::move(keys), rng_.Next()));
+  }
+  return txns;
+}
+
+txn::TxnRegistry YcsbWorkload::Registry() const {
+  txn::TxnRegistry registry;
+  const YcsbConfig* config = &config_;
+  registry.Register(kYcsbRmwType,
+                    [config](BinaryReader& reader) { return YcsbRmwTxn::Decode(config, reader); });
+  return registry;
+}
+
+void YcsbRmwTxn::EncodeInputs(BinaryWriter& writer) const {
+  writer.Put<std::uint32_t>(static_cast<std::uint32_t>(keys_.size()));
+  for (Key key : keys_) {
+    writer.Put(key);
+  }
+  writer.Put(mod_seed_);
+}
+
+std::unique_ptr<txn::Transaction> YcsbRmwTxn::Decode(const YcsbConfig* config,
+                                                     BinaryReader& reader) {
+  const auto n = reader.Get<std::uint32_t>();
+  std::vector<Key> keys(n);
+  for (auto& key : keys) {
+    key = reader.Get<Key>();
+  }
+  const auto mod_seed = reader.Get<std::uint64_t>();
+  return std::make_unique<YcsbRmwTxn>(config, std::move(keys), mod_seed);
+}
+
+void YcsbRmwTxn::AppendStep(txn::AppendContext& ctx) {
+  for (Key key : keys_) {
+    ctx.DeclareUpdate(kYcsbTable, key);
+  }
+}
+
+void YcsbRmwTxn::Execute(txn::ExecContext& ctx) {
+  std::vector<std::uint8_t> value(config_->value_size);
+  for (std::size_t op = 0; op < keys_.size(); ++op) {
+    const Key key = keys_[op];
+    const int n = ctx.Read(kYcsbTable, key, value.data(), config_->value_size);
+    (void)n;
+    // Overwrite the first update_bytes with a deterministic pattern derived
+    // from the logged inputs (replayable).
+    std::uint64_t state = SplitMix64(mod_seed_ + op);
+    for (std::uint32_t i = 0; i < config_->update_bytes; ++i) {
+      if (i % 8 == 0) {
+        state = SplitMix64(state);
+      }
+      value[i] = static_cast<std::uint8_t>(state >> ((i % 8) * 8));
+    }
+    ctx.Write(kYcsbTable, key, value.data(), config_->value_size);
+  }
+}
+
+}  // namespace nvc::workload

@@ -1,0 +1,94 @@
+// YCSB workload (paper section 6.2.1, Table 1).
+//
+// Caracal's YCSB groups 10 read-modify-write operations to unique keys into
+// one transaction. The default configuration uses 1,000-byte rows where each
+// write updates the first 100 bytes; the smallrow variant uses 64-byte rows
+// updated entirely. Contention is controlled by directing h of the 10
+// operations to a set of 256 hot rows (h = 0 / 4 / 7 for low / medium /
+// high contention).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/config.h"
+#include "src/core/database.h"
+#include "src/txn/transaction.h"
+
+namespace nvc::workload {
+
+inline constexpr txn::TxnType kYcsbRmwType = 10;
+inline constexpr TableId kYcsbTable = 0;
+
+struct YcsbConfig {
+  std::uint64_t rows = 100'000;
+  std::uint32_t value_size = 1000;
+  std::uint32_t update_bytes = 100;  // prefix of the row rewritten per op
+  std::uint32_t ops_per_txn = 10;
+  std::uint64_t hot_rows = 256;
+  std::uint32_t hot_ops = 0;  // of ops_per_txn directed at hot rows
+  std::uint64_t seed = 42;
+
+  // Persistent row size. 256 keeps YCSB values non-inline (figure 7); Table
+  // 4's 2304 inlines both 1 KB versions (figures 5/6 comparison with Zen).
+  std::size_t row_size = 2304;
+
+  static YcsbConfig SmallRow() {
+    YcsbConfig config;
+    config.value_size = 64;
+    config.update_bytes = 64;
+    config.row_size = 256;
+    return config;
+  }
+};
+
+class YcsbWorkload {
+ public:
+  explicit YcsbWorkload(const YcsbConfig& config) : config_(config), rng_(config.seed) {}
+
+  const YcsbConfig& config() const { return config_; }
+
+  // DatabaseSpec for this workload (caller may adjust mode/cache settings).
+  core::DatabaseSpec Spec(std::size_t workers) const;
+
+  // Populates the table; call between Format() and FinalizeLoad().
+  void Load(core::Database& db) const;
+
+  // Deterministically generates the next `count` transactions.
+  std::vector<std::unique_ptr<txn::Transaction>> MakeEpoch(std::size_t count);
+
+  txn::TxnRegistry Registry() const;
+
+  // The initial value pattern of a row (tests verify loads and updates).
+  static void FillRow(Key key, std::uint8_t* out, std::uint32_t size);
+
+ private:
+  YcsbConfig config_;
+  Rng rng_;
+};
+
+// One transaction: ops_per_txn read-modify-writes to unique keys.
+class YcsbRmwTxn final : public txn::Transaction {
+ public:
+  YcsbRmwTxn(const YcsbConfig* config, std::vector<Key> keys, std::uint64_t mod_seed)
+      : config_(config), keys_(std::move(keys)), mod_seed_(mod_seed) {}
+
+  txn::TxnType type() const override { return kYcsbRmwType; }
+  void EncodeInputs(BinaryWriter& writer) const override;
+  static std::unique_ptr<txn::Transaction> Decode(const YcsbConfig* config,
+                                                  BinaryReader& reader);
+
+  void AppendStep(txn::AppendContext& ctx) override;
+  void Execute(txn::ExecContext& ctx) override;
+
+  const std::vector<Key>& keys() const { return keys_; }
+
+ private:
+  const YcsbConfig* config_;
+  std::vector<Key> keys_;
+  std::uint64_t mod_seed_;
+};
+
+}  // namespace nvc::workload

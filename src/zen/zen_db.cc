@@ -1,0 +1,422 @@
+#include "src/zen/zen_db.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/common/rng.h"
+
+namespace nvc::zen {
+namespace {
+
+constexpr std::size_t kShardsPerTable = 16;
+
+std::uint64_t HashShard(TableId table, Key key) {
+  return nvc::SplitMix64(key ^ (static_cast<std::uint64_t>(table) * 0x9e3779b97f4a7c15ULL)) %
+         kShardsPerTable;
+}
+
+}  // namespace
+
+// Zen stages writes privately and applies them at commit; aborted
+// transactions therefore never touch NVMM.
+class ZenExecContext final : public txn::ExecContext {
+ public:
+  ZenExecContext(ZenDb* db, std::size_t core) : db_(db), core_(core) {}
+
+  int Read(TableId table, Key key, void* out, std::uint32_t cap) override {
+    // Read-your-own-writes from the staging buffer first.
+    for (const StagedWrite& write : staged_) {
+      if (write.table == table && write.key == key) {
+        std::memcpy(out, write.data.data(),
+                    std::min<std::size_t>(cap, write.data.size()));
+        return static_cast<int>(write.data.size());
+      }
+    }
+    return db_->ReadRow(table, key, out, cap, core_);
+  }
+
+  void Write(TableId table, Key key, const void* data, std::uint32_t size) override {
+    for (StagedWrite& write : staged_) {
+      if (write.table == table && write.key == key) {
+        write.data.assign(static_cast<const std::uint8_t*>(data),
+                          static_cast<const std::uint8_t*>(data) + size);
+        return;
+      }
+    }
+    staged_.push_back(StagedWrite{
+        table, key,
+        std::vector<std::uint8_t>(static_cast<const std::uint8_t*>(data),
+                                  static_cast<const std::uint8_t*>(data) + size)});
+  }
+
+  void Delete(TableId, Key) override {
+    throw std::logic_error("ZenDb: deletes are not supported (YCSB/SmallBank only)");
+  }
+  void Abort() override { aborted_ = true; }
+  bool FirstInRange(TableId, Key, Key, Key*) override {
+    throw std::logic_error("ZenDb: range queries are not supported");
+  }
+  bool LastInRange(TableId, Key, Key, Key*) override {
+    throw std::logic_error("ZenDb: range queries are not supported");
+  }
+  std::uint64_t CounterEpochStart(txn::CounterId) const override {
+    throw std::logic_error("ZenDb: counters are not supported");
+  }
+  Sid sid() const override { return Sid{}; }
+
+  bool aborted() const { return aborted_; }
+
+  // Applies the staged writes as one commit.
+  void Commit() {
+    if (staged_.empty()) {
+      return;
+    }
+    const std::uint64_t csn = db_->next_csn_.fetch_add(1, std::memory_order_relaxed);
+    for (const StagedWrite& write : staged_) {
+      db_->CommitWrite(write.table, write.key, write.data.data(),
+                       static_cast<std::uint32_t>(write.data.size()), csn, core_);
+    }
+    // One durability point per transaction (log-free group of tuple writes).
+    db_->device_.Fence(core_);
+  }
+
+  void Reset() {
+    staged_.clear();
+    aborted_ = false;
+  }
+
+ private:
+  struct StagedWrite {
+    TableId table;
+    Key key;
+    std::vector<std::uint8_t> data;
+  };
+
+  ZenDb* db_;
+  std::size_t core_;
+  std::vector<StagedWrite> staged_;
+  bool aborted_ = false;
+};
+
+std::size_t ZenDb::RequiredDeviceBytes(const ZenSpec& spec) {
+  std::size_t total = kNvmAccessGranularity;  // reserved header page
+  for (const ZenTableSpec& table : spec.tables) {
+    const std::size_t slot = AlignUp(sizeof(TupleHeader) + table.value_size, 8);
+    total += AlignUp(slot * table.capacity_slots, kNvmAccessGranularity);
+  }
+  return total;
+}
+
+ZenDb::ZenDb(sim::NvmDevice& device, const ZenSpec& spec)
+    : device_(device), spec_(spec), pool_(spec.workers) {
+  std::uint64_t offset = kNvmAccessGranularity;
+  for (const ZenTableSpec& table : spec_.tables) {
+    TableRuntime runtime;
+    runtime.base = offset;
+    runtime.slot_size = AlignUp(sizeof(TupleHeader) + table.value_size, 8);
+    runtime.capacity = table.capacity_slots;
+    for (std::size_t i = 0; i < kShardsPerTable; ++i) {
+      runtime.shards.push_back(std::make_unique<Shard>());
+    }
+    runtime.free_lists.resize(spec_.workers);
+    offset += AlignUp(runtime.slot_size * runtime.capacity, kNvmAccessGranularity);
+    tables_.push_back(std::move(runtime));
+  }
+  if (offset > device_.size()) {
+    throw std::invalid_argument("ZenDb: device too small for spec");
+  }
+}
+
+ZenDb::~ZenDb() {
+  for (TableRuntime& table : tables_) {
+    for (auto& shard : table.shards) {
+      for (auto& [key, row] : shard->map) {
+        if (row->cached != nullptr) {
+          std::free(row->cached);
+        }
+      }
+    }
+  }
+}
+
+void ZenDb::Format() {
+  // Mark every slot invalid (csn 0). Only headers need clearing.
+  for (TableRuntime& table : tables_) {
+    for (std::uint64_t i = 0; i < table.capacity; ++i) {
+      auto* header = device_.As<TupleHeader>(table.base + i * table.slot_size);
+      header->csn = 0;
+      header->valid = 0;
+    }
+    device_.Persist(table.base, table.capacity * table.slot_size, 0);
+  }
+  device_.Fence(0);
+}
+
+std::uint64_t ZenDb::AllocSlot(TableId table, std::size_t core) {
+  TableRuntime& runtime = tables_[table];
+  CoreFreeList& free_list = runtime.free_lists[core];
+  if (!free_list.slots.empty()) {
+    const std::uint64_t slot = free_list.slots.back();
+    free_list.slots.pop_back();
+    return slot;
+  }
+  const std::uint64_t index = runtime.next_unused.fetch_add(1, std::memory_order_relaxed);
+  if (index >= runtime.capacity) {
+    throw std::runtime_error("ZenDb: tuple heap exhausted for table " +
+                             spec_.tables[table].name);
+  }
+  return runtime.base + index * runtime.slot_size;
+}
+
+void ZenDb::FreeSlot(TableId table, std::size_t core, std::uint64_t slot) {
+  tables_[table].free_lists[core].slots.push_back(slot);
+}
+
+ZenDb::RowState* ZenDb::Find(TableId table, Key key) {
+  Shard& shard = *tables_[table].shards[HashShard(table, key)];
+  SpinLatchGuard guard(shard.latch);
+  auto it = shard.map.find(key);
+  return it == shard.map.end() ? nullptr : it->second;
+}
+
+ZenDb::RowState* ZenDb::FindOrCreate(TableId table, Key key) {
+  Shard& shard = *tables_[table].shards[HashShard(table, key)];
+  SpinLatchGuard guard(shard.latch);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    return it->second;
+  }
+  shard.slab.emplace_back();
+  RowState* row = &shard.slab.back();
+  shard.map.emplace(key, row);
+  return row;
+}
+
+void ZenDb::BulkLoad(TableId table, Key key, const void* data, std::uint32_t size) {
+  assert(size <= tables_[table].slot_size - sizeof(TupleHeader));
+  const std::uint64_t slot = AllocSlot(table, 0);
+  auto* header = device_.As<TupleHeader>(slot);
+  header->key = key;
+  header->table = table;
+  header->csn = next_csn_.fetch_add(1, std::memory_order_relaxed);
+  header->valid = 1;
+  std::memcpy(device_.At(slot + sizeof(TupleHeader)), data, size);
+  device_.Persist(slot, sizeof(TupleHeader) + size, 0);
+
+  RowState* row = FindOrCreate(table, key);
+  row->slot = slot;
+}
+
+int ZenDb::ReadRow(TableId table, Key key, void* out, std::uint32_t cap, std::size_t core) {
+  RowState* row = Find(table, key);
+  if (row == nullptr || row->slot == 0) {
+    return -1;
+  }
+  const std::uint32_t value_size = spec_.tables[table].value_size;
+  {
+    SpinLatchGuard guard(row->latch);
+    if (row->cached != nullptr) {
+      stats_.cache_hits.Add(core);
+      row->clock = 1;
+      std::memcpy(out, row->cached->data(), std::min(cap, row->cached->size));
+      return static_cast<int>(row->cached->size);
+    }
+  }
+  stats_.cache_misses.Add(core);
+  device_.ChargeRead(row->slot, sizeof(TupleHeader) + value_size, core);
+  const std::uint8_t* value = device_.At(row->slot + sizeof(TupleHeader));
+  std::memcpy(out, value, std::min(cap, value_size));
+  {
+    SpinLatchGuard guard(row->latch);
+    if (row->cached == nullptr) {
+      InstallCache(row, value, value_size);
+    }
+  }
+  return static_cast<int>(value_size);
+}
+
+void ZenDb::InstallCache(RowState* row, const void* data, std::uint32_t size) {
+  // Caller holds row->latch.
+  if (cache_entries_.load(std::memory_order_relaxed) >= spec_.cache_max_entries) {
+    MaybeEvictOne();
+    if (cache_entries_.load(std::memory_order_relaxed) >= spec_.cache_max_entries) {
+      return;  // could not make room; skip caching
+    }
+  }
+  auto* entry = static_cast<CacheEntry*>(std::malloc(sizeof(CacheEntry) + size));
+  entry->size = size;
+  std::memcpy(entry->data(), data, size);
+  row->cached = entry;
+  row->clock = 1;
+  cache_entries_.fetch_add(1, std::memory_order_relaxed);
+  cache_bytes_.fetch_add(size, std::memory_order_relaxed);
+  SpinLatchGuard guard(clock_latch_);
+  clock_ring_.push_back(row);
+}
+
+void ZenDb::MaybeEvictOne() {
+  // Second-chance clock over cached rows. Caller holds the victim row's
+  // latch only if it is the row being installed; take latches carefully.
+  SpinLatchGuard guard(clock_latch_);
+  for (std::size_t step = 0; step < clock_ring_.size() * 2 && !clock_ring_.empty(); ++step) {
+    clock_hand_ %= clock_ring_.size();
+    RowState* candidate = clock_ring_[clock_hand_];
+    if (candidate->cached == nullptr) {
+      clock_ring_[clock_hand_] = clock_ring_.back();
+      clock_ring_.pop_back();
+      continue;
+    }
+    if (candidate->clock != 0) {
+      candidate->clock = 0;
+      ++clock_hand_;
+      continue;
+    }
+    if (!candidate->latch.TryLock()) {
+      ++clock_hand_;
+      continue;
+    }
+    CacheEntry* entry = candidate->cached;
+    if (entry != nullptr) {
+      candidate->cached = nullptr;
+      cache_entries_.fetch_sub(1, std::memory_order_relaxed);
+      cache_bytes_.fetch_sub(entry->size, std::memory_order_relaxed);
+      std::free(entry);
+      stats_.cache_evictions.Add(0);
+    }
+    candidate->latch.Unlock();
+    clock_ring_[clock_hand_] = clock_ring_.back();
+    clock_ring_.pop_back();
+    return;
+  }
+}
+
+void ZenDb::CommitWrite(TableId table, Key key, const void* data, std::uint32_t size,
+                        std::uint64_t csn, std::size_t core) {
+  RowState* row = FindOrCreate(table, key);
+
+  // Out-of-place NVM write: fresh slot, full tuple, persisted.
+  const std::uint64_t slot = AllocSlot(table, core);
+  auto* header = device_.As<TupleHeader>(slot);
+  header->key = key;
+  header->table = table;
+  header->csn = csn;
+  header->valid = 1;
+  std::memcpy(device_.At(slot + sizeof(TupleHeader)), data, size);
+  device_.Persist(slot, sizeof(TupleHeader) + size, core);
+  stats_.persistent_writes.Add(core);
+
+  std::uint64_t old_slot;
+  {
+    SpinLatchGuard guard(row->latch);
+    old_slot = row->slot;
+    row->slot = slot;
+    if (row->cached != nullptr && row->cached->size == size) {
+      std::memcpy(row->cached->data(), data, size);
+      row->clock = 1;
+    } else if (row->cached == nullptr) {
+      InstallCache(row, data, size);
+    }
+  }
+  if (old_slot != 0) {
+    // Invalidate the stale version lazily (recovery picks max CSN anyway);
+    // reuse the slot via the DRAM free list.
+    auto* old_header = device_.As<TupleHeader>(old_slot);
+    old_header->valid = 0;
+    FreeSlot(table, core, old_slot);
+  }
+}
+
+ZenBatchResult ZenDb::ExecuteBatch(std::vector<std::unique_ptr<txn::Transaction>> txns) {
+  const auto start = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> committed{0};
+  std::atomic<std::size_t> aborted{0};
+  pool_.RunParallel([&](std::size_t w) {
+    ZenExecContext ctx(this, w);
+    for (std::size_t i = w; i < txns.size(); i += spec_.workers) {
+      ctx.Reset();
+      txns[i]->Execute(ctx);
+      if (ctx.aborted()) {
+        aborted.fetch_add(1, std::memory_order_relaxed);
+        stats_.txn_aborted.Add(w);
+      } else {
+        ctx.Commit();
+        committed.fetch_add(1, std::memory_order_relaxed);
+        stats_.txn_committed.Add(w);
+      }
+    }
+  });
+  ZenBatchResult result;
+  result.committed = committed.load();
+  result.aborted = aborted.load();
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+ZenRecoveryReport ZenDb::Recover() {
+  const auto start = std::chrono::steady_clock::now();
+  ZenRecoveryReport report;
+
+  // Pass 1: find the latest committed version of every key. The DRAM
+  // high-water mark died with the process, so the whole heap is scanned —
+  // this is why Zen's recovery scales with database size (paper 6.8).
+  std::vector<std::unordered_map<Key, std::pair<std::uint64_t, std::uint64_t>>> latest(
+      tables_.size());  // key -> (csn, slot)
+  std::uint64_t max_csn = 0;
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    TableRuntime& runtime = tables_[t];
+    for (std::uint64_t i = 0; i < runtime.capacity; ++i) {
+      const std::uint64_t slot = runtime.base + i * runtime.slot_size;
+      device_.ChargeRead(slot, sizeof(TupleHeader), 0);
+      ++report.slots_scanned;
+      const auto* header = device_.As<TupleHeader>(slot);
+      if (header->csn == 0 || header->valid == 0) {
+        continue;
+      }
+      max_csn = std::max(max_csn, header->csn);
+      auto [it, inserted] = latest[t].try_emplace(header->key,
+                                                  std::make_pair(header->csn, slot));
+      if (!inserted && header->csn > it->second.first) {
+        it->second = {header->csn, slot};
+      }
+    }
+  }
+
+  // Pass 2: rebuild the index and free lists (a second scan over the heap,
+  // as Zen's recovery requires).
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    TableRuntime& runtime = tables_[t];
+    std::size_t core = 0;
+    for (std::uint64_t i = 0; i < runtime.capacity; ++i) {
+      const std::uint64_t slot = runtime.base + i * runtime.slot_size;
+      device_.ChargeRead(slot, sizeof(TupleHeader), 0);
+      ++report.slots_scanned;
+      const auto* header = device_.As<TupleHeader>(slot);
+      auto it = latest[t].find(header->key);
+      const bool is_latest = header->csn != 0 && header->valid != 0 &&
+                             it != latest[t].end() && it->second.second == slot;
+      if (is_latest) {
+        RowState* row = FindOrCreate(static_cast<TableId>(t), header->key);
+        row->slot = slot;
+        ++report.live_rows;
+      } else {
+        FreeSlot(static_cast<TableId>(t), core, slot);
+        core = (core + 1) % spec_.workers;
+      }
+    }
+    runtime.next_unused.store(runtime.capacity, std::memory_order_relaxed);
+  }
+  next_csn_.store(max_csn + 1, std::memory_order_relaxed);
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return report;
+}
+
+int ZenDb::ReadCommitted(TableId table, Key key, void* out, std::uint32_t cap) {
+  return ReadRow(table, key, out, cap, 0);
+}
+
+}  // namespace nvc::zen

@@ -1,0 +1,171 @@
+// Zen baseline: a from-scratch reimplementation of the Zen log-free NVMM
+// OLTP engine (Liu, Chen & Chen, VLDB '21), the paper's primary comparison
+// system (sections 2.1 and 6.3).
+//
+// Zen's architecture, as reproduced here:
+//   * NVM tuple heap — fixed-size tuple slots per table; every committed
+//     update writes the full tuple (header + value) out of place to a fresh
+//     slot and persists it, regardless of contention. This is the structural
+//     property the paper's comparison hinges on.
+//   * Metadata-enhanced tuple cache — a DRAM cache (bounded entry count,
+//     clock eviction) absorbs reads; updates go through the cache and reach
+//     NVMM at commit.
+//   * Lightweight NVM space management — free slots are tracked in DRAM
+//     free lists (one per core); the old slot of an updated tuple is freed
+//     after the new slot commits.
+//   * Log-free commits — no redo/undo log; tuples carry a commit sequence
+//     number (CSN) and recovery validates by scanning the tuple heap more
+//     than once (pass 1 finds the latest committed version of every key,
+//     pass 2 rebuilds the index and free lists).
+//
+// Scope: Zen runs the YCSB and SmallBank comparisons (figures 5 and 6); the
+// paper omits TPC-C because Zen's released code does not support it, and the
+// insert-step/counter APIs are likewise unsupported here. Transactions are
+// executed through the same txn::Transaction interface as NVCaracal, in
+// batch (epoch-equivalent) groups, with writes staged privately and applied
+// at commit — aborted transactions touch no NVMM.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/latch.h"
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/common/worker_pool.h"
+#include "src/sim/nvm_device.h"
+#include "src/txn/transaction.h"
+
+namespace nvc::zen {
+
+struct ZenTableSpec {
+  std::string name;
+  std::uint32_t value_size = 0;    // fixed tuple payload size
+  std::uint64_t capacity_slots = 0;  // >= 2x live rows for multi-versioning
+};
+
+struct ZenSpec {
+  std::size_t workers = 1;
+  std::vector<ZenTableSpec> tables;
+  std::size_t cache_max_entries = 1 << 20;  // Table 4's cache entry limits
+};
+
+struct ZenBatchResult {
+  std::size_t committed = 0;
+  std::size_t aborted = 0;
+  double seconds = 0;
+};
+
+struct ZenRecoveryReport {
+  std::size_t slots_scanned = 0;  // across both passes
+  std::size_t live_rows = 0;
+  double seconds = 0;
+};
+
+class ZenDb {
+ public:
+  static std::size_t RequiredDeviceBytes(const ZenSpec& spec);
+
+  ZenDb(sim::NvmDevice& device, const ZenSpec& spec);
+  ~ZenDb();
+
+  ZenDb(const ZenDb&) = delete;
+  ZenDb& operator=(const ZenDb&) = delete;
+
+  void Format();
+  void BulkLoad(TableId table, Key key, const void* data, std::uint32_t size);
+
+  // Executes one batch; transactions are applied in submission order per
+  // worker with last-committer-wins per row (Zen is not deterministic).
+  ZenBatchResult ExecuteBatch(std::vector<std::unique_ptr<txn::Transaction>> txns);
+
+  // Two-pass recovery scan (no replay needed; all committed updates are in
+  // the tuple heap). Call on a fresh ZenDb over a recovered device.
+  ZenRecoveryReport Recover();
+
+  int ReadCommitted(TableId table, Key key, void* out, std::uint32_t cap);
+
+  EngineStats& stats() { return stats_; }
+  std::size_t cache_entries() const { return cache_entries_.load(std::memory_order_relaxed); }
+  std::size_t cache_bytes() const { return cache_bytes_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class ZenExecContext;
+
+  // NVM tuple layout: header followed by value bytes.
+  struct TupleHeader {
+    Key key;
+    std::uint64_t csn;  // 0 = free/invalid slot
+    std::uint32_t table;
+    std::uint32_t valid;
+  };
+
+  struct CacheEntry {
+    std::uint32_t size;
+    std::uint8_t* data() { return reinterpret_cast<std::uint8_t*>(this + 1); }
+  };
+
+  struct RowState {
+    std::uint64_t slot = 0;  // NVM offset of the committed tuple
+    CacheEntry* cached = nullptr;
+    std::uint8_t clock = 0;  // second-chance bit
+    SpinLatch latch;
+  };
+
+  struct Shard {
+    SpinLatch latch;
+    std::unordered_map<Key, RowState*> map;
+    std::deque<RowState> slab;
+  };
+
+  struct alignas(kCacheLineSize) CoreFreeList {
+    std::vector<std::uint64_t> slots;
+  };
+
+  struct TableRuntime {
+    std::uint64_t base = 0;
+    std::uint64_t slot_size = 0;
+    std::uint64_t capacity = 0;
+    std::vector<std::unique_ptr<Shard>> shards;
+    std::vector<CoreFreeList> free_lists;
+    std::atomic<std::uint64_t> next_unused{0};  // bump within capacity
+
+    TableRuntime() = default;
+    TableRuntime(TableRuntime&& other) noexcept
+        : base(other.base), slot_size(other.slot_size), capacity(other.capacity),
+          shards(std::move(other.shards)), free_lists(std::move(other.free_lists)),
+          next_unused(other.next_unused.load(std::memory_order_relaxed)) {}
+  };
+
+  RowState* Find(TableId table, Key key);
+  RowState* FindOrCreate(TableId table, Key key);
+  std::uint64_t AllocSlot(TableId table, std::size_t core);
+  void FreeSlot(TableId table, std::size_t core, std::uint64_t slot);
+
+  int ReadRow(TableId table, Key key, void* out, std::uint32_t cap, std::size_t core);
+  void CommitWrite(TableId table, Key key, const void* data, std::uint32_t size,
+                   std::uint64_t csn, std::size_t core);
+  void InstallCache(RowState* row, const void* data, std::uint32_t size);
+  void MaybeEvictOne();
+
+  sim::NvmDevice& device_;
+  ZenSpec spec_;
+  WorkerPool pool_;
+  std::vector<TableRuntime> tables_;
+  std::atomic<std::uint64_t> next_csn_{1};
+  EngineStats stats_;
+
+  std::atomic<std::size_t> cache_entries_{0};
+  std::atomic<std::size_t> cache_bytes_{0};
+  // Clock hand over rows that currently hold a cache entry.
+  SpinLatch clock_latch_;
+  std::vector<RowState*> clock_ring_;
+  std::size_t clock_hand_ = 0;
+};
+
+}  // namespace nvc::zen

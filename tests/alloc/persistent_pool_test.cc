@@ -1,0 +1,270 @@
+// Persistent pool: allocation/free mechanics, the two free-list invariants,
+// epoch-parity checkpointing, crash revert, and GC-tail semantics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.h"
+
+#include "src/alloc/persistent_pool.h"
+#include "src/sim/nvm_device.h"
+
+namespace nvc::test {
+namespace {
+
+using alloc::PersistentPool;
+using alloc::PersistentPoolConfig;
+using sim::CrashTracking;
+using sim::NvmConfig;
+using sim::NvmDevice;
+
+PersistentPoolConfig SmallConfig(bool gc_tail = false) {
+  return PersistentPoolConfig{.block_size = 256,
+                              .blocks_per_core = 256,
+                              .freelist_capacity = 512,
+                              .gc_tail = gc_tail};
+}
+
+struct PoolFixture {
+  explicit PoolFixture(const PersistentPoolConfig& config, std::size_t cores = 1)
+      : device(NvmConfig{.size_bytes = PersistentPool::RequiredBytes(config, cores),
+                         .latency = {},
+                         .crash_tracking = CrashTracking::kShadow}),
+        pool(device, config, 0, cores) {
+    pool.Format();
+    pool.BeginEpoch();
+  }
+  NvmDevice device;
+  PersistentPool pool;
+};
+
+TEST(PersistentPoolTest, BumpAllocationIsDistinctAndAligned) {
+  PoolFixture f(SmallConfig());
+  std::set<std::uint64_t> blocks;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t block = f.pool.Alloc(0);
+    ASSERT_NE(block, 0u);
+    EXPECT_EQ(block % 256, 0u);
+    EXPECT_TRUE(blocks.insert(block).second) << "duplicate allocation";
+  }
+  EXPECT_EQ(f.pool.blocks_allocated(), 100u);
+}
+
+TEST(PersistentPoolTest, ExhaustionReturnsZero) {
+  PoolFixture f(SmallConfig());
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_NE(f.pool.Alloc(0), 0u);
+  }
+  EXPECT_EQ(f.pool.Alloc(0), 0u);
+}
+
+// Invariant 2: blocks freed in the current epoch are not reallocated until
+// the epoch is checkpointed.
+TEST(PersistentPoolTest, FreedBlocksNotReusedWithinEpoch) {
+  PoolFixture f(SmallConfig());
+  const std::uint64_t a = f.pool.Alloc(0);
+  const std::uint64_t b = f.pool.Alloc(0);
+  f.pool.Free(0, a);
+  f.pool.Free(0, b);
+  // Same epoch: allocations must come from the bump area, not the free list.
+  for (int i = 0; i < 10; ++i) {
+    const std::uint64_t block = f.pool.Alloc(0);
+    EXPECT_NE(block, a);
+    EXPECT_NE(block, b);
+  }
+  // After the checkpoint the freed blocks become available (FIFO).
+  f.pool.Checkpoint(2, 0);
+  f.device.Fence(0);
+  f.pool.BeginEpoch();
+  EXPECT_EQ(f.pool.Alloc(0), a);
+  EXPECT_EQ(f.pool.Alloc(0), b);
+}
+
+TEST(PersistentPoolTest, CrashRevertsAllocationsAndFrees) {
+  PoolFixture f(SmallConfig());
+  // Epoch 2: allocate three blocks, checkpoint.
+  const std::uint64_t a = f.pool.Alloc(0);
+  const std::uint64_t b = f.pool.Alloc(0);
+  const std::uint64_t c = f.pool.Alloc(0);
+  f.pool.Checkpoint(2, 0);
+  f.device.Fence(0);
+  f.pool.BeginEpoch();
+
+  // Epoch 3 (crashes): free b, allocate two more.
+  f.pool.Free(0, b);
+  (void)f.pool.Alloc(0);
+  (void)f.pool.Alloc(0);
+  f.device.Crash();
+  f.pool.Recover(/*last_checkpointed_epoch=*/2);
+
+  // b's deletion reverted: the free set is empty, bump is back to 3 blocks.
+  EXPECT_TRUE(f.pool.BuildFreeSet().empty());
+  EXPECT_EQ(f.pool.blocks_allocated(), 3u);
+  // The next allocations reuse the reverted bump region.
+  std::set<std::uint64_t> seen{a, b, c};
+  const std::uint64_t d = f.pool.Alloc(0);
+  EXPECT_EQ(seen.count(d), 0u);
+}
+
+TEST(PersistentPoolTest, CheckpointedFreeSurvivesCrash) {
+  PoolFixture f(SmallConfig());
+  const std::uint64_t a = f.pool.Alloc(0);
+  f.pool.Free(0, a);
+  f.pool.Checkpoint(2, 0);
+  f.device.Fence(0);
+  f.pool.BeginEpoch();
+
+  f.device.Crash();
+  f.pool.Recover(2);
+  const auto free_set = f.pool.BuildFreeSet();
+  EXPECT_EQ(free_set.size(), 1u);
+  EXPECT_TRUE(free_set.count(a));
+  // And it is allocatable again.
+  EXPECT_EQ(f.pool.Alloc(0), a);
+}
+
+TEST(PersistentPoolTest, ParityCheckpointsAlternate) {
+  PoolFixture f(SmallConfig());
+  (void)f.pool.Alloc(0);
+  f.pool.Checkpoint(2, 0);
+  f.device.Fence(0);
+  f.pool.BeginEpoch();
+  (void)f.pool.Alloc(0);
+  f.pool.Checkpoint(3, 0);
+  f.device.Fence(0);
+  f.pool.BeginEpoch();
+  (void)f.pool.Alloc(0);
+  // Crash during epoch 4 (would use slot 0 = epoch 2's slot): recovery from
+  // epoch 3 must see exactly two allocated blocks.
+  f.device.Crash();
+  f.pool.Recover(3);
+  EXPECT_EQ(f.pool.blocks_allocated(), 2u);
+}
+
+TEST(PersistentPoolTest, GcTailMakesGcFreesDurableBeforeExecution) {
+  PoolFixture f(SmallConfig(/*gc_tail=*/true));
+  const std::uint64_t a = f.pool.Alloc(0);
+  const std::uint64_t b = f.pool.Alloc(0);
+  f.pool.Checkpoint(2, 0);
+  f.device.Fence(0);
+  f.pool.BeginEpoch();
+
+  // Epoch 3 init: GC frees a; PersistGcTail makes it durable and available.
+  f.pool.FreeGc(0, a);
+  f.pool.PersistGcTail(0);
+  EXPECT_EQ(f.pool.Alloc(0), a);  // reusable within the same epoch
+
+  // Execution-phase transactional free of b, then crash before checkpoint.
+  f.pool.Free(0, b);
+  f.device.Crash();
+  f.pool.Recover(2);
+
+  // The GC free survived (non-revertible); the transactional free reverted.
+  const auto free_set = f.pool.BuildFreeSet();
+  EXPECT_TRUE(free_set.count(a));
+  EXPECT_FALSE(free_set.count(b));
+  // The GC window (dedup source) contains exactly a.
+  const auto window = f.pool.GcWindowEntries();
+  EXPECT_EQ(window.size(), 1u);
+  EXPECT_TRUE(window.count(a));
+}
+
+TEST(PersistentPoolTest, ForEachAllocatedSkipsFreeSet) {
+  PoolFixture f(SmallConfig());
+  const std::uint64_t a = f.pool.Alloc(0);
+  const std::uint64_t b = f.pool.Alloc(0);
+  const std::uint64_t c = f.pool.Alloc(0);
+  f.pool.Free(0, b);
+  f.pool.Checkpoint(2, 0);
+  f.device.Fence(0);
+
+  const auto free_set = f.pool.BuildFreeSet();
+  std::set<std::uint64_t> visited;
+  f.pool.ForEachAllocated(0, free_set, [&](std::uint64_t block) { visited.insert(block); });
+  EXPECT_EQ(visited, (std::set<std::uint64_t>{a, c}));
+}
+
+TEST(PersistentPoolTest, MultiCoreAreasAreDisjoint) {
+  const PersistentPoolConfig config = SmallConfig();
+  PoolFixture f(config, /*cores=*/4);
+  std::set<std::uint64_t> blocks;
+  for (std::size_t core = 0; core < 4; ++core) {
+    for (int i = 0; i < 50; ++i) {
+      const std::uint64_t block = f.pool.Alloc(core);
+      ASSERT_NE(block, 0u);
+      EXPECT_TRUE(blocks.insert(block).second);
+    }
+  }
+  // Cross-core free/realloc: core 0 frees a block from core 3's area.
+  const std::uint64_t block = *blocks.rbegin();
+  f.pool.Free(0, block);
+  f.pool.Checkpoint(2, 0);
+  f.device.Fence(0);
+  f.pool.BeginEpoch();
+  EXPECT_EQ(f.pool.Alloc(0), block);
+}
+
+// Property sweep: random alloc/free/checkpoint/crash sequences always revert
+// to a consistent checkpointed state.
+class PoolCrashPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PoolCrashPropertyTest, RandomOpsThenCrashRevertsExactly) {
+  Rng rng(GetParam());
+  PoolFixture f(SmallConfig());
+  std::set<std::uint64_t> live;       // allocated, not freed
+  std::set<std::uint64_t> freelist;   // freed, reusable after ckpt
+
+  Epoch epoch = 1;
+  // Run a few committed epochs of random ops.
+  const int committed_epochs = 1 + static_cast<int>(rng.NextBounded(4));
+  for (int e = 0; e < committed_epochs; ++e) {
+    ++epoch;
+    const int ops = static_cast<int>(rng.NextBounded(40));
+    for (int i = 0; i < ops; ++i) {
+      if (rng.NextPercent(60) || live.empty()) {
+        const std::uint64_t block = f.pool.Alloc(0);
+        if (block != 0) {
+          EXPECT_EQ(live.count(block), 0u);
+          live.insert(block);
+          freelist.erase(block);
+        }
+      } else {
+        const std::uint64_t block = *live.begin();
+        live.erase(live.begin());
+        f.pool.Free(0, block);
+        freelist.insert(block);
+      }
+    }
+    f.pool.Checkpoint(epoch, 0);
+    f.device.Fence(0);
+    f.pool.BeginEpoch();
+  }
+  const auto live_at_ckpt = live;
+  const std::uint64_t allocated_at_ckpt = f.pool.blocks_allocated();
+
+  // One crashed epoch of random ops.
+  const int ops = static_cast<int>(rng.NextBounded(60));
+  for (int i = 0; i < ops; ++i) {
+    if (rng.NextPercent(60) || live.empty()) {
+      (void)f.pool.Alloc(0);
+    } else {
+      const std::uint64_t block = *live.begin();
+      live.erase(live.begin());
+      f.pool.Free(0, block);
+    }
+  }
+  f.device.CrashChaos(GetParam() * 3 + 1, 0.5);
+  f.pool.Recover(epoch);
+
+  EXPECT_EQ(f.pool.blocks_allocated(), allocated_at_ckpt);
+  const auto free_set = f.pool.BuildFreeSet();
+  std::set<std::uint64_t> visited;
+  f.pool.ForEachAllocated(0, free_set, [&](std::uint64_t block) { visited.insert(block); });
+  EXPECT_EQ(visited, live_at_ckpt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoolCrashPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace nvc::test

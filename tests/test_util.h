@@ -1,0 +1,263 @@
+// Shared helpers for the test suites: a tiny key-value workload over the
+// public transaction API, plus device/database factories.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/database.h"
+#include "src/sim/nvm_device.h"
+#include "src/txn/transaction.h"
+
+namespace nvc::test {
+
+inline constexpr txn::TxnType kKvPutType = 1;
+inline constexpr txn::TxnType kKvRmwType = 2;
+
+// Blind write of (key, value64) into table 0.
+class KvPutTxn final : public txn::Transaction {
+ public:
+  KvPutTxn(Key key, std::uint64_t value) : key_(key), value_(value) {}
+
+  txn::TxnType type() const override { return kKvPutType; }
+
+  void EncodeInputs(BinaryWriter& writer) const override {
+    writer.Put(key_);
+    writer.Put(value_);
+  }
+  static std::unique_ptr<txn::Transaction> Decode(BinaryReader& reader) {
+    const auto key = reader.Get<Key>();
+    const auto value = reader.Get<std::uint64_t>();
+    return std::make_unique<KvPutTxn>(key, value);
+  }
+
+  void AppendStep(txn::AppendContext& ctx) override { ctx.DeclareUpdate(0, key_); }
+  void Execute(txn::ExecContext& ctx) override {
+    ctx.Write(0, key_, &value_, sizeof(value_));
+  }
+
+ private:
+  Key key_;
+  std::uint64_t value_;
+};
+
+// Read-modify-write: value = old * 3 + delta (order-sensitive, so serial
+// order violations are detectable).
+class KvRmwTxn final : public txn::Transaction {
+ public:
+  KvRmwTxn(Key key, std::uint64_t delta) : key_(key), delta_(delta) {}
+
+  txn::TxnType type() const override { return kKvRmwType; }
+
+  void EncodeInputs(BinaryWriter& writer) const override {
+    writer.Put(key_);
+    writer.Put(delta_);
+  }
+  static std::unique_ptr<txn::Transaction> Decode(BinaryReader& reader) {
+    const auto key = reader.Get<Key>();
+    const auto delta = reader.Get<std::uint64_t>();
+    return std::make_unique<KvRmwTxn>(key, delta);
+  }
+
+  void AppendStep(txn::AppendContext& ctx) override { ctx.DeclareUpdate(0, key_); }
+  void Execute(txn::ExecContext& ctx) override {
+    std::uint64_t value = 0;
+    ctx.Read(0, key_, &value, sizeof(value));
+    value = value * 3 + delta_;
+    ctx.Write(0, key_, &value, sizeof(value));
+  }
+
+ private:
+  Key key_;
+  std::uint64_t delta_;
+};
+
+inline constexpr txn::TxnType kKvBigPutType = 3;
+inline constexpr std::uint32_t kBigValueSize = 200;  // > 168 B inline heap: pool-allocated
+
+// Writes a 200-byte deterministic pattern; exercises the persistent value
+// pool and the major garbage collector (non-inline stale versions).
+class KvBigPutTxn final : public txn::Transaction {
+ public:
+  KvBigPutTxn(Key key, std::uint64_t seed) : key_(key), seed_(seed) {}
+
+  txn::TxnType type() const override { return kKvBigPutType; }
+
+  void EncodeInputs(BinaryWriter& writer) const override {
+    writer.Put(key_);
+    writer.Put(seed_);
+  }
+  static std::unique_ptr<txn::Transaction> Decode(BinaryReader& reader) {
+    const auto key = reader.Get<Key>();
+    const auto seed = reader.Get<std::uint64_t>();
+    return std::make_unique<KvBigPutTxn>(key, seed);
+  }
+
+  static void Fill(Key key, std::uint64_t seed, std::uint8_t* out) {
+    for (std::uint32_t i = 0; i < kBigValueSize; ++i) {
+      out[i] = static_cast<std::uint8_t>(key * 7 + seed * 31 + i);
+    }
+  }
+
+  void AppendStep(txn::AppendContext& ctx) override { ctx.DeclareUpdate(0, key_); }
+  void Execute(txn::ExecContext& ctx) override {
+    std::uint8_t data[kBigValueSize];
+    Fill(key_, seed_, data);
+    ctx.Write(0, key_, data, sizeof(data));
+  }
+
+ private:
+  Key key_;
+  std::uint64_t seed_;
+};
+
+inline constexpr txn::TxnType kKvInsertType = 4;
+inline constexpr txn::TxnType kKvDeleteType = 5;
+inline constexpr txn::TxnType kKvAbortType = 6;
+inline constexpr txn::TxnType kKvVarPutType = 7;
+
+// Inserts a fresh row with an 8-byte value in the insert step.
+class KvInsertTxn final : public txn::Transaction {
+ public:
+  KvInsertTxn(Key key, std::uint64_t value) : key_(key), value_(value) {}
+  txn::TxnType type() const override { return kKvInsertType; }
+  void EncodeInputs(BinaryWriter& w) const override {
+    w.Put(key_);
+    w.Put(value_);
+  }
+  static std::unique_ptr<txn::Transaction> Decode(BinaryReader& r) {
+    const auto key = r.Get<Key>();
+    const auto value = r.Get<std::uint64_t>();
+    return std::make_unique<KvInsertTxn>(key, value);
+  }
+  void InsertStep(txn::InsertContext& ctx) override {
+    ctx.InsertRow(0, key_, &value_, sizeof(value_));
+  }
+  void Execute(txn::ExecContext&) override {}
+
+ private:
+  Key key_;
+  std::uint64_t value_;
+};
+
+class KvDeleteTxn final : public txn::Transaction {
+ public:
+  explicit KvDeleteTxn(Key key) : key_(key) {}
+  txn::TxnType type() const override { return kKvDeleteType; }
+  void EncodeInputs(BinaryWriter& w) const override { w.Put(key_); }
+  static std::unique_ptr<txn::Transaction> Decode(BinaryReader& r) {
+    return std::make_unique<KvDeleteTxn>(r.Get<Key>());
+  }
+  void AppendStep(txn::AppendContext& ctx) override { ctx.DeclareDelete(0, key_); }
+  void Execute(txn::ExecContext& ctx) override { ctx.Delete(0, key_); }
+
+ private:
+  Key key_;
+};
+
+// Declares a write but user-aborts before writing (IGNORE path).
+class KvAbortTxn final : public txn::Transaction {
+ public:
+  explicit KvAbortTxn(Key key) : key_(key) {}
+  txn::TxnType type() const override { return kKvAbortType; }
+  void EncodeInputs(BinaryWriter& w) const override { w.Put(key_); }
+  static std::unique_ptr<txn::Transaction> Decode(BinaryReader& r) {
+    return std::make_unique<KvAbortTxn>(r.Get<Key>());
+  }
+  void AppendStep(txn::AppendContext& ctx) override { ctx.DeclareUpdate(0, key_); }
+  void Execute(txn::ExecContext& ctx) override { ctx.Abort(); }
+
+ private:
+  Key key_;
+};
+
+// Writes a deterministic pattern of a given size (spans inline/pool classes).
+class KvVarPutTxn final : public txn::Transaction {
+ public:
+  KvVarPutTxn(Key key, std::uint32_t size, std::uint64_t seed)
+      : key_(key), size_(size), seed_(seed) {}
+  txn::TxnType type() const override { return kKvVarPutType; }
+  void EncodeInputs(BinaryWriter& w) const override {
+    w.Put(key_);
+    w.Put(size_);
+    w.Put(seed_);
+  }
+  static std::unique_ptr<txn::Transaction> Decode(BinaryReader& r) {
+    const auto key = r.Get<Key>();
+    const auto size = r.Get<std::uint32_t>();
+    const auto seed = r.Get<std::uint64_t>();
+    return std::make_unique<KvVarPutTxn>(key, size, seed);
+  }
+  static std::vector<std::uint8_t> Pattern(Key key, std::uint32_t size, std::uint64_t seed) {
+    std::vector<std::uint8_t> data(size);
+    for (std::uint32_t i = 0; i < size; ++i) {
+      data[i] = static_cast<std::uint8_t>(key * 13 + seed * 31 + i);
+    }
+    return data;
+  }
+  void AppendStep(txn::AppendContext& ctx) override { ctx.DeclareUpdate(0, key_); }
+  void Execute(txn::ExecContext& ctx) override {
+    const auto data = Pattern(key_, size_, seed_);
+    ctx.Write(0, key_, data.data(), size_);
+  }
+
+ private:
+  Key key_;
+  std::uint32_t size_;
+  std::uint64_t seed_;
+};
+
+inline txn::TxnRegistry KvRegistry() {
+  txn::TxnRegistry registry;
+  registry.Register(kKvPutType, KvPutTxn::Decode);
+  registry.Register(kKvRmwType, KvRmwTxn::Decode);
+  registry.Register(kKvBigPutType, KvBigPutTxn::Decode);
+  registry.Register(kKvInsertType, KvInsertTxn::Decode);
+  registry.Register(kKvDeleteType, KvDeleteTxn::Decode);
+  registry.Register(kKvAbortType, KvAbortTxn::Decode);
+  registry.Register(kKvVarPutType, KvVarPutTxn::Decode);
+  return registry;
+}
+
+inline core::DatabaseSpec SmallKvSpec(std::size_t workers = 1) {
+  core::DatabaseSpec spec;
+  spec.workers = workers;
+  spec.tables.push_back(core::TableSpec{.name = "kv",
+                                        .row_size = 256,
+                                        .ordered = false,
+                                        .capacity_rows = 4096,
+                                        .freelist_capacity = 4096});
+  spec.value_blocks_per_core = 4096;
+  spec.value_freelist_capacity = 8192;
+  spec.log_bytes = 1u << 20;
+  spec.cache_max_entries = 1 << 14;
+  return spec;
+}
+
+inline sim::NvmConfig ShadowDeviceConfig(const core::DatabaseSpec& spec) {
+  sim::NvmConfig config;
+  config.size_bytes = core::Database::RequiredDeviceBytes(spec);
+  config.crash_tracking = sim::CrashTracking::kShadow;
+  return config;
+}
+
+inline std::uint64_t ReadU64(core::Database& db, TableId table, Key key) {
+  std::uint64_t value = 0;
+  const int n = db.ReadCommitted(table, key, &value, sizeof(value));
+  return n < 0 ? ~0ULL : value;
+}
+
+// Full committed row contents (empty vector when absent).
+inline std::vector<std::uint8_t> ReadBytes(core::Database& db, TableId table, Key key) {
+  std::vector<std::uint8_t> buffer(4096);
+  const int n = db.ReadCommitted(table, key, buffer.data(), buffer.size());
+  if (n < 0) {
+    return {};
+  }
+  buffer.resize(static_cast<std::size_t>(n));
+  return buffer;
+}
+
+}  // namespace nvc::test

@@ -1,0 +1,97 @@
+// Transaction stream codec: round trips, framing, unknown types, and
+// workload generator determinism (same seed => byte-identical streams, the
+// property replication and replay both rest on).
+#include <gtest/gtest.h>
+
+#include "src/txn/stream.h"
+#include "src/workload/smallbank.h"
+#include "src/workload/tpcc.h"
+#include "src/workload/ycsb.h"
+#include "tests/test_util.h"
+
+namespace nvc::test {
+namespace {
+
+TEST(TxnStreamTest, RoundTripMixedTypes) {
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  txns.push_back(std::make_unique<KvPutTxn>(1, 100));
+  txns.push_back(std::make_unique<KvRmwTxn>(2, 7));
+  txns.push_back(std::make_unique<KvVarPutTxn>(3, 500, 42));
+  txns.push_back(std::make_unique<KvDeleteTxn>(4));
+
+  const auto bytes = txn::EncodeTxnStream(txns);
+  const auto decoded = txn::DecodeTxnStream(bytes.data(), bytes.size(),
+                                            static_cast<std::uint32_t>(txns.size()),
+                                            KvRegistry());
+  ASSERT_EQ(decoded.size(), txns.size());
+  for (std::size_t i = 0; i < txns.size(); ++i) {
+    EXPECT_EQ(decoded[i]->type(), txns[i]->type());
+  }
+  // Re-encoding the decoded stream must be byte-identical.
+  EXPECT_EQ(txn::EncodeTxnStream(decoded), bytes);
+}
+
+TEST(TxnStreamTest, EmptyStream) {
+  const auto bytes = txn::EncodeTxnStream({});
+  EXPECT_TRUE(bytes.empty());
+  EXPECT_TRUE(txn::DecodeTxnStream(bytes.data(), 0, 0, KvRegistry()).empty());
+}
+
+TEST(TxnStreamTest, UnknownTypeThrows) {
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  txns.push_back(std::make_unique<KvPutTxn>(1, 100));
+  const auto bytes = txn::EncodeTxnStream(txns);
+  const txn::TxnRegistry empty;
+  EXPECT_THROW(txn::DecodeTxnStream(bytes.data(), bytes.size(), 1, empty),
+               std::runtime_error);
+}
+
+template <typename MakeA, typename MakeB>
+void ExpectDeterministicGenerator(MakeA make_a, MakeB make_b) {
+  auto a = make_a();
+  auto b = make_b();
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    const auto ta = a.MakeEpoch(100);
+    const auto tb = b.MakeEpoch(100);
+    EXPECT_EQ(txn::EncodeTxnStream(ta), txn::EncodeTxnStream(tb)) << "epoch " << epoch;
+  }
+}
+
+TEST(TxnStreamTest, YcsbGeneratorIsDeterministic) {
+  workload::YcsbConfig config;
+  config.rows = 5000;
+  config.hot_ops = 4;
+  ExpectDeterministicGenerator([&] { return workload::YcsbWorkload(config); },
+                               [&] { return workload::YcsbWorkload(config); });
+}
+
+TEST(TxnStreamTest, SmallBankGeneratorIsDeterministic) {
+  workload::SmallBankConfig config;
+  config.customers = 2000;
+  ExpectDeterministicGenerator([&] { return workload::SmallBankWorkload(config); },
+                               [&] { return workload::SmallBankWorkload(config); });
+}
+
+TEST(TxnStreamTest, TpccGeneratorIsDeterministic) {
+  workload::TpccConfig config;
+  config.warehouses = 2;
+  config.items = 200;
+  config.customers_per_district = 20;
+  config.initial_orders_per_district = 20;
+  ExpectDeterministicGenerator([&] { return workload::TpccWorkload(config); },
+                               [&] { return workload::TpccWorkload(config); });
+}
+
+TEST(TxnStreamTest, DifferentSeedsDiffer) {
+  workload::YcsbConfig a;
+  a.rows = 5000;
+  a.seed = 1;
+  workload::YcsbConfig b = a;
+  b.seed = 2;
+  workload::YcsbWorkload wa(a);
+  workload::YcsbWorkload wb(b);
+  EXPECT_NE(txn::EncodeTxnStream(wa.MakeEpoch(50)), txn::EncodeTxnStream(wb.MakeEpoch(50)));
+}
+
+}  // namespace
+}  // namespace nvc::test

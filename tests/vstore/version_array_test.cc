@@ -1,0 +1,124 @@
+// Version arrays: sorted insertion, growth, binary searches, state machine.
+#include <gtest/gtest.h>
+
+#include "src/alloc/transient_pool.h"
+#include "src/common/rng.h"
+#include "src/vstore/version_array.h"
+
+namespace nvc::test {
+namespace {
+
+using alloc::TransientPool;
+using vstore::kIgnore;
+using vstore::kPending;
+using vstore::kTombstone;
+using vstore::VersionArray;
+
+TEST(VersionArrayTest, CreateHasInitialSlot) {
+  TransientPool pool(1);
+  VersionArray* array = VersionArray::Create(pool, 0);
+  ASSERT_EQ(array->count(), 1u);
+  EXPECT_EQ(array->entry(0).sid, 0u);
+  EXPECT_EQ(array->entry(0).state.load(), kPending);
+}
+
+TEST(VersionArrayTest, AppendsStaySortedRegardlessOfOrder) {
+  TransientPool pool(1);
+  VersionArray* array = VersionArray::Create(pool, 0);
+  const std::uint32_t seqs[] = {5, 2, 9, 1, 7, 3, 8, 4, 6};
+  for (std::uint32_t seq : seqs) {
+    array->Append(pool, 0, Sid(2, seq));
+  }
+  ASSERT_EQ(array->count(), 10u);
+  for (std::uint32_t i = 1; i < array->count(); ++i) {
+    EXPECT_LT(array->entry(i - 1).sid, array->entry(i).sid);
+    EXPECT_EQ(array->entry(i).state.load(), kPending);
+  }
+}
+
+TEST(VersionArrayTest, GrowthPreservesEntries) {
+  TransientPool pool(1);
+  VersionArray* array = VersionArray::Create(pool, 0);
+  for (std::uint32_t seq = 1; seq <= 100; ++seq) {
+    array->Append(pool, 0, Sid(2, seq));
+    // Mark odd versions so we can detect copy bugs after growth.
+    if (seq % 2 == 1) {
+      const int slot = array->FindSlot(Sid(2, seq));
+      array->entry(static_cast<std::uint32_t>(slot)).state.store(kIgnore);
+    }
+  }
+  ASSERT_EQ(array->count(), 101u);
+  for (std::uint32_t seq = 1; seq <= 100; ++seq) {
+    const int slot = array->FindSlot(Sid(2, seq));
+    ASSERT_GE(slot, 1);
+    EXPECT_EQ(array->entry(static_cast<std::uint32_t>(slot)).state.load(),
+              seq % 2 == 1 ? kIgnore : kPending);
+  }
+}
+
+TEST(VersionArrayTest, FindSlotExactOnly) {
+  TransientPool pool(1);
+  VersionArray* array = VersionArray::Create(pool, 0);
+  array->Append(pool, 0, Sid(2, 10));
+  array->Append(pool, 0, Sid(2, 20));
+  EXPECT_GE(array->FindSlot(Sid(2, 10)), 1);
+  EXPECT_GE(array->FindSlot(Sid(2, 20)), 1);
+  EXPECT_EQ(array->FindSlot(Sid(2, 15)), -1);
+  EXPECT_EQ(array->FindSlot(Sid(3, 10)), -1);
+}
+
+TEST(VersionArrayTest, LatestBeforeSemantics) {
+  TransientPool pool(1);
+  VersionArray* array = VersionArray::Create(pool, 0);
+  array->Append(pool, 0, Sid(2, 10));
+  array->Append(pool, 0, Sid(2, 20));
+  // A reader below every writer sees the initial version (slot 0).
+  EXPECT_EQ(array->LatestBefore(Sid(2, 5)), 0);
+  // A reader between the writers sees the first writer.
+  const int mid = array->LatestBefore(Sid(2, 15));
+  EXPECT_EQ(array->entry(static_cast<std::uint32_t>(mid)).sid, Sid(2, 10).raw());
+  // Readers never see their own SID.
+  const int self = array->LatestBefore(Sid(2, 10));
+  EXPECT_EQ(self, 0);
+  // A reader above everything sees the last writer.
+  const int top = array->LatestBefore(Sid(2, 99));
+  EXPECT_EQ(array->entry(static_cast<std::uint32_t>(top)).sid, Sid(2, 20).raw());
+}
+
+TEST(VersionArrayTest, IsFinalIdentifiesHighestSid) {
+  TransientPool pool(1);
+  VersionArray* array = VersionArray::Create(pool, 0);
+  array->Append(pool, 0, Sid(2, 10));
+  array->Append(pool, 0, Sid(2, 30));
+  array->Append(pool, 0, Sid(2, 20));
+  EXPECT_FALSE(array->IsFinal(Sid(2, 10)));
+  EXPECT_FALSE(array->IsFinal(Sid(2, 20)));
+  EXPECT_TRUE(array->IsFinal(Sid(2, 30)));
+}
+
+TEST(VersionArrayTest, RandomizedSortedInvariant) {
+  TransientPool pool(1);
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    VersionArray* array = VersionArray::Create(pool, 0);
+    std::set<std::uint32_t> used;
+    const int n = 1 + static_cast<int>(rng.NextBounded(200));
+    for (int i = 0; i < n; ++i) {
+      std::uint32_t seq;
+      do {
+        seq = static_cast<std::uint32_t>(rng.NextRange(1, 100'000));
+      } while (!used.insert(seq).second);
+      array->Append(pool, 0, Sid(3, seq));
+    }
+    ASSERT_EQ(array->count(), used.size() + 1);
+    std::uint64_t prev = 0;
+    for (std::uint32_t i = 0; i < array->count(); ++i) {
+      EXPECT_GE(array->entry(i).sid, prev);
+      prev = array->entry(i).sid;
+    }
+    pool.Reset();
+  }
+}
+
+}  // namespace
+}  // namespace nvc::test

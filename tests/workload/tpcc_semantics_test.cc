@@ -1,0 +1,197 @@
+// TPC-C transaction-level semantics: the effects each of the five
+// transactions must have on specific rows and counters.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/workload/tpcc.h"
+#include "src/workload/tpcc_txns.h"
+#include "tests/test_util.h"
+
+namespace nvc::test {
+namespace {
+
+using core::Database;
+using sim::NvmDevice;
+using namespace nvc::workload;  // NOLINT: test readability
+
+struct TpccFixture {
+  TpccFixture() : config(MakeConfig()), generator(config) {
+    spec = generator.Spec(1);
+    device = std::make_unique<NvmDevice>(
+        sim::NvmConfig{.size_bytes = Database::RequiredDeviceBytes(spec)});
+    db = std::make_unique<Database>(*device, spec);
+    db->Format();
+    generator.Load(*db);
+    db->FinalizeLoad();
+  }
+
+  static TpccConfig MakeConfig() {
+    TpccConfig config;
+    config.warehouses = 1;
+    config.items = 100;
+    config.customers_per_district = 10;
+    config.initial_orders_per_district = 10;
+    config.new_order_capacity = 1000;
+    config.new_order_rollback_pct = 0;
+    return config;
+  }
+
+  template <typename T>
+  T Get(TableId table, Key key) {
+    T row{};
+    EXPECT_GE(db->ReadCommitted(table, key, &row, sizeof(row)), 0) << "missing row";
+    return row;
+  }
+
+  void Run(std::unique_ptr<txn::Transaction> txn) {
+    std::vector<std::unique_ptr<txn::Transaction>> txns;
+    txns.push_back(std::move(txn));
+    const auto result = db->ExecuteEpoch(std::move(txns));
+    ASSERT_EQ(result.committed, 1u);
+  }
+
+  TpccConfig config;
+  TpccWorkload generator;
+  core::DatabaseSpec spec;
+  std::unique_ptr<NvmDevice> device;
+  std::unique_ptr<Database> db;
+};
+
+TEST(TpccSemanticsTest, NewOrderCreatesRowsAndUpdatesStock) {
+  TpccFixture f;
+  const std::uint64_t next_o = f.db->counter_value(OrderCounter(f.config, 1, 3));
+  const StockRow stock_before = f.Get<StockRow>(kStock, StockKey(1, 5));
+
+  std::vector<NewOrderLine> lines;
+  lines.push_back(NewOrderLine{.item = 5, .supply_w = 1, .quantity = 3});
+  lines.push_back(NewOrderLine{.item = 6, .supply_w = 1, .quantity = 2});
+  f.Run(std::make_unique<TpccNewOrderTxn>(&f.config, 1, 3, 7, 1234, lines));
+
+  // Order + NewOrder + OrderLine rows exist with the counter-drawn id.
+  const OrderRow order = f.Get<OrderRow>(kOrderTable, OrderKey(1, 3, next_o));
+  EXPECT_EQ(order.c_id, 7u);
+  EXPECT_EQ(order.ol_cnt, 2u);
+  EXPECT_EQ(order.carrier_id, 0u);
+  EXPECT_EQ(order.entry_date, 1234);
+  (void)f.Get<NewOrderRow>(kNewOrderTable, NewOrderKey(1, 3, next_o));
+  const OrderLineRow line1 = f.Get<OrderLineRow>(kOrderLine, OrderLineKey(1, 3, next_o, 1));
+  EXPECT_EQ(line1.i_id, 5u);
+  EXPECT_EQ(line1.quantity, 3);
+  const ItemRow item = f.Get<ItemRow>(kItem, ItemKey(5));
+  EXPECT_EQ(line1.amount, item.price * 3);
+
+  // Stock decremented (with the TPC-C +91 underflow rule) and counted.
+  const StockRow stock_after = f.Get<StockRow>(kStock, StockKey(1, 5));
+  const std::int32_t expected_qty = stock_before.quantity >= 3 + 10
+                                        ? stock_before.quantity - 3
+                                        : stock_before.quantity - 3 + 91;
+  EXPECT_EQ(stock_after.quantity, expected_qty);
+  EXPECT_EQ(stock_after.order_cnt, stock_before.order_cnt + 1);
+  EXPECT_EQ(stock_after.ytd, stock_before.ytd + 3);
+
+  // Customer-last-order updated; the counter advanced.
+  const CustomerLastOrderRow last =
+      f.Get<CustomerLastOrderRow>(kCustomerLastOrder, CustomerKey(1, 3, 7));
+  EXPECT_EQ(last.o_id, next_o);
+  EXPECT_EQ(f.db->counter_value(OrderCounter(f.config, 1, 3)), next_o + 1);
+}
+
+TEST(TpccSemanticsTest, PaymentMovesMoneyAndWritesHistory) {
+  TpccFixture f;
+  const WarehouseRow w_before = f.Get<WarehouseRow>(kWarehouse, WarehouseKey(1));
+  const DistrictRow d_before = f.Get<DistrictRow>(kDistrict, DistrictKey(1, 2));
+  const CustomerRow c_before = f.Get<CustomerRow>(kCustomer, CustomerKey(1, 2, 4));
+  const std::uint64_t h_seq = f.db->counter_value(HistoryCounter(f.config, 1));
+
+  f.Run(std::make_unique<TpccPaymentTxn>(&f.config, 1, 2, 1, 2, 4, /*amount=*/777,
+                                         /*date=*/55));
+
+  EXPECT_EQ(f.Get<WarehouseRow>(kWarehouse, WarehouseKey(1)).ytd, w_before.ytd + 777);
+  EXPECT_EQ(f.Get<DistrictRow>(kDistrict, DistrictKey(1, 2)).ytd, d_before.ytd + 777);
+  const CustomerRow c_after = f.Get<CustomerRow>(kCustomer, CustomerKey(1, 2, 4));
+  EXPECT_EQ(c_after.balance, c_before.balance - 777);
+  EXPECT_EQ(c_after.ytd_payment, c_before.ytd_payment + 777);
+  EXPECT_EQ(c_after.payment_cnt, c_before.payment_cnt + 1);
+
+  const HistoryRow history = f.Get<HistoryRow>(kHistory, HistoryKey(1, h_seq));
+  EXPECT_EQ(history.amount, 777);
+  EXPECT_EQ(history.customer_key, CustomerKey(1, 2, 4));
+}
+
+TEST(TpccSemanticsTest, DeliveryDeliversOldestUndeliveredOrders) {
+  TpccFixture f;
+  // Initial load: orders 1..10 per district, 1..7 delivered, 8..10 pending.
+  const std::uint64_t first_undelivered =
+      f.db->counter_value(DeliveryCounter(f.config, 1, 1));
+  ASSERT_EQ(first_undelivered, 8u);
+  const OrderRow pending = f.Get<OrderRow>(kOrderTable, OrderKey(1, 1, 8));
+  ASSERT_EQ(pending.carrier_id, 0u);
+  const CustomerRow c_before =
+      f.Get<CustomerRow>(kCustomer, CustomerKey(1, 1, pending.c_id));
+
+  f.Run(std::make_unique<TpccDeliveryTxn>(&f.config, 1, /*carrier=*/9, /*date=*/99));
+
+  // Order 8 of every district delivered: carrier set, NewOrder row gone,
+  // lines stamped, customer credited with the line total.
+  const OrderRow delivered = f.Get<OrderRow>(kOrderTable, OrderKey(1, 1, 8));
+  EXPECT_EQ(delivered.carrier_id, 9u);
+  NewOrderRow no_row{};
+  EXPECT_EQ(f.db->ReadCommitted(kNewOrderTable, NewOrderKey(1, 1, 8), &no_row,
+                                sizeof(no_row)),
+            -1);
+  std::int64_t total = 0;
+  for (std::uint64_t ol = 1; ol <= delivered.ol_cnt; ++ol) {
+    const OrderLineRow line = f.Get<OrderLineRow>(kOrderLine, OrderLineKey(1, 1, 8, ol));
+    EXPECT_EQ(line.delivery_date, 99);
+    total += line.amount;
+  }
+  const CustomerRow c_after =
+      f.Get<CustomerRow>(kCustomer, CustomerKey(1, 1, pending.c_id));
+  EXPECT_EQ(c_after.balance, c_before.balance + total);
+  EXPECT_EQ(c_after.delivery_cnt, c_before.delivery_cnt + 1);
+  EXPECT_EQ(f.db->counter_value(DeliveryCounter(f.config, 1, 1)), 9u);
+}
+
+TEST(TpccSemanticsTest, DeliverySkipsDistrictsWithNothingPending) {
+  TpccFixture f;
+  // Deliver the 3 pending orders of every district, plus one extra round.
+  for (int i = 0; i < 4; ++i) {
+    f.Run(std::make_unique<TpccDeliveryTxn>(&f.config, 1, 5, 10 + i));
+  }
+  // The counter stops at the order counter; nothing ran past it.
+  for (std::uint64_t d = 1; d <= kDistrictsPerWarehouse; ++d) {
+    EXPECT_EQ(f.db->counter_value(DeliveryCounter(f.config, 1, d)),
+              f.db->counter_value(OrderCounter(f.config, 1, d)));
+  }
+  std::string message;
+  EXPECT_TRUE(TpccWorkload::CheckConsistency(*f.db, f.config, &message)) << message;
+}
+
+TEST(TpccSemanticsTest, RolledBackNewOrderHasNoEffects) {
+  TpccFixture f;
+  const std::uint64_t next_o = f.db->counter_value(OrderCounter(f.config, 1, 1));
+  const StockRow stock_before = f.Get<StockRow>(kStock, StockKey(1, 5));
+
+  std::vector<NewOrderLine> lines;
+  lines.push_back(NewOrderLine{.item = 5, .supply_w = 1, .quantity = 3});
+  lines.push_back(NewOrderLine{.item = f.config.items + 1, .supply_w = 1, .quantity = 1});
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  txns.push_back(std::make_unique<TpccNewOrderTxn>(&f.config, 1, 1, 2, 1, lines));
+  const auto result = f.db->ExecuteEpoch(std::move(txns));
+  EXPECT_EQ(result.aborted, 1u);
+
+  // The counter advanced (gap), but no rows or stock changes exist.
+  EXPECT_EQ(f.db->counter_value(OrderCounter(f.config, 1, 1)), next_o + 1);
+  OrderRow order{};
+  EXPECT_EQ(f.db->ReadCommitted(kOrderTable, OrderKey(1, 1, next_o), &order, sizeof(order)),
+            -1);
+  const StockRow stock_after = f.Get<StockRow>(kStock, StockKey(1, 5));
+  EXPECT_EQ(stock_after.quantity, stock_before.quantity);
+  EXPECT_EQ(stock_after.order_cnt, stock_before.order_cnt);
+  std::string message;
+  EXPECT_TRUE(TpccWorkload::CheckConsistency(*f.db, f.config, &message)) << message;
+}
+
+}  // namespace
+}  // namespace nvc::test

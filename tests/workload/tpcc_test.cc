@@ -1,0 +1,193 @@
+// TPC-C correctness: order/delivery bookkeeping stays consistent across
+// epochs, and revert-and-replay recovery (the counters make TPC-C not fully
+// deterministic) restores a consistent state.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/workload/tpcc.h"
+#include "src/workload/tpcc_txns.h"
+#include "tests/test_util.h"
+
+namespace nvc::test {
+namespace {
+
+using core::CrashSite;
+using core::Database;
+using sim::NvmDevice;
+using namespace nvc::workload;  // NOLINT: test readability
+
+TpccConfig TinyConfig(std::uint32_t warehouses) {
+  TpccConfig config;
+  config.warehouses = warehouses;
+  config.items = 500;
+  config.customers_per_district = 30;
+  config.initial_orders_per_district = 30;
+  config.new_order_capacity = 20'000;
+  return config;
+}
+
+TEST(TpccTest, LoadIsConsistent) {
+  const TpccConfig config = TinyConfig(2);
+  TpccWorkload workload(config);
+  core::DatabaseSpec spec = workload.Spec(1);
+  NvmDevice device(sim::NvmConfig{.size_bytes = Database::RequiredDeviceBytes(spec)});
+  Database db(device, spec);
+  db.Format();
+  workload.Load(db);
+  db.FinalizeLoad();
+
+  std::string message;
+  EXPECT_TRUE(TpccWorkload::CheckConsistency(db, config, &message)) << message;
+  EXPECT_EQ(db.table_rows(kWarehouse), 2u);
+  EXPECT_EQ(db.table_rows(kDistrict), 20u);
+  EXPECT_EQ(db.table_rows(kCustomer), 600u);
+  EXPECT_EQ(db.table_rows(kItem), 500u);
+  EXPECT_EQ(db.table_rows(kStock), 1000u);
+  EXPECT_EQ(db.table_rows(kOrderTable), 600u);
+  // 30% of the 30 initial orders per district are undelivered.
+  EXPECT_EQ(db.table_rows(kNewOrderTable), 20u * 9);
+}
+
+class TpccRunTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TpccRunTest, EpochsStayConsistent) {
+  const TpccConfig config = TinyConfig(GetParam());
+  TpccWorkload workload(config);
+  core::DatabaseSpec spec = workload.Spec(1);
+  NvmDevice device(sim::NvmConfig{.size_bytes = Database::RequiredDeviceBytes(spec)});
+  Database db(device, spec);
+  db.Format();
+  workload.Load(db);
+  db.FinalizeLoad();
+
+  std::size_t committed = 0;
+  std::size_t aborted = 0;
+  for (int e = 0; e < 6; ++e) {
+    const auto result = db.ExecuteEpoch(workload.MakeEpoch(250));
+    committed += result.committed;
+    aborted += result.aborted;
+    std::string message;
+    ASSERT_TRUE(TpccWorkload::CheckConsistency(db, config, &message))
+        << "epoch " << e << ": " << message;
+  }
+  EXPECT_EQ(committed + aborted, 1500u);
+  // ~1% of the ~45% NewOrder share rolls back (TPC-C 2.4.1.4).
+  EXPECT_LT(aborted, 30u);
+  // Orders were actually created.
+  std::uint64_t total_orders = 0;
+  for (std::uint64_t w = 1; w <= config.warehouses; ++w) {
+    for (std::uint64_t d = 1; d <= kDistrictsPerWarehouse; ++d) {
+      total_orders += db.counter_value(OrderCounter(config, w, d)) - 1;
+    }
+  }
+  EXPECT_GT(total_orders,
+            static_cast<std::uint64_t>(config.warehouses) * kDistrictsPerWarehouse *
+                config.initial_orders_per_district);
+}
+
+INSTANTIATE_TEST_SUITE_P(Warehouses, TpccRunTest, ::testing::Values(1u, 2u, 4u));
+
+TEST(TpccTest, CrashRecoveryRestoresConsistency) {
+  const TpccConfig config = TinyConfig(2);
+  TpccWorkload workload(config);
+  core::DatabaseSpec spec = workload.Spec(1);
+  ASSERT_EQ(spec.recovery, core::RecoveryPolicy::kRevertAndReplay);
+  NvmDevice device(sim::NvmConfig{.size_bytes = Database::RequiredDeviceBytes(spec),
+                                  .crash_tracking = sim::CrashTracking::kShadow});
+  {
+    Database db(device, spec);
+    db.Format();
+    workload.Load(db);
+    db.FinalizeLoad();
+    for (int e = 0; e < 2; ++e) {
+      ASSERT_FALSE(db.ExecuteEpoch(workload.MakeEpoch(250)).crashed);
+    }
+    int count = 0;
+    db.SetCrashHook([&count](CrashSite site) {
+      return site == CrashSite::kMidExecution && ++count > 150;
+    });
+    ASSERT_TRUE(db.ExecuteEpoch(workload.MakeEpoch(250)).crashed);
+  }
+  device.CrashChaos(31, 0.5);
+
+  Database recovered(device, spec);
+  const auto report = recovered.Recover(workload.Registry());
+  ASSERT_TRUE(report.replayed);
+  EXPECT_EQ(report.replayed_txns, 250u);
+
+  std::string message;
+  EXPECT_TRUE(TpccWorkload::CheckConsistency(recovered, config, &message)) << message;
+
+  // The database remains usable: run more epochs on the recovered instance.
+  for (int e = 0; e < 2; ++e) {
+    const auto result = recovered.ExecuteEpoch(workload.MakeEpoch(250));
+    EXPECT_EQ(result.committed + result.aborted, 250u);
+  }
+  EXPECT_TRUE(TpccWorkload::CheckConsistency(recovered, config, &message)) << message;
+}
+
+// Force a high NewOrder rollback rate: aborted orders leave order-id gaps
+// that Delivery and the consistency audit must tolerate, and the inserted
+// rows must be fully discarded.
+TEST(TpccTest, NewOrderRollbacksLeaveConsistentGaps) {
+  TpccConfig config = TinyConfig(1);
+  config.new_order_rollback_pct = 50;
+  TpccWorkload workload(config);
+  core::DatabaseSpec spec = workload.Spec(1);
+  NvmDevice device(sim::NvmConfig{.size_bytes = Database::RequiredDeviceBytes(spec)});
+  Database db(device, spec);
+  db.Format();
+  workload.Load(db);
+  db.FinalizeLoad();
+
+  std::size_t aborted = 0;
+  for (int e = 0; e < 4; ++e) {
+    const auto result = db.ExecuteEpoch(workload.MakeEpoch(250));
+    aborted += result.aborted;
+    std::string message;
+    ASSERT_TRUE(TpccWorkload::CheckConsistency(db, config, &message))
+        << "epoch " << e << ": " << message;
+  }
+  // ~50% of the ~45% NewOrder share aborts.
+  EXPECT_GT(aborted, 100u);
+  // Gap accounting: the order counter advanced past the number of live
+  // Order rows (aborted inserts were discarded).
+  std::uint64_t next_order_total = 0;
+  for (std::uint64_t d = 1; d <= kDistrictsPerWarehouse; ++d) {
+    next_order_total += db.counter_value(OrderCounter(config, 1, d)) - 1;
+  }
+  EXPECT_GT(next_order_total, db.table_rows(kOrderTable));
+}
+
+TEST(TpccTest, RevertedVersionsAreCounted) {
+  const TpccConfig config = TinyConfig(1);
+  TpccWorkload workload(config);
+  core::DatabaseSpec spec = workload.Spec(1);
+  NvmDevice device(sim::NvmConfig{.size_bytes = Database::RequiredDeviceBytes(spec),
+                                  .crash_tracking = sim::CrashTracking::kShadow});
+  {
+    Database db(device, spec);
+    db.Format();
+    workload.Load(db);
+    db.FinalizeLoad();
+    db.ExecuteEpoch(workload.MakeEpoch(200));
+    db.SetCrashHook([](CrashSite site) { return site == CrashSite::kAfterExecution; });
+    ASSERT_TRUE(db.ExecuteEpoch(workload.MakeEpoch(200)).crashed);
+  }
+  // Keep most unfenced lines so the crashed epoch's SIDs are visible in NVMM
+  // and the scan has versions to revert.
+  device.CrashChaos(5, 0.95);
+
+  Database recovered(device, spec);
+  const auto report = recovered.Recover(workload.Registry());
+  ASSERT_TRUE(report.replayed);
+  // The whole epoch executed before the crash, so many persistent versions
+  // carried the crashed epoch's SIDs and had to be reverted.
+  EXPECT_GT(report.reverted_versions, 0u);
+  std::string message;
+  EXPECT_TRUE(TpccWorkload::CheckConsistency(recovered, config, &message)) << message;
+}
+
+}  // namespace
+}  // namespace nvc::test

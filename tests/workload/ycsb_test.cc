@@ -1,0 +1,177 @@
+// YCSB workload correctness: generated keys respect the contention knobs,
+// updates land with the right contents, and crash recovery reproduces the
+// exact state of an uncrashed run.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/workload/ycsb.h"
+#include "tests/test_util.h"
+
+namespace nvc::test {
+namespace {
+
+using core::CrashSite;
+using core::Database;
+using sim::NvmDevice;
+using workload::kYcsbTable;
+using workload::YcsbConfig;
+using workload::YcsbRmwTxn;
+using workload::YcsbWorkload;
+
+YcsbConfig TinyConfig(std::uint32_t hot_ops) {
+  YcsbConfig config;
+  config.rows = 2000;
+  config.value_size = 100;
+  config.update_bytes = 40;
+  config.hot_rows = 16;
+  config.hot_ops = hot_ops;
+  config.row_size = 256;  // 100 B values do not fit the 84 B half-heap: pool values
+  return config;
+}
+
+TEST(YcsbTest, GeneratedKeysRespectContention) {
+  YcsbWorkload workload(TinyConfig(7));
+  auto txns = workload.MakeEpoch(200);
+  std::size_t hot = 0;
+  std::size_t total = 0;
+  for (const auto& txn : txns) {
+    const auto* rmw = dynamic_cast<const YcsbRmwTxn*>(txn.get());
+    ASSERT_NE(rmw, nullptr);
+    ASSERT_EQ(rmw->keys().size(), 10u);
+    // Keys must be unique within a transaction.
+    for (std::size_t i = 0; i < rmw->keys().size(); ++i) {
+      for (std::size_t j = i + 1; j < rmw->keys().size(); ++j) {
+        EXPECT_NE(rmw->keys()[i], rmw->keys()[j]);
+      }
+      if (rmw->keys()[i] < 16) {
+        ++hot;
+      }
+      ++total;
+    }
+  }
+  EXPECT_EQ(hot, 200u * 7);  // exactly hot_ops per transaction
+  EXPECT_EQ(total, 2000u);
+}
+
+TEST(YcsbTest, RunsAndUpdatesRows) {
+  YcsbWorkload workload(TinyConfig(4));
+  core::DatabaseSpec spec = workload.Spec(1);
+  NvmDevice device(sim::NvmConfig{.size_bytes = Database::RequiredDeviceBytes(spec)});
+  Database db(device, spec);
+  db.Format();
+  workload.Load(db);
+  db.FinalizeLoad();
+
+  for (int e = 0; e < 3; ++e) {
+    const auto result = db.ExecuteEpoch(workload.MakeEpoch(100));
+    EXPECT_EQ(result.committed, 100u);
+    EXPECT_EQ(result.aborted, 0u);
+  }
+  // Untouched cold rows keep their load pattern.
+  std::vector<std::uint8_t> expected(100);
+  std::vector<std::uint8_t> actual(100);
+  // Find a key no transaction touched (beyond hot rows; check a high key).
+  const Key cold = 1999;
+  YcsbWorkload::FillRow(cold, expected.data(), 100);
+  const int n = db.ReadCommitted(kYcsbTable, cold, actual.data(), 100);
+  ASSERT_EQ(n, 100);
+  // The key may have been updated by chance; only compare sizes then.
+  // (Deterministic seed: verify whether it was in any write set.)
+  bool touched = false;
+  YcsbWorkload regen(TinyConfig(4));
+  for (int e = 0; e < 3; ++e) {
+    for (const auto& txn : regen.MakeEpoch(100)) {
+      const auto* rmw = dynamic_cast<const YcsbRmwTxn*>(txn.get());
+      for (Key key : rmw->keys()) {
+        if (key == cold) {
+          touched = true;
+        }
+      }
+    }
+  }
+  if (!touched) {
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST(YcsbTest, ContentionIncreasesTransientShare) {
+  auto run = [](std::uint32_t hot_ops) {
+    // A larger cold keyspace keeps accidental collisions low so the
+    // low-contention transient share is dominated by the hot set.
+    YcsbConfig config = TinyConfig(hot_ops);
+    config.rows = 20'000;
+    YcsbWorkload workload(config);
+    core::DatabaseSpec spec = workload.Spec(1);
+    NvmDevice device(sim::NvmConfig{.size_bytes = Database::RequiredDeviceBytes(spec)});
+    Database db(device, spec);
+    db.Format();
+    workload.Load(db);
+    db.FinalizeLoad();
+    db.stats().Reset();
+    for (int e = 0; e < 3; ++e) {
+      db.ExecuteEpoch(workload.MakeEpoch(200));
+    }
+    const double transient = static_cast<double>(db.stats().transient_writes.Sum());
+    const double persistent = static_cast<double>(db.stats().persistent_writes.Sum());
+    return transient / (transient + persistent);
+  };
+  const double low = run(0);
+  const double high = run(7);
+  // The paper reports ~3% transient at low contention and ~70% at high.
+  EXPECT_LT(low, 0.2);
+  EXPECT_GT(high, 0.4);
+  EXPECT_GT(high, low + 0.2);
+}
+
+TEST(YcsbTest, CrashRecoveryMatchesReference) {
+  const YcsbConfig config = TinyConfig(7);
+
+  auto run_reference = [&]() {
+    YcsbWorkload workload(config);
+    core::DatabaseSpec spec = workload.Spec(1);
+    NvmDevice device(sim::NvmConfig{.size_bytes = Database::RequiredDeviceBytes(spec)});
+    Database db(device, spec);
+    db.Format();
+    workload.Load(db);
+    db.FinalizeLoad();
+    for (int e = 0; e < 2; ++e) {
+      db.ExecuteEpoch(workload.MakeEpoch(150));
+    }
+    std::vector<std::vector<std::uint8_t>> state;
+    for (Key key = 0; key < config.rows; ++key) {
+      state.push_back(ReadBytes(db, kYcsbTable, key));
+    }
+    return state;
+  };
+  const auto expected = run_reference();
+
+  YcsbWorkload workload(config);
+  core::DatabaseSpec spec = workload.Spec(1);
+  sim::NvmConfig device_config{.size_bytes = Database::RequiredDeviceBytes(spec),
+                               .crash_tracking = sim::CrashTracking::kShadow};
+  NvmDevice device(device_config);
+  {
+    Database db(device, spec);
+    db.Format();
+    workload.Load(db);
+    db.FinalizeLoad();
+    db.ExecuteEpoch(workload.MakeEpoch(150));
+    int count = 0;
+    db.SetCrashHook([&count](CrashSite site) {
+      return site == CrashSite::kMidExecution && ++count > 60;
+    });
+    ASSERT_TRUE(db.ExecuteEpoch(workload.MakeEpoch(150)).crashed);
+  }
+  device.CrashChaos(17, 0.5);
+
+  Database recovered(device, spec);
+  const auto report = recovered.Recover(workload.Registry());
+  ASSERT_TRUE(report.replayed);
+  for (Key key = 0; key < config.rows; ++key) {
+    ASSERT_EQ(ReadBytes(recovered, kYcsbTable, key), expected[key]) << "key " << key;
+  }
+}
+
+}  // namespace
+}  // namespace nvc::test
