@@ -8,10 +8,20 @@
 
 #include <cstdint>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace nvc {
+
+// Thrown when a decoder runs off the end of its input. Input payloads cross a
+// crash (NVMM input log) or a network hop (replication bundles), so a torn or
+// bit-flipped buffer must surface as a clean decode failure, never as an
+// out-of-bounds read during replay.
+class SerializeError : public std::runtime_error {
+ public:
+  explicit SerializeError(const std::string& what) : std::runtime_error(what) {}
+};
 
 class BinaryWriter {
  public:
@@ -42,6 +52,7 @@ class BinaryReader {
   template <typename T>
   T Get() {
     static_assert(std::is_trivially_copyable_v<T>);
+    Require(sizeof(T));
     T value;
     std::memcpy(&value, data_ + pos_, sizeof(T));
     pos_ += sizeof(T);
@@ -49,17 +60,29 @@ class BinaryReader {
   }
 
   void GetBytes(void* out, std::size_t n) {
+    Require(n);
     std::memcpy(out, data_ + pos_, n);
     pos_ += n;
   }
 
-  void Skip(std::size_t n) { pos_ += n; }
+  void Skip(std::size_t n) {
+    Require(n);
+    pos_ += n;
+  }
 
   std::size_t remaining() const { return size_ - pos_; }
   bool exhausted() const { return pos_ >= size_; }
   std::size_t pos() const { return pos_; }
 
  private:
+  void Require(std::size_t n) const {
+    if (size_ - pos_ < n) {  // pos_ <= size_ always holds, so no underflow
+      throw SerializeError("BinaryReader: truncated input (need " + std::to_string(n) +
+                           " bytes at offset " + std::to_string(pos_) + " of " +
+                           std::to_string(size_) + ")");
+    }
+  }
+
   const std::uint8_t* data_;
   std::size_t size_;
   std::size_t pos_ = 0;

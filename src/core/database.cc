@@ -28,6 +28,14 @@ std::vector<DatabaseSpec::ValuePoolSpec> Database::EffectiveValuePools(
 }
 
 Database::Layout Database::ComputeLayout(const DatabaseSpec& spec) {
+  // Runs before any other member initialization (layout_ precedes pool_), so
+  // this also stops WorkerPool/per-core arrays from being built with a core
+  // count the kMaxCores-sharded device and stats paths cannot represent.
+  if (spec.workers == 0 || spec.workers > kMaxCores) {
+    throw std::invalid_argument("Database: spec.workers must be in [1, " +
+                                std::to_string(kMaxCores) + "], got " +
+                                std::to_string(spec.workers));
+  }
   Layout layout;
   std::uint64_t offset = 0;
   layout.superblock = offset;

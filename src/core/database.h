@@ -22,6 +22,7 @@
 // crashed epoch from the input log.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -89,18 +90,64 @@ struct MemoryBreakdown {
 
 // Sites where tests can inject a simulated process crash (the hook returns
 // true to crash). After a crash the Database object must be destroyed,
-// NvmDevice::Crash()/CrashChaos() invoked, and a fresh Database recovered.
+// NvmDevice::Crash()/CrashChaos()/CrashTorn() invoked, and a fresh Database
+// recovered.
 enum class CrashSite {
   kAfterLog,
   kAfterInsert,
-  kDuringMajorGc,   // between the free pass and the descriptor pass
+  kDuringMajorGc,      // between the free pass and the descriptor pass
+  kDuringGcPass2,      // inside pass 2, between a row's copy and its reset
+                       // (aliased descriptors; single-worker runs)
   kAfterGcPersist,
+  kDuringDemotion,     // cold-tier demotion: before the durability fence and
+                       // between per-row descriptor updates
   kAfterAppend,
-  kMidExecution,    // between transactions (single-worker runs)
+  kMidExecution,       // between transactions (single-worker runs)
   kAfterExecution,
+  kDuringIndexApply,   // between persistent-index delta applications
   kBeforeEpochPersist,
 };
+inline constexpr std::size_t kCrashSiteCount = 11;
+inline constexpr CrashSite kAllCrashSites[kCrashSiteCount] = {
+    CrashSite::kAfterLog,        CrashSite::kAfterInsert,   CrashSite::kDuringMajorGc,
+    CrashSite::kDuringGcPass2,   CrashSite::kAfterGcPersist, CrashSite::kDuringDemotion,
+    CrashSite::kAfterAppend,     CrashSite::kMidExecution,  CrashSite::kAfterExecution,
+    CrashSite::kDuringIndexApply, CrashSite::kBeforeEpochPersist,
+};
+
+constexpr const char* CrashSiteName(CrashSite site) {
+  switch (site) {
+    case CrashSite::kAfterLog: return "AfterLog";
+    case CrashSite::kAfterInsert: return "AfterInsert";
+    case CrashSite::kDuringMajorGc: return "DuringMajorGc";
+    case CrashSite::kDuringGcPass2: return "DuringGcPass2";
+    case CrashSite::kAfterGcPersist: return "AfterGcPersist";
+    case CrashSite::kDuringDemotion: return "DuringDemotion";
+    case CrashSite::kAfterAppend: return "AfterAppend";
+    case CrashSite::kMidExecution: return "MidExecution";
+    case CrashSite::kAfterExecution: return "AfterExecution";
+    case CrashSite::kDuringIndexApply: return "DuringIndexApply";
+    case CrashSite::kBeforeEpochPersist: return "BeforeEpochPersist";
+  }
+  return "?";
+}
+
 using CrashHook = std::function<bool(CrashSite)>;
+
+// Counts how often each CrashSite was reached (MaybeCrash evaluated) and how
+// often a hook fired there, so a fuzzing sweep can report which recovery
+// branches its runs actually exercised.
+struct CrashSiteCoverage {
+  std::array<std::uint64_t, kCrashSiteCount> reached{};
+  std::array<std::uint64_t, kCrashSiteCount> fired{};
+
+  void Merge(const CrashSiteCoverage& other) {
+    for (std::size_t i = 0; i < kCrashSiteCount; ++i) {
+      reached[i] += other.reached[i];
+      fired[i] += other.fired[i];
+    }
+  }
+};
 
 class Database {
  public:
@@ -163,7 +210,26 @@ class Database {
 
   void SetCrashHook(CrashHook hook) { crash_hook_ = std::move(hook); }
 
+  // Per-site reach/fire counts accumulated over this object's lifetime.
+  CrashSiteCoverage crash_coverage() const {
+    CrashSiteCoverage cov;
+    for (std::size_t i = 0; i < kCrashSiteCount; ++i) {
+      cov.reached[i] = site_reached_[i].load(std::memory_order_relaxed);
+      cov.fired[i] = site_fired_[i].load(std::memory_order_relaxed);
+    }
+    return cov;
+  }
+
   index::TableIndex& table_index(TableId table) { return *tables_[table]; }
+
+  // ---- Oracle / fuzzing support ---------------------------------------------
+  sim::NvmDevice& device() { return device_; }
+  std::size_t table_count() const { return tables_.size(); }
+  std::size_t counter_count() const { return counters_.size(); }
+  // Null when spec().enable_persistent_index is off.
+  index::PersistentIndex* persistent_index(TableId table) {
+    return pindexes_.empty() ? nullptr : pindexes_[table].get();
+  }
 
  private:
   friend class EngineInsertContext;
@@ -346,6 +412,8 @@ class Database {
   std::vector<vstore::ValueLoc> cold_frees_due_;
 
   CrashHook crash_hook_;
+  std::array<std::atomic<std::uint64_t>, kCrashSiteCount> site_reached_{};
+  std::array<std::atomic<std::uint64_t>, kCrashSiteCount> site_fired_{};
   std::size_t last_log_bytes_ = 0;
 
   // Aria: transactions deferred by conflicts, re-queued at the front of the

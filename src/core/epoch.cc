@@ -135,7 +135,10 @@ class EngineExecContext final : public txn::ExecContext {
 // ---- Epoch driver -------------------------------------------------------------
 
 bool Database::MaybeCrash(CrashSite site) {
+  const auto idx = static_cast<std::size_t>(site);
+  site_reached_[idx].fetch_add(1, std::memory_order_relaxed);
   if (crash_hook_ && crash_hook_(site)) {
+    site_fired_[idx].fetch_add(1, std::memory_order_relaxed);
     throw CrashedException{};
   }
   return false;
@@ -307,7 +310,8 @@ void Database::RunMajorGc() {
 
   // Pass 2 — copy the checkpointed version to the stale slot and reset the
   // now-available slot (paper 4.5 ordering rules).
-  pool_.RunParallel([this](std::size_t w) {
+  const bool hook_pass2 = static_cast<bool>(crash_hook_) && spec_.workers == 1;
+  pool_.RunParallel([this, hook_pass2](std::size_t w) {
     for (vstore::RowEntry* entry : pending_major_gc_[w]) {
       vstore::PersistentRow row = RowAt(entry);
       const vstore::VersionDesc v1 = row.ReadDesc(1);
@@ -315,6 +319,12 @@ void Database::RunMajorGc() {
         continue;
       }
       row.WriteDesc(0, Sid(v1.sid), vstore::ValueLoc(v1.loc), w);
+      if (hook_pass2) {
+        // Crash with aliased descriptors: v0 == v1 and the reset still
+        // pending — recovery must take the "already collected" repair branch
+        // instead of freeing the live value.
+        MaybeCrash(CrashSite::kDuringGcPass2);
+      }
       row.WriteDesc(1, Sid(0), vstore::ValueLoc{}, w);
       stats_.major_gc_runs.Add(w);
     }
@@ -436,6 +446,10 @@ void Database::CheckpointEpoch(Epoch epoch) {
     // re-applies its deltas idempotently.
     for (CoreEpochState& cs : core_state_) {
       for (const IndexDelta& delta : cs.index_deltas) {
+        // Crash with the batch partially applied: the already-written slots
+        // carry this (uncheckpointed) epoch's tag, so the fast rebuild must
+        // ignore them and replay must re-apply the whole batch idempotently.
+        MaybeCrash(CrashSite::kDuringIndexApply);
         if (delta.is_delete) {
           pindexes_[delta.table]->ApplyDelete(delta.key, epoch, 0);
         } else {
@@ -750,16 +764,14 @@ void Database::WriteRow(TxnState& st, TableId table, Key key, const void* data,
   assert(slot >= 0 && "write not declared in the append step");
 
   vstore::VersionEntry& ve = va->entry(static_cast<std::uint32_t>(slot));
-  const std::uint64_t prev = ve.state.load(std::memory_order_relaxed);
-  vstore::TransientValue* tv;
-  if (ve.IsValuePointer(prev) &&
-      reinterpret_cast<vstore::TransientValue*>(prev)->size == size) {
-    tv = reinterpret_cast<vstore::TransientValue*>(prev);  // multi-write per txn
-  } else {
-    tv = static_cast<vstore::TransientValue*>(
-        transient_.Alloc(core, sizeof(vstore::TransientValue) + size));
-    tv->size = size;
-  }
+  // Always publish a fresh buffer, even when this transaction already wrote
+  // the slot: once the pointer is store-released, a reader at a later SID may
+  // be mid-memcpy from it, and mutating the published bytes in place would
+  // hand that reader a torn value. The transient pool is a per-epoch bump
+  // allocator, so the superseded buffer is reclaimed at epoch end anyway.
+  auto* tv = static_cast<vstore::TransientValue*>(
+      transient_.Alloc(core, sizeof(vstore::TransientValue) + size));
+  tv->size = size;
   std::memcpy(tv->data(), data, size);
   ve.state.store(reinterpret_cast<std::uint64_t>(tv), std::memory_order_release);
 
@@ -990,6 +1002,10 @@ void Database::RunDemotions() {
   if (batch.empty()) {
     return;
   }
+  // Crash before the durability point: the copied cold data and bump pointer
+  // are not fenced yet, so recovery must still see every descriptor pointing
+  // at its hot value.
+  MaybeCrash(CrashSite::kDuringDemotion);
   // Durability point: cold data + allocations survive any crash from here on,
   // so descriptors may reference them.
   cold_device_->Fence(0);
@@ -999,6 +1015,9 @@ void Database::RunDemotions() {
     row.WriteDesc(demotion.slot, Sid(demotion.old_desc.sid), demotion.new_loc, 0);
     cold_frees_next_.push_back(vstore::ValueLoc(demotion.old_desc.loc));
     stats_.demotions.Add(0);
+    // Crash mid-batch: some descriptors already name cold locations, the rest
+    // still name hot ones; both must read back correctly after recovery.
+    MaybeCrash(CrashSite::kDuringDemotion);
   }
 }
 

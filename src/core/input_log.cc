@@ -62,12 +62,23 @@ bool InputLog::LoadEpoch(Epoch epoch, const txn::TxnRegistry& registry,
   if (header->complete != 1 || header->epoch != epoch) {
     return false;
   }
+  if (header->payload_bytes > buffer_bytes_ - sizeof(LogHeader)) {
+    return false;  // corrupt header: the claimed payload exceeds the buffer
+  }
   const std::uint8_t* payload = device_.At(buffer + sizeof(LogHeader));
   device_.ChargeRead(buffer + sizeof(LogHeader), header->payload_bytes, core);
   if (Fnv1a(payload, header->payload_bytes) != header->checksum) {
     return false;
   }
-  *out = txn::DecodeTxnStream(payload, header->payload_bytes, header->txn_count, registry);
+  try {
+    *out = txn::DecodeTxnStream(payload, header->payload_bytes, header->txn_count, registry);
+  } catch (const SerializeError&) {
+    // A payload that passes the checksum but decodes past its bounds is still
+    // a torn/corrupt log: treat it as "no complete log", the same as a
+    // checksum failure, rather than crashing the recovery.
+    out->clear();
+    return false;
+  }
   return true;
 }
 

@@ -1,0 +1,161 @@
+#include "src/core/oracle.h"
+
+#include <unordered_map>
+
+#include "src/vstore/persistent_row.h"
+
+namespace nvc::core {
+namespace {
+
+void Report(std::string* out, std::size_t index, std::size_t max_reports,
+            const std::string& line) {
+  if (out != nullptr && index < max_reports) {
+    out->append(line);
+    out->push_back('\n');
+  }
+}
+
+}  // namespace
+
+OracleState CaptureState(Database& db) {
+  OracleState state;
+  state.epoch = db.current_epoch();
+  state.counters.reserve(db.counter_count());
+  for (std::size_t id = 0; id < db.counter_count(); ++id) {
+    state.counters.push_back(db.counter_value(static_cast<txn::CounterId>(id)));
+  }
+  state.tables.resize(db.table_count());
+  std::vector<std::uint8_t> buffer(1 << 16);
+  for (std::size_t t = 0; t < db.table_count(); ++t) {
+    auto& snapshot = state.tables[t];
+    std::vector<Key> keys;
+    db.table_index(static_cast<TableId>(t)).ForEach([&](Key key, vstore::RowEntry*) {
+      keys.push_back(key);
+    });
+    for (Key key : keys) {
+      const int size = db.ReadCommitted(static_cast<TableId>(t), key, buffer.data(),
+                                        static_cast<std::uint32_t>(buffer.size()));
+      if (size < 0) {
+        continue;  // indexed but no committed version: logically absent
+      }
+      snapshot.emplace(key,
+                       std::vector<std::uint8_t>(buffer.begin(), buffer.begin() + size));
+    }
+  }
+  return state;
+}
+
+std::size_t DiffStates(const OracleState& expected, const OracleState& actual,
+                       std::string* out, std::size_t max_reports) {
+  std::size_t divergences = 0;
+  if (expected.epoch != actual.epoch) {
+    Report(out, divergences++, max_reports,
+           "epoch: expected " + std::to_string(expected.epoch) + ", got " +
+               std::to_string(actual.epoch));
+  }
+  if (expected.counters.size() != actual.counters.size()) {
+    Report(out, divergences++, max_reports,
+           "counter count: expected " + std::to_string(expected.counters.size()) +
+               ", got " + std::to_string(actual.counters.size()));
+  } else {
+    for (std::size_t id = 0; id < expected.counters.size(); ++id) {
+      if (expected.counters[id] != actual.counters[id]) {
+        Report(out, divergences++, max_reports,
+               "counter " + std::to_string(id) + ": expected " +
+                   std::to_string(expected.counters[id]) + ", got " +
+                   std::to_string(actual.counters[id]));
+      }
+    }
+  }
+  if (expected.tables.size() != actual.tables.size()) {
+    Report(out, divergences++, max_reports,
+           "table count: expected " + std::to_string(expected.tables.size()) + ", got " +
+               std::to_string(actual.tables.size()));
+    return divergences;
+  }
+  for (std::size_t t = 0; t < expected.tables.size(); ++t) {
+    const auto& exp = expected.tables[t];
+    const auto& act = actual.tables[t];
+    for (const auto& [key, bytes] : exp) {
+      auto it = act.find(key);
+      if (it == act.end()) {
+        Report(out, divergences++, max_reports,
+               "table " + std::to_string(t) + " key " + std::to_string(key) +
+                   ": missing after recovery (expected " + std::to_string(bytes.size()) +
+                   " bytes)");
+      } else if (it->second != bytes) {
+        std::size_t first_bad = 0;
+        const std::size_t common = std::min(bytes.size(), it->second.size());
+        while (first_bad < common && bytes[first_bad] == it->second[first_bad]) {
+          ++first_bad;
+        }
+        Report(out, divergences++, max_reports,
+               "table " + std::to_string(t) + " key " + std::to_string(key) +
+                   ": value mismatch (expected " + std::to_string(bytes.size()) +
+                   " bytes, got " + std::to_string(it->second.size()) +
+                   ", first difference at byte " + std::to_string(first_bad) + ")");
+      }
+    }
+    for (const auto& [key, bytes] : act) {
+      if (exp.find(key) == exp.end()) {
+        Report(out, divergences++, max_reports,
+               "table " + std::to_string(t) + " key " + std::to_string(key) +
+                   ": unexpected row after recovery (" + std::to_string(bytes.size()) +
+                   " bytes)");
+      }
+    }
+  }
+  return divergences;
+}
+
+std::size_t ValidatePersistentIndex(Database& db, std::string* out,
+                                    std::size_t max_reports) {
+  std::size_t inconsistencies = 0;
+  for (std::size_t t = 0; t < db.table_count(); ++t) {
+    index::PersistentIndex* pindex = db.persistent_index(static_cast<TableId>(t));
+    if (pindex == nullptr) {
+      continue;
+    }
+    auto& dram = db.table_index(static_cast<TableId>(t));
+    const std::size_t row_size = dram.schema().row_size;
+    std::unordered_map<Key, std::uint64_t> live;
+    pindex->ForEachLive(
+        db.current_epoch(),
+        [&](Key key, std::uint64_t prow) {
+          if (!live.emplace(key, prow).second) {
+            Report(out, inconsistencies++, max_reports,
+                   "pindex table " + std::to_string(t) + " key " + std::to_string(key) +
+                       ": duplicate live slot");
+            return;
+          }
+          vstore::PersistentRow row(db.device(), prow, row_size);
+          if (row.header()->key != key) {
+            Report(out, inconsistencies++, max_reports,
+                   "pindex table " + std::to_string(t) + " key " + std::to_string(key) +
+                       ": row header holds key " + std::to_string(row.header()->key));
+          }
+          vstore::RowEntry* entry = dram.Get(key);
+          if (entry == nullptr) {
+            Report(out, inconsistencies++, max_reports,
+                   "pindex table " + std::to_string(t) + " key " + std::to_string(key) +
+                       ": live in NVMM index but absent from the DRAM index");
+          } else if (entry->prow != prow) {
+            Report(out, inconsistencies++, max_reports,
+                   "pindex table " + std::to_string(t) + " key " + std::to_string(key) +
+                       ": NVMM index names row offset " + std::to_string(prow) +
+                       " but DRAM index names " + std::to_string(entry->prow));
+          }
+        },
+        0);
+    dram.ForEach([&](Key key, vstore::RowEntry* entry) {
+      if (entry->prow != 0 && live.find(key) == live.end()) {
+        Report(out, inconsistencies++, max_reports,
+               "pindex table " + std::to_string(t) + " key " + std::to_string(key) +
+                   ": in the DRAM index but not live in the NVMM index");
+      }
+    });
+  }
+  return inconsistencies;
+}
+
+}  // namespace nvc::core

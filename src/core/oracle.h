@@ -1,0 +1,58 @@
+// Crash-consistency oracle: full logical-state capture and diff.
+//
+// The chaos harness (tools/crash_fuzz) recovers a crashed database and then
+// compares it against a reference database that executed the same input
+// stream crash-free. Comparison is *logical* — per-key committed bytes,
+// application counters, and the epoch number — because physical placement
+// (value-pool offsets, version-slot parity) may legitimately differ after a
+// replayed epoch re-allocates.
+//
+// ValidatePersistentIndex additionally cross-checks the optional NVMM index
+// (section 7 extension) against the DRAM index, in both directions, so a
+// torn delta batch that survives recovery is caught even when row contents
+// happen to match.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/database.h"
+
+namespace nvc::core {
+
+// A full logical snapshot of committed database state.
+struct OracleState {
+  Epoch epoch = 0;
+  std::vector<std::uint64_t> counters;
+  // Per table: key -> latest committed value bytes. A key missing from the
+  // map has no committed row (never inserted, deleted, or tombstoned).
+  std::vector<std::map<Key, std::vector<std::uint8_t>>> tables;
+
+  std::size_t total_rows() const {
+    std::size_t n = 0;
+    for (const auto& t : tables) {
+      n += t.size();
+    }
+    return n;
+  }
+};
+
+// Captures every table, every row, and every counter. Call only between
+// epochs (no execution in flight).
+OracleState CaptureState(Database& db);
+
+// Compares two snapshots. Returns the number of divergences and appends a
+// human-readable description of the first `max_reports` of them to *out.
+std::size_t DiffStates(const OracleState& expected, const OracleState& actual,
+                       std::string* out, std::size_t max_reports = 16);
+
+// Self-consistency check of the persistent NVMM index against the DRAM
+// index (both key-set directions plus row-header key agreement). Returns the
+// number of inconsistencies, described in *out. Zero when the database runs
+// without enable_persistent_index.
+std::size_t ValidatePersistentIndex(Database& db, std::string* out,
+                                    std::size_t max_reports = 16);
+
+}  // namespace nvc::core

@@ -202,6 +202,17 @@ void Database::RepairAndCollectGc(vstore::PersistentRow& row, vstore::RowEntry* 
       core_state_[core].major_gc.push_back(entry);
     }
   }
+
+  // Post-repair invariants (paper 4.5): no aliased pair with distinct value
+  // locations may survive, a zero SID means a fully reset slot, and a live
+  // two-version row must order stale before latest.
+  assert(!(h->v[0].sid != 0 && h->v[0].sid == h->v[1].sid && h->v[0].loc != h->v[1].loc &&
+           Sid(h->v[0].sid).epoch() != crashed_epoch) &&
+         "repair left an aliased descriptor pair with diverging locations");
+  assert(!(h->v[1].sid == 0 && h->v[1].loc != 0) &&
+         "repair left a cleared version 2 with a dangling value location");
+  assert((h->v[1].sid == 0 || h->v[0].sid == h->v[1].sid || h->v[0].sid < h->v[1].sid) &&
+         "repair left version descriptors out of SID order");
 }
 
 // Fast recovery: rebuild the DRAM index from the persistent NVMM index and

@@ -86,6 +86,15 @@ void TableIndex::ForRange(Key lo, Key hi,
   }
 }
 
+void TableIndex::ForEach(const std::function<void(Key, vstore::RowEntry*)>& fn) {
+  for (auto& shard : shards_) {
+    SpinLatchGuard guard(shard->latch);
+    for (auto& [key, entry] : shard->map) {
+      fn(key, entry);
+    }
+  }
+}
+
 std::size_t TableIndex::entries() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {

@@ -60,6 +60,11 @@ class TableIndex {
   // Invokes fn for every entry with key in [lo, hi], ascending.
   void ForRange(Key lo, Key hi, const std::function<void(Key, vstore::RowEntry*)>& fn);
 
+  // Invokes fn for every entry in the table, in unspecified order, holding
+  // the owning shard latch (works for unordered tables too; state capture /
+  // validation outside the execution phase).
+  void ForEach(const std::function<void(Key, vstore::RowEntry*)>& fn);
+
   // ---- Accounting ------------------------------------------------------------
 
   std::size_t entries() const;

@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <cassert>
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
@@ -47,6 +48,11 @@ double TscPerNs() {
 #endif
 
 std::uint64_t GranulesTouched(std::uint64_t offset, std::size_t n, std::size_t granule) {
+  if (n == 0) {
+    // Without this guard `offset + n - 1` underflows for offset 0 and the
+    // charge paths would bill (and busy-wait for) ~2^64/granule granules.
+    return 0;
+  }
   const std::uint64_t first = offset / granule;
   const std::uint64_t last = (offset + n - 1) / granule;
   return last - first + 1;
@@ -125,6 +131,7 @@ NvmDevice::~NvmDevice() {
 }
 
 void NvmDevice::ChargeRead(std::uint64_t offset, std::size_t n, std::size_t core) {
+  assert(core < kMaxCores && "core index out of range (validate workers <= kMaxCores)");
   if (n == 0) {
     return;
   }
@@ -137,6 +144,7 @@ void NvmDevice::ChargeRead(std::uint64_t offset, std::size_t n, std::size_t core
 }
 
 void NvmDevice::Persist(std::uint64_t offset, std::size_t n, std::size_t core) {
+  assert(core < kMaxCores && "core index out of range (validate workers <= kMaxCores)");
   if (n == 0) {
     return;
   }
@@ -184,6 +192,7 @@ void NvmDevice::WritePersist(std::uint64_t offset, const void* src, std::size_t 
 }
 
 void NvmDevice::Fence(std::size_t core) {
+  assert(core < kMaxCores && "core index out of range (validate workers <= kMaxCores)");
   stats_.fences.Add(core, 1);
   if (config_.latency.fence_ns != 0) {
     SpinDelayNs(config_.latency.fence_ns);
@@ -217,6 +226,38 @@ void NvmDevice::Crash() {
   for (auto& pending : pending_) {
     pending.ranges.clear();
   }
+  std::memcpy(base_, shadow_.get(), size_);
+}
+
+void NvmDevice::CrashTorn(std::uint64_t seed, double keep_probability) {
+  if (shadow_ == nullptr) {
+    throw std::logic_error("NvmDevice::CrashTorn requires CrashTracking::kShadow");
+  }
+  // Tear the in-flight persists: each staged-but-unfenced PendingRange is
+  // split at cache-line granularity and every line independently reaches the
+  // persisted image with keep_probability — a clwb was issued for the line,
+  // so the hardware may or may not have completed the write-back when power
+  // was cut. Iterating cores in index order keeps the outcome deterministic
+  // from the seed.
+  Rng rng(seed);
+  for (auto& pending : pending_) {
+    for (const PendingRange& range : pending.ranges) {
+      const std::uint64_t first = range.offset / kCacheLineSize * kCacheLineSize;
+      std::uint64_t last = (range.offset + range.length + kCacheLineSize - 1) /
+                           kCacheLineSize * kCacheLineSize;
+      if (last > size_) {
+        last = size_;
+      }
+      for (std::uint64_t line = first; line < last; line += kCacheLineSize) {
+        if (rng.NextDouble() < keep_probability) {
+          ApplyToShadow(PendingRange{line, std::min(kCacheLineSize, size_ - line)});
+        }
+      }
+    }
+    pending.ranges.clear();
+  }
+  // Everything else (dirty lines never covered by a persist, and the dropped
+  // lines above) reverts to the persisted image.
   std::memcpy(base_, shadow_.get(), size_);
 }
 

@@ -162,6 +162,13 @@ class NvmDevice {
   // at any time). Deterministic from seed.
   void CrashChaos(std::uint64_t seed, double keep_probability);
 
+  // Torn-persist variant: each staged-but-unfenced PendingRange (clwb issued,
+  // no sfence yet) is split at cache-line granularity and every line
+  // independently survives with keep_probability; dirty lines never covered
+  // by a Persist always revert. Models a multi-line persist (value + header,
+  // log payload) torn mid-flight. Deterministic from seed.
+  void CrashTorn(std::uint64_t seed, double keep_probability);
+
   NvmStats& stats() { return stats_; }
   const NvmStats& stats() const { return stats_; }
 

@@ -43,6 +43,14 @@ inline std::vector<std::unique_ptr<Transaction>> DecodeTxnStream(
   for (std::uint32_t i = 0; i < count; ++i) {
     const auto type = reader.Get<std::uint32_t>();
     const auto size = reader.Get<std::uint32_t>();
+    if (size > reader.remaining()) {
+      // A torn or bit-flipped size field must not extend the record past the
+      // payload: the body reader below would otherwise cover bytes outside
+      // the buffer and every Get from it would be UB.
+      throw SerializeError("DecodeTxnStream: record " + std::to_string(i) + " claims " +
+                           std::to_string(size) + " bytes but only " +
+                           std::to_string(reader.remaining()) + " remain");
+    }
     BinaryReader body(data + reader.pos(), size);
     auto txn = registry.Decode(type, body);
     if (txn == nullptr) {

@@ -37,6 +37,20 @@ class DatabaseBasicTest : public ::testing::Test {
   std::unique_ptr<Database> db_;
 };
 
+TEST(DatabaseSpecValidationTest, WorkerCountOutsideCoreRangeIsRejected) {
+  // Core indices shard kMaxCores-sized arrays in the device, stats, and
+  // transient pool; a spec with more workers must fail loudly at
+  // construction instead of aliasing counters and pending-persist queues.
+  DatabaseSpec spec = SmallKvSpec();
+  NvmDevice device(ShadowDeviceConfig(spec));
+  spec.workers = kMaxCores + 1;
+  EXPECT_THROW(Database(device, spec), std::invalid_argument);
+  spec.workers = 0;
+  EXPECT_THROW(Database(device, spec), std::invalid_argument);
+  spec.workers = 1;
+  EXPECT_NO_THROW(Database(device, spec));
+}
+
 TEST_F(DatabaseBasicTest, BulkLoadAndReadCommitted) {
   Load(100);
   EXPECT_EQ(ReadU64(*db_, 0, 0), 1000u);

@@ -1,6 +1,7 @@
 // NVMM input log: round-trip, parity buffers, torn-log detection, checksum.
 #include <gtest/gtest.h>
 
+#include "src/common/hash.h"
 #include "src/core/input_log.h"
 #include "tests/test_util.h"
 
@@ -13,6 +14,12 @@ using sim::NvmConfig;
 using sim::NvmDevice;
 
 constexpr std::size_t kBuffer = 1 << 16;
+
+// LogHeader layout (input_log.h): epoch u32, txn_count u32, payload_bytes
+// u64, checksum u64, complete u64. The payload follows the header.
+constexpr std::uint64_t kHdrPayloadBytes = 8;
+constexpr std::uint64_t kHdrChecksum = 16;
+constexpr std::uint64_t kHeaderSize = 32;
 
 struct LogFixture {
   LogFixture()
@@ -101,7 +108,52 @@ TEST(InputLogTest, CorruptedPayloadFailsChecksum) {
   LogFixture f;
   f.log.LogEpoch(4, SomeTxns(10, 1), 0);
   // Flip a payload byte behind the log's back.
-  f.device.At(/*header*/ 40 + 64)[0] ^= 0xFF;
+  f.device.At(kHeaderSize + 64)[0] ^= 0xFF;
+  const auto registry = KvRegistry();
+  std::vector<std::unique_ptr<txn::Transaction>> decoded;
+  EXPECT_FALSE(f.log.LoadEpoch(4, registry, &decoded, 0));
+}
+
+TEST(InputLogTest, CorruptPayloadSizeInHeaderIsRejected) {
+  LogFixture f;
+  f.log.LogEpoch(4, SomeTxns(10, 1), 0);
+  // Bit-flip the header's payload_bytes field to an absurd length. The
+  // checksum pass must not walk past the buffer chasing it.
+  *reinterpret_cast<std::uint64_t*>(f.device.At(kHdrPayloadBytes)) = ~0ULL;
+  const auto registry = KvRegistry();
+  std::vector<std::unique_ptr<txn::Transaction>> decoded;
+  EXPECT_FALSE(f.log.LoadEpoch(4, registry, &decoded, 0));
+}
+
+TEST(InputLogTest, ChecksummedButMisframedPayloadIsRejected) {
+  LogFixture f;
+  f.log.LogEpoch(4, SomeTxns(10, 1), 0);
+  // Corrupt the first record's size field, then fix the checksum so the
+  // corruption survives the integrity check and reaches the decoder. The
+  // decoder must fail cleanly (log treated as invalid), not read past the
+  // payload.
+  const std::uint64_t payload_bytes =
+      *reinterpret_cast<std::uint64_t*>(f.device.At(kHdrPayloadBytes));
+  // Record 0 starts at the payload base: type u32, then the size field.
+  *reinterpret_cast<std::uint32_t*>(f.device.At(kHeaderSize + sizeof(std::uint32_t))) =
+      0x7FFFFFFF;
+  *reinterpret_cast<std::uint64_t*>(f.device.At(kHdrChecksum)) =
+      Fnv1a(f.device.At(kHeaderSize), payload_bytes);
+  const auto registry = KvRegistry();
+  std::vector<std::unique_ptr<txn::Transaction>> decoded;
+  EXPECT_FALSE(f.log.LoadEpoch(4, registry, &decoded, 0));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(InputLogTest, TruncationInsidePayloadIsRejected) {
+  LogFixture f;
+  f.log.LogEpoch(4, SomeTxns(10, 1), 0);
+  // Chop payload_bytes mid-record and fix the checksum: decode must fail
+  // cleanly on the misframed tail instead of reading past the claimed end.
+  const std::uint64_t truncated = 13;
+  *reinterpret_cast<std::uint64_t*>(f.device.At(kHdrPayloadBytes)) = truncated;
+  *reinterpret_cast<std::uint64_t*>(f.device.At(kHdrChecksum)) =
+      Fnv1a(f.device.At(kHeaderSize), truncated);
   const auto registry = KvRegistry();
   std::vector<std::unique_ptr<txn::Transaction>> decoded;
   EXPECT_FALSE(f.log.LoadEpoch(4, registry, &decoded, 0));

@@ -1,0 +1,133 @@
+// Oracle library: state capture fidelity, diff detection, and the
+// persistent-index cross-check used by the crash_fuzz chaos harness.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/oracle.h"
+#include "tests/test_util.h"
+
+namespace nvc::test {
+namespace {
+
+using core::CaptureState;
+using core::Database;
+using core::DatabaseSpec;
+using core::DiffStates;
+using core::OracleState;
+using core::ValidatePersistentIndex;
+using sim::NvmDevice;
+
+void RunSmallWorkload(Database& db) {
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::uint64_t value = 100 + i;
+    db.BulkLoad(0, i, &value, sizeof(value));
+  }
+  db.FinalizeLoad();
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    std::vector<std::unique_ptr<txn::Transaction>> txns;
+    txns.push_back(std::make_unique<KvPutTxn>(1, 1000 + epoch));
+    txns.push_back(std::make_unique<KvRmwTxn>(2, 7));
+    txns.push_back(std::make_unique<KvBigPutTxn>(8, epoch));
+    txns.push_back(std::make_unique<KvInsertTxn>(100 + epoch, epoch));
+    if (epoch == 2) {
+      txns.push_back(std::make_unique<KvDeleteTxn>(100));
+    }
+    db.ExecuteEpoch(std::move(txns));
+  }
+}
+
+TEST(OracleTest, CaptureMatchesReadCommitted) {
+  const DatabaseSpec spec = SmallKvSpec();
+  NvmDevice device(ShadowDeviceConfig(spec));
+  Database db(device, spec);
+  db.Format();
+  RunSmallWorkload(db);
+
+  const OracleState state = CaptureState(db);
+  EXPECT_EQ(state.epoch, db.current_epoch());
+  ASSERT_EQ(state.tables.size(), 1u);
+  // Row 8 got big values, 100 was deleted, 101/102 inserted.
+  EXPECT_EQ(state.tables[0].count(100), 0u);
+  EXPECT_EQ(state.tables[0].count(101), 1u);
+  EXPECT_EQ(state.tables[0].count(102), 1u);
+  for (const auto& [key, bytes] : state.tables[0]) {
+    EXPECT_EQ(bytes, ReadBytes(db, 0, key)) << "key " << key;
+  }
+}
+
+TEST(OracleTest, IdenticalRunsProduceIdenticalStates) {
+  const DatabaseSpec spec = SmallKvSpec();
+  auto run = [&spec] {
+    NvmDevice device(ShadowDeviceConfig(spec));
+    Database db(device, spec);
+    db.Format();
+    RunSmallWorkload(db);
+    return CaptureState(db);
+  };
+  const OracleState a = run();
+  const OracleState b = run();
+  std::string diff;
+  EXPECT_EQ(DiffStates(a, b, &diff), 0u) << diff;
+}
+
+TEST(OracleTest, DiffDetectsEveryDivergenceKind) {
+  OracleState expected;
+  expected.epoch = 4;
+  expected.counters = {10, 20};
+  expected.tables.resize(1);
+  expected.tables[0][1] = {1, 2, 3};
+  expected.tables[0][2] = {4, 5, 6};
+
+  OracleState actual = expected;
+  EXPECT_EQ(DiffStates(expected, actual, nullptr), 0u);
+
+  actual.epoch = 5;                    // wrong epoch
+  actual.counters[1] = 21;             // wrong counter
+  actual.tables[0][1] = {1, 9, 3};     // value mismatch
+  actual.tables[0].erase(2);           // missing row
+  actual.tables[0][7] = {8};           // unexpected row
+
+  std::string diff;
+  EXPECT_EQ(DiffStates(expected, actual, &diff), 5u);
+  EXPECT_NE(diff.find("epoch"), std::string::npos);
+  EXPECT_NE(diff.find("counter 1"), std::string::npos);
+  EXPECT_NE(diff.find("key 1"), std::string::npos);
+  EXPECT_NE(diff.find("key 2"), std::string::npos);
+  EXPECT_NE(diff.find("key 7"), std::string::npos);
+}
+
+TEST(OracleTest, PersistentIndexCrossCheckPassesAfterRecovery) {
+  DatabaseSpec spec = SmallKvSpec();
+  spec.enable_persistent_index = true;
+  NvmDevice device(ShadowDeviceConfig(spec));
+  OracleState expected;
+  {
+    Database db(device, spec);
+    db.Format();
+    RunSmallWorkload(db);
+    expected = CaptureState(db);
+    std::string report;
+    EXPECT_EQ(ValidatePersistentIndex(db, &report), 0u) << report;
+  }
+  device.Crash();
+  Database recovered(device, spec);
+  recovered.Recover(KvRegistry());
+  std::string report;
+  EXPECT_EQ(ValidatePersistentIndex(recovered, &report), 0u) << report;
+  std::string diff;
+  EXPECT_EQ(DiffStates(expected, CaptureState(recovered), &diff), 0u) << diff;
+}
+
+TEST(OracleTest, PersistentIndexValidationIsVacuousWithoutTheIndex) {
+  const DatabaseSpec spec = SmallKvSpec();
+  NvmDevice device(ShadowDeviceConfig(spec));
+  Database db(device, spec);
+  db.Format();
+  RunSmallWorkload(db);
+  EXPECT_EQ(ValidatePersistentIndex(db, nullptr), 0u);
+}
+
+}  // namespace
+}  // namespace nvc::test

@@ -118,7 +118,8 @@ TEST_P(CrashSiteTest, ChaosCrashRecovers) {
 
 INSTANTIATE_TEST_SUITE_P(AllSites, CrashSiteTest,
                          ::testing::Values(CrashSite::kAfterLog, CrashSite::kAfterInsert,
-                                           CrashSite::kDuringMajorGc, CrashSite::kAfterGcPersist,
+                                           CrashSite::kDuringMajorGc, CrashSite::kDuringGcPass2,
+                                           CrashSite::kAfterGcPersist,
                                            CrashSite::kAfterAppend, CrashSite::kAfterExecution,
                                            CrashSite::kBeforeEpochPersist));
 

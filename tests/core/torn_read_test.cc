@@ -1,0 +1,145 @@
+// Regression: WriteRow used to reuse an already-published TransientValue when
+// a transaction wrote the same row twice with the same size, memcpying the
+// new bytes into the buffer in place. A concurrent reader at a later SID that
+// had already passed WaitNonPending could be mid-copy from that buffer and
+// observe a torn value (half old pattern, half new). WriteRow must publish a
+// fresh buffer on every write; under TSan the pre-fix code reports a data
+// race between the writer's memcpy-in and the reader's memcpy-out.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace nvc::test {
+namespace {
+
+using core::Database;
+using core::DatabaseSpec;
+using sim::NvmDevice;
+
+constexpr std::uint32_t kValueSize = 128;
+constexpr int kRewrites = 16;
+constexpr std::size_t kWorkers = 4;
+constexpr std::size_t kGroups = 8;
+constexpr std::size_t kEpochs = 60;
+
+std::atomic<bool> g_torn{false};
+
+std::uint8_t FillByte(std::uint64_t round, int rewrite) {
+  return static_cast<std::uint8_t>(1 + ((round * 31 + rewrite * 17) & 0xFF) % 255);
+}
+
+// Rewrites the same key kRewrites times with distinct uniform fill bytes.
+// It is deliberately NOT the serially-last writer of the key (a FinalPutTxn
+// follows), so every rewrite stays a transient version — the publication
+// path under test.
+class MultiWriteTxn final : public txn::Transaction {
+ public:
+  MultiWriteTxn(Key key, std::uint64_t round) : key_(key), round_(round) {}
+  txn::TxnType type() const override { return 100; }
+  void EncodeInputs(BinaryWriter& w) const override {
+    w.Put(key_);
+    w.Put(round_);
+  }
+  void AppendStep(txn::AppendContext& ctx) override { ctx.DeclareUpdate(0, key_); }
+  void Execute(txn::ExecContext& ctx) override {
+    std::uint8_t data[kValueSize];
+    for (int r = 0; r < kRewrites; ++r) {
+      std::memset(data, FillByte(round_, r), sizeof(data));
+      ctx.Write(0, key_, data, sizeof(data));
+      // Hand the core to the reader threads between rewrites so they load
+      // the just-published pointer before the next rewrite lands.
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  Key key_;
+  std::uint64_t round_;
+};
+
+// Reads the key (waiting on the MultiWriteTxn's pending slot) and checks the
+// copy it got is a single uniform pattern — a mixed fill means a torn read.
+class UniformReadTxn final : public txn::Transaction {
+ public:
+  explicit UniformReadTxn(Key key) : key_(key) {}
+  txn::TxnType type() const override { return 101; }
+  void EncodeInputs(BinaryWriter& w) const override { w.Put(key_); }
+  void Execute(txn::ExecContext& ctx) override {
+    std::uint8_t data[kValueSize];
+    const int n = ctx.Read(0, key_, data, sizeof(data));
+    if (n != static_cast<int>(kValueSize)) {
+      return;
+    }
+    for (std::uint32_t i = 1; i < kValueSize; ++i) {
+      if (data[i] != data[0]) {
+        g_torn.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+
+ private:
+  Key key_;
+};
+
+// Serially-last writer of the key: keeps the MultiWriteTxn's versions
+// transient and gives PersistFinal exactly one write per key per epoch.
+class FinalPutTxn final : public txn::Transaction {
+ public:
+  FinalPutTxn(Key key, std::uint64_t round) : key_(key), round_(round) {}
+  txn::TxnType type() const override { return 102; }
+  void EncodeInputs(BinaryWriter& w) const override {
+    w.Put(key_);
+    w.Put(round_);
+  }
+  void AppendStep(txn::AppendContext& ctx) override { ctx.DeclareUpdate(0, key_); }
+  void Execute(txn::ExecContext& ctx) override {
+    std::uint8_t data[kValueSize];
+    std::memset(data, FillByte(round_, kRewrites), sizeof(data));
+    ctx.Write(0, key_, data, sizeof(data));
+  }
+
+ private:
+  Key key_;
+  std::uint64_t round_;
+};
+
+TEST(TornReadTest, LaterSidReadersNeverSeeTornValues) {
+  g_torn.store(false);
+  const DatabaseSpec spec = SmallKvSpec(kWorkers);
+  NvmDevice device(ShadowDeviceConfig(spec));
+  Database db(device, spec);
+  db.Format();
+  std::vector<std::uint8_t> initial(kValueSize, 1);
+  for (std::size_t g = 0; g < kGroups; ++g) {
+    db.BulkLoad(0, g, initial.data(), kValueSize);
+  }
+  db.FinalizeLoad();
+
+  for (std::size_t epoch = 0; epoch < kEpochs; ++epoch) {
+    // Transaction i runs on worker i % kWorkers, so each group's rewriter
+    // (index 4g, worker 0) executes concurrently with its two readers
+    // (workers 1-2) and the final writer (worker 3). The readers' SIDs fall
+    // between the rewriter's and the final writer's, so they copy out of the
+    // rewriter's freshly-published transient versions while it keeps
+    // publishing new ones.
+    std::vector<std::unique_ptr<txn::Transaction>> txns;
+    for (std::size_t g = 0; g < kGroups; ++g) {
+      txns.push_back(std::make_unique<MultiWriteTxn>(g, epoch * kGroups + g));
+      txns.push_back(std::make_unique<UniformReadTxn>(g));
+      txns.push_back(std::make_unique<UniformReadTxn>(g));
+      txns.push_back(std::make_unique<FinalPutTxn>(g, epoch * kGroups + g));
+    }
+    db.ExecuteEpoch(std::move(txns));
+    ASSERT_FALSE(g_torn.load()) << "torn read observed in epoch " << epoch;
+  }
+}
+
+}  // namespace
+}  // namespace nvc::test

@@ -3,8 +3,10 @@
 // file-backed mode.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
+#include <vector>
 
 #include "src/sim/nvm_device.h"
 
@@ -185,6 +187,84 @@ TEST(NvmDeviceTest, SyntheticChargesCountStats) {
   device.ChargeSyntheticWrite(100, 0);
   EXPECT_EQ(device.stats().read_granules.Sum(), 2u);
   EXPECT_EQ(device.stats().persisted_lines.Sum(), 2u);
+}
+
+TEST(NvmDeviceTest, ZeroLengthChargesAreFree) {
+  // A zero-length charge used to reach GranulesTouched with n == 0, where
+  // `offset + n - 1` underflows and bills ~2^64/granule granules (an
+  // effectively infinite busy-wait when latency injection is on).
+  NvmConfig config{.size_bytes = 1 << 16};
+  config.latency = LatencyProfile{.read_ns_per_granule = 1'000'000'000,
+                                  .write_ns_per_line = 1'000'000'000,
+                                  .fence_ns = 0};
+  NvmDevice device(config);
+  device.ChargeRead(0, 0, 0);
+  device.Persist(0, 0, 0);
+  device.ChargeSyntheticRead(0, 0);
+  device.ChargeSyntheticWrite(0, 0);
+  EXPECT_EQ(device.stats().read_granules.Sum(), 0u);
+  EXPECT_EQ(device.stats().read_bytes.Sum(), 0u);
+  EXPECT_EQ(device.stats().persisted_lines.Sum(), 0u);
+  EXPECT_EQ(device.stats().persist_ops.Sum(), 0u);
+}
+
+TEST(NvmDeviceTest, TornCrashTearsOnlyStagedRanges) {
+  NvmDevice device(ShadowConfig());
+  // Line 0: dirty and staged (clwb issued, no fence) — eligible to survive.
+  std::memset(device.At(0), 0xA1, 64);
+  device.Persist(0, 64, 0);
+  // Line at 256: dirty but never persisted — must always revert.
+  std::memset(device.At(256), 0xB2, 64);
+  device.CrashTorn(/*seed=*/3, /*keep_probability=*/1.0);
+  EXPECT_EQ(device.At(0)[0], 0xA1);
+  EXPECT_EQ(device.At(256)[0], 0);
+  // Survivors joined the persisted image: a later crash keeps them.
+  device.Crash();
+  EXPECT_EQ(device.At(0)[0], 0xA1);
+}
+
+TEST(NvmDeviceTest, TornCrashDropsEverythingAtZeroKeepProbability) {
+  NvmDevice device(ShadowConfig());
+  std::memset(device.At(0), 0xC3, 512);
+  device.Persist(0, 512, 0);
+  device.CrashTorn(/*seed=*/4, /*keep_probability=*/0.0);
+  for (std::size_t i = 0; i < 512; i += 64) {
+    EXPECT_EQ(device.At(i)[0], 0) << "line " << i;
+  }
+}
+
+TEST(NvmDeviceTest, TornCrashSplitsMultiLinePersistDeterministically) {
+  auto run = [](std::uint64_t seed) {
+    NvmDevice device(ShadowConfig());
+    // One 16-line staged persist (a multi-line value + header write).
+    std::memset(device.At(0), 0xD4, 1024);
+    device.Persist(0, 1024, 0);
+    device.CrashTorn(seed, 0.5);
+    std::vector<bool> survived;
+    for (std::size_t line = 0; line < 1024; line += kCacheLineSize) {
+      survived.push_back(device.At(line)[0] == 0xD4);
+    }
+    return survived;
+  };
+  const auto a1 = run(9);
+  const auto a2 = run(9);
+  EXPECT_EQ(a1, a2);  // deterministic from the seed
+  const std::size_t kept = static_cast<std::size_t>(
+      std::count(a1.begin(), a1.end(), true));
+  EXPECT_GT(kept, 0u);   // with p=0.5 over 16 lines, all-or-nothing is
+  EXPECT_LT(kept, 16u);  // astronomically unlikely for this seed
+}
+
+TEST(NvmDeviceTest, TornCrashIsPerCoreIndependent) {
+  NvmDevice device(ShadowConfig());
+  std::memset(device.At(0), 0xE5, 64);
+  std::memset(device.At(1024), 0xE6, 64);
+  device.Persist(0, 64, /*core=*/0);
+  device.Persist(1024, 64, /*core=*/1);
+  device.Fence(/*core=*/0);  // core 0's line is already durable
+  device.CrashTorn(/*seed=*/11, /*keep_probability=*/0.0);
+  EXPECT_EQ(device.At(0)[0], 0xE5);    // fenced before the crash
+  EXPECT_EQ(device.At(1024)[0], 0);    // staged on core 1, torn away
 }
 
 }  // namespace

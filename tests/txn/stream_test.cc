@@ -37,6 +37,72 @@ TEST(TxnStreamTest, EmptyStream) {
   EXPECT_TRUE(txn::DecodeTxnStream(bytes.data(), 0, 0, KvRegistry()).empty());
 }
 
+TEST(BinaryReaderTest, ReadsPastEndThrowCleanly) {
+  const std::vector<std::uint8_t> bytes = {1, 2, 3, 4};
+  BinaryReader reader(bytes.data(), bytes.size());
+  EXPECT_THROW(reader.Get<std::uint64_t>(), SerializeError);
+  EXPECT_THROW(reader.Skip(5), SerializeError);
+  std::uint8_t out[8];
+  EXPECT_THROW(reader.GetBytes(out, 8), SerializeError);
+  // A failed read consumes nothing: the reader is still usable.
+  EXPECT_EQ(reader.remaining(), 4u);
+  EXPECT_EQ(reader.Get<std::uint32_t>(), 0x04030201u);
+  EXPECT_THROW(reader.Get<std::uint8_t>(), SerializeError);
+}
+
+// A log payload truncated at any byte (torn tail) must fail decode with
+// SerializeError — the pre-fix BinaryReader read past size_ (undefined
+// behaviour on a real torn log).
+TEST(TxnStreamTest, TruncatedStreamThrowsAtEveryLength) {
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  txns.push_back(std::make_unique<KvPutTxn>(1, 100));
+  txns.push_back(std::make_unique<KvVarPutTxn>(2, 300, 42));
+  txns.push_back(std::make_unique<KvRmwTxn>(3, 7));
+  const auto bytes = txn::EncodeTxnStream(txns);
+  const auto registry = KvRegistry();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(txn::DecodeTxnStream(bytes.data(), len, 3, registry), SerializeError)
+        << "truncated to " << len << " of " << bytes.size() << " bytes";
+  }
+}
+
+// A bit-flipped record size field must not extend the record past the
+// payload (the sub-reader would otherwise cover out-of-bounds memory).
+TEST(TxnStreamTest, OversizedRecordSizeFieldThrows) {
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  txns.push_back(std::make_unique<KvPutTxn>(1, 100));
+  auto bytes = txn::EncodeTxnStream(txns);
+  // Record framing: type u32, size u32, payload. Corrupt the size field.
+  std::uint32_t huge = 0x7FFFFFFF;
+  std::memcpy(bytes.data() + sizeof(std::uint32_t), &huge, sizeof(huge));
+  EXPECT_THROW(txn::DecodeTxnStream(bytes.data(), bytes.size(), 1, KvRegistry()),
+               SerializeError);
+}
+
+// Every single-bit corruption of a stream must either decode (the flip was
+// semantically harmless at this layer) or throw — never crash or read out of
+// bounds. Run under ASan/UBSan this is the torn-log safety net.
+TEST(TxnStreamTest, BitFlippedStreamNeverReadsOutOfBounds) {
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  txns.push_back(std::make_unique<KvPutTxn>(1, 100));
+  txns.push_back(std::make_unique<KvVarPutTxn>(2, 120, 42));
+  txns.push_back(std::make_unique<KvDeleteTxn>(3));
+  const auto bytes = txn::EncodeTxnStream(txns);
+  const auto registry = KvRegistry();
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto corrupt = bytes;
+      corrupt[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      try {
+        const auto decoded = txn::DecodeTxnStream(corrupt.data(), corrupt.size(), 3, registry);
+        EXPECT_LE(decoded.size(), 3u);
+      } catch (const std::runtime_error&) {
+        // SerializeError or unregistered-type: both are clean failures.
+      }
+    }
+  }
+}
+
 TEST(TxnStreamTest, UnknownTypeThrows) {
   std::vector<std::unique_ptr<txn::Transaction>> txns;
   txns.push_back(std::make_unique<KvPutTxn>(1, 100));

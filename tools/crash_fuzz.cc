@@ -1,0 +1,450 @@
+// Crash-consistency chaos harness (the paper's section 5 failure model,
+// exercised adversarially).
+//
+// For a sweep of engine configurations x workload seeds x crash sites, each
+// run:
+//   1. executes a seeded deterministic KV workload on a shadow-tracked
+//      NvmDevice with a crash hook armed for one site;
+//   2. when the hook fires, simulates the power failure in one of three
+//      modes: clean (revert all unfenced lines), chaos (each dirty line
+//      independently survives with a swept keep-probability), or torn (each
+//      staged-but-unfenced persist torn at cache-line granularity);
+//   3. recovers a fresh Database over the surviving image and finishes the
+//      remaining epochs;
+//   4. diffs the full recovered state — every table, every row, every
+//      counter — against an oracle that re-executed the same input stream
+//      crash-free, and cross-checks the persistent NVMM index when enabled.
+//
+// Any divergence is a correctness bug in the engine's persistence ordering
+// or recovery repair logic. The tool reports per-site reach/fire counts so a
+// sweep that silently stopped exercising a recovery branch is visible.
+//
+// Usage: crash_fuzz [--smoke] [--seeds N] [--verbose]
+//   --smoke    small sweep for CI (fewer seeds and configurations)
+//   --seeds N  workload seeds per configuration (default 20, smoke 3)
+//   --verbose  per-run output instead of per-config summaries
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/database.h"
+#include "src/core/oracle.h"
+#include "src/sim/nvm_device.h"
+#include "tests/test_util.h"
+
+namespace {
+
+using nvc::Epoch;
+using nvc::Key;
+using nvc::Rng;
+using nvc::core::CrashSite;
+using nvc::core::CrashSiteCoverage;
+using nvc::core::CrashSiteName;
+using nvc::core::Database;
+using nvc::core::DatabaseSpec;
+using nvc::core::kAllCrashSites;
+using nvc::core::kCrashSiteCount;
+using nvc::core::OracleState;
+using nvc::sim::NvmConfig;
+using nvc::sim::NvmDevice;
+
+// ---- Workload ---------------------------------------------------------------
+//
+// Key ranges: [0, kBaseRows) hold 8-byte values (Put/Rmw/Abort), [kBigBase,
+// kBigBase + kBigRows) hold pool-allocated values (BigPut/VarPut; these feed
+// major GC, caching, and cold-tier demotion), and [kDynBase, kDynBase +
+// kDynRows) churn through Insert/Delete.
+
+constexpr std::size_t kBaseRows = 40;
+constexpr std::size_t kBigBase = 40;
+constexpr std::size_t kBigRows = 40;
+constexpr std::size_t kDynBase = 80;
+constexpr std::size_t kDynRows = 24;
+constexpr std::size_t kEpochs = 5;
+constexpr std::size_t kTxnsPerEpoch = 24;
+
+enum class Kind { kPut, kRmw, kBigPut, kVarPut, kInsert, kDelete, kAbort };
+
+struct TxnSpec {
+  Kind kind;
+  Key key;
+  std::uint64_t arg;
+  std::uint32_t size;
+};
+using StreamSpec = std::vector<std::vector<TxnSpec>>;
+
+// Deterministic from the seed alone, so the crash run, any re-execution after
+// recovery, and the oracle run all see byte-identical inputs.
+StreamSpec GenerateStream(std::uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  std::set<Key> dyn_live;
+  StreamSpec stream(kEpochs);
+  for (auto& epoch : stream) {
+    std::set<Key> dyn_touched;  // at most one insert/delete per key per epoch
+    for (std::size_t i = 0; i < kTxnsPerEpoch; ++i) {
+      const std::uint64_t pick = rng.NextBounded(100);
+      if (pick < 25) {
+        epoch.push_back({Kind::kPut, rng.NextBounded(kBaseRows), rng.Next(), 0});
+      } else if (pick < 45) {
+        epoch.push_back({Kind::kRmw, rng.NextBounded(kBaseRows), rng.NextBounded(1000), 0});
+      } else if (pick < 60) {
+        epoch.push_back({Kind::kBigPut, kBigBase + rng.NextBounded(kBigRows), rng.Next(), 0});
+      } else if (pick < 75) {
+        epoch.push_back({Kind::kVarPut, kBigBase + rng.NextBounded(kBigRows), rng.Next(),
+                         static_cast<std::uint32_t>(8 + rng.NextBounded(393))});
+      } else if (pick < 90) {
+        const Key key = kDynBase + rng.NextBounded(kDynRows);
+        if (!dyn_touched.insert(key).second) {
+          epoch.push_back({Kind::kPut, rng.NextBounded(kBaseRows), rng.Next(), 0});
+        } else if (dyn_live.count(key) != 0) {
+          dyn_live.erase(key);
+          epoch.push_back({Kind::kDelete, key, 0, 0});
+        } else {
+          dyn_live.insert(key);
+          epoch.push_back({Kind::kInsert, key, rng.Next(), 0});
+        }
+      } else {
+        epoch.push_back({Kind::kAbort, rng.NextBounded(kBaseRows), 0, 0});
+      }
+    }
+  }
+  return stream;
+}
+
+std::vector<std::unique_ptr<nvc::txn::Transaction>> Materialize(
+    const std::vector<TxnSpec>& specs) {
+  std::vector<std::unique_ptr<nvc::txn::Transaction>> txns;
+  txns.reserve(specs.size());
+  for (const TxnSpec& s : specs) {
+    switch (s.kind) {
+      case Kind::kPut:
+        txns.push_back(std::make_unique<nvc::test::KvPutTxn>(s.key, s.arg));
+        break;
+      case Kind::kRmw:
+        txns.push_back(std::make_unique<nvc::test::KvRmwTxn>(s.key, s.arg));
+        break;
+      case Kind::kBigPut:
+        txns.push_back(std::make_unique<nvc::test::KvBigPutTxn>(s.key, s.arg));
+        break;
+      case Kind::kVarPut:
+        txns.push_back(std::make_unique<nvc::test::KvVarPutTxn>(s.key, s.size, s.arg));
+        break;
+      case Kind::kInsert:
+        txns.push_back(std::make_unique<nvc::test::KvInsertTxn>(s.key, s.arg));
+        break;
+      case Kind::kDelete:
+        txns.push_back(std::make_unique<nvc::test::KvDeleteTxn>(s.key));
+        break;
+      case Kind::kAbort:
+        txns.push_back(std::make_unique<nvc::test::KvAbortTxn>(s.key));
+        break;
+    }
+  }
+  return txns;
+}
+
+void LoadAll(Database& db) {
+  for (std::size_t i = 0; i < kBigBase + kBigRows; ++i) {
+    const std::uint64_t value = 5000 + i;
+    db.BulkLoad(0, i, &value, sizeof(value));
+  }
+  db.FinalizeLoad();
+}
+
+// ---- Engine configurations --------------------------------------------------
+
+struct FuzzConfig {
+  std::string name;
+  DatabaseSpec spec;
+  bool cold = false;
+};
+
+std::vector<FuzzConfig> BuildConfigs(bool smoke) {
+  std::vector<FuzzConfig> configs;
+  configs.push_back({"default", nvc::test::SmallKvSpec(), false});
+
+  {
+    DatabaseSpec spec = nvc::test::SmallKvSpec();
+    spec.enable_batch_append = true;
+    configs.push_back({"batch-append", spec, false});
+  }
+  {
+    DatabaseSpec spec = nvc::test::SmallKvSpec();
+    spec.enable_cache = false;
+    configs.push_back({"no-cache", spec, false});
+  }
+  {
+    DatabaseSpec spec = nvc::test::SmallKvSpec();
+    spec.enable_persistent_index = true;
+    configs.push_back({"persistent-index", spec, false});
+  }
+  {
+    DatabaseSpec spec = nvc::test::SmallKvSpec();
+    spec.enable_cold_tier = true;
+    spec.cache_k = 1;  // short LRU window so demotions happen within the run
+    spec.cold_block_size = 1024;
+    spec.cold_blocks_per_core = 4096;
+    spec.cold_freelist_capacity = 8192;
+    configs.push_back({"cold-tier", spec, true});
+  }
+  if (!smoke) {
+    DatabaseSpec spec = nvc::test::SmallKvSpec();
+    spec.enable_minor_gc = false;
+    configs.push_back({"no-minor-gc", spec, false});
+
+    DatabaseSpec mt = nvc::test::SmallKvSpec(/*workers=*/4);
+    configs.push_back({"multi-worker", mt, false});
+  }
+  return configs;
+}
+
+NvmConfig ColdDeviceConfig(const DatabaseSpec& spec) {
+  NvmConfig config;
+  config.size_bytes = Database::RequiredColdDeviceBytes(spec);
+  config.crash_tracking = nvc::sim::CrashTracking::kShadow;
+  config.access_granule = 4096;
+  return config;
+}
+
+// How many times a run may let a site pass before firing: dense sites are
+// reached many times per epoch, sparse ones once, so the fire index doubles
+// as a crash-epoch / crash-depth randomizer.
+std::uint64_t FireIndexBound(CrashSite site) {
+  switch (site) {
+    case CrashSite::kMidExecution:
+      return kEpochs * kTxnsPerEpoch / 2;
+    case CrashSite::kDuringIndexApply:
+      return kEpochs * 8;
+    case CrashSite::kDuringGcPass2:
+      return kEpochs * 4;
+    case CrashSite::kDuringDemotion:
+      return 3;
+    default:
+      return kEpochs;  // reached at most once per epoch: picks the epoch
+  }
+}
+
+// ---- Sweep ------------------------------------------------------------------
+
+struct SweepStats {
+  std::size_t runs = 0;
+  std::size_t crashed_runs = 0;
+  std::size_t missed_runs = 0;  // the armed site was never reached
+  std::size_t divergences = 0;
+  std::size_t index_inconsistencies = 0;
+  CrashSiteCoverage coverage;
+  std::array<std::uint64_t, kCrashSiteCount> armed{};
+  std::array<std::uint64_t, kCrashSiteCount> armed_fired{};
+};
+
+const OracleState& ReferenceState(const FuzzConfig& config, std::size_t config_index,
+                                  std::uint64_t seed, const StreamSpec& stream) {
+  static std::map<std::pair<std::size_t, std::uint64_t>, OracleState> cache;
+  auto it = cache.find({config_index, seed});
+  if (it != cache.end()) {
+    return it->second;
+  }
+  NvmDevice device(nvc::test::ShadowDeviceConfig(config.spec));
+  std::unique_ptr<NvmDevice> cold;
+  if (config.cold) {
+    cold = std::make_unique<NvmDevice>(ColdDeviceConfig(config.spec));
+  }
+  Database db(device, config.spec, cold.get());
+  db.Format();
+  LoadAll(db);
+  for (const auto& epoch : stream) {
+    db.ExecuteEpoch(Materialize(epoch));
+  }
+  return cache.emplace(std::make_pair(config_index, seed), nvc::core::CaptureState(db))
+      .first->second;
+}
+
+// One crash-and-recover run. Returns a failure description, empty on success.
+std::string RunCase(const FuzzConfig& config, std::size_t config_index, std::uint64_t seed,
+                    CrashSite site, SweepStats* stats, bool verbose) {
+  const StreamSpec stream = GenerateStream(seed);
+  const OracleState& expected = ReferenceState(config, config_index, seed, stream);
+
+  // Per-run deterministic choices: crash mode, keep-probability, fire index.
+  Rng run_rng(seed * 1000003 + static_cast<std::uint64_t>(site) * 101 + config_index * 31 + 7);
+  const std::uint64_t fire_index = 1 + run_rng.NextBounded(FireIndexBound(site));
+  const int mode = static_cast<int>(run_rng.NextBounded(3));
+  constexpr double kKeepSweep[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+  const double keep = kKeepSweep[run_rng.NextBounded(5)];
+  const std::uint64_t crash_seed = run_rng.Next();
+
+  NvmDevice device(nvc::test::ShadowDeviceConfig(config.spec));
+  std::unique_ptr<NvmDevice> cold;
+  if (config.cold) {
+    cold = std::make_unique<NvmDevice>(ColdDeviceConfig(config.spec));
+  }
+
+  ++stats->runs;
+  ++stats->armed[static_cast<std::size_t>(site)];
+
+  bool crashed = false;
+  std::size_t crash_epoch = 0;
+  {
+    Database db(device, config.spec, cold.get());
+    db.Format();
+    LoadAll(db);
+    std::atomic<std::uint64_t> reached{0};
+    db.SetCrashHook([&reached, site, fire_index](CrashSite s) {
+      return s == site && ++reached == fire_index;
+    });
+    for (std::size_t e = 0; e < stream.size(); ++e) {
+      if (db.ExecuteEpoch(Materialize(stream[e])).crashed) {
+        crashed = true;
+        crash_epoch = e;
+        break;
+      }
+    }
+    stats->coverage.Merge(db.crash_coverage());
+  }
+
+  std::unique_ptr<Database> db;
+  if (crashed) {
+    ++stats->crashed_runs;
+    ++stats->armed_fired[static_cast<std::size_t>(site)];
+    switch (mode) {
+      case 0:
+        device.Crash();
+        if (cold) cold->Crash();
+        break;
+      case 1:
+        device.CrashChaos(crash_seed, keep);
+        if (cold) cold->CrashChaos(crash_seed ^ 0x5bd1e995, keep);
+        break;
+      default:
+        device.CrashTorn(crash_seed, keep);
+        if (cold) cold->CrashTorn(crash_seed ^ 0x5bd1e995, keep);
+        break;
+    }
+    db = std::make_unique<Database>(device, config.spec, cold.get());
+    const nvc::core::RecoveryReport report = db->Recover(nvc::test::KvRegistry());
+    if (!report.replayed) {
+      // The crashed epoch's log never became durable, so that epoch never
+      // changed persistent state; re-run it through the normal path.
+      db->ExecuteEpoch(Materialize(stream[crash_epoch]));
+    }
+    for (std::size_t e = crash_epoch + 1; e < stream.size(); ++e) {
+      db->ExecuteEpoch(Materialize(stream[e]));
+    }
+  } else {
+    // The armed site was never reached (e.g. no demotion happened this run).
+    // The completed run still doubles as a no-crash consistency check.
+    ++stats->missed_runs;
+    db = std::make_unique<Database>(device, config.spec, cold.get());
+    db->Recover(nvc::test::KvRegistry());
+  }
+
+  std::string failure;
+  const OracleState actual = nvc::core::CaptureState(*db);
+  std::string diff;
+  const std::size_t divergences = nvc::core::DiffStates(expected, actual, &diff);
+  stats->divergences += divergences;
+  if (divergences != 0) {
+    failure += "state diverged (" + std::to_string(divergences) + "):\n" + diff;
+  }
+  std::string index_diff;
+  const std::size_t index_bad = nvc::core::ValidatePersistentIndex(*db, &index_diff);
+  stats->index_inconsistencies += index_bad;
+  if (index_bad != 0) {
+    failure += "persistent index inconsistent (" + std::to_string(index_bad) + "):\n" +
+               index_diff;
+  }
+
+  if (verbose || !failure.empty()) {
+    static constexpr const char* kModeNames[] = {"crash", "chaos", "torn"};
+    std::printf("[%s seed=%llu site=%s mode=%s keep=%.2f fire=%llu] %s\n",
+                config.name.c_str(), static_cast<unsigned long long>(seed),
+                CrashSiteName(site), kModeNames[mode], keep,
+                static_cast<unsigned long long>(fire_index),
+                failure.empty() ? (crashed ? "ok" : "miss") : "FAIL");
+  }
+  return failure;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool verbose = false;
+  std::size_t seeds = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--seeds" && i + 1 < argc) {
+      char* end = nullptr;
+      seeds = static_cast<std::size_t>(std::strtoull(argv[++i], &end, 10));
+      if (end == argv[i] || *end != '\0' || seeds == 0) {
+        std::fprintf(stderr, "crash_fuzz: --seeds requires a positive integer, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "usage: crash_fuzz [--smoke] [--seeds N] [--verbose]\n");
+      return 2;
+    }
+  }
+  if (seeds == 0) {
+    seeds = smoke ? 3 : 20;
+  }
+
+  const std::vector<FuzzConfig> configs = BuildConfigs(smoke);
+  SweepStats stats;
+  std::size_t failures = 0;
+
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const std::size_t runs_before = stats.runs;
+    const std::size_t crashed_before = stats.crashed_runs;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      for (CrashSite site : kAllCrashSites) {
+        const std::string failure = RunCase(configs[c], c, seed, site, &stats, verbose);
+        if (!failure.empty()) {
+          ++failures;
+        }
+      }
+    }
+    std::printf("config %-16s: %3zu runs, %3zu crashed+recovered, %3zu missed\n",
+                configs[c].name.c_str(), stats.runs - runs_before,
+                stats.crashed_runs - crashed_before,
+                (stats.runs - runs_before) - (stats.crashed_runs - crashed_before));
+  }
+
+  std::printf("\nper-site coverage (armed = runs targeting the site; fired = crashes):\n");
+  bool all_sites_fired = true;
+  for (std::size_t i = 0; i < kCrashSiteCount; ++i) {
+    std::printf("  %-20s armed %4llu  fired %4llu  reached %7llu\n",
+                CrashSiteName(kAllCrashSites[i]),
+                static_cast<unsigned long long>(stats.armed[i]),
+                static_cast<unsigned long long>(stats.armed_fired[i]),
+                static_cast<unsigned long long>(stats.coverage.reached[i]));
+    if (stats.armed_fired[i] == 0) {
+      all_sites_fired = false;
+      std::printf("    ^ never fired: the sweep exercised no crash at this site\n");
+    }
+  }
+
+  std::printf("\ntotal: %zu runs, %zu crashed+recovered, %zu missed, %zu divergences, "
+              "%zu index inconsistencies\n",
+              stats.runs, stats.crashed_runs, stats.missed_runs, stats.divergences,
+              stats.index_inconsistencies);
+  if (failures != 0 || !all_sites_fired) {
+    std::printf("FAIL\n");
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}
