@@ -37,9 +37,10 @@ void Sweep(const char* label, MakeWorkload&& make_workload) {
 }  // namespace
 }  // namespace nvc::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nvc::bench;
   using namespace nvc::workload;
+  ParseBenchFlags(argc, argv);
   PrintHeader("Figure 12", "Effect of epoch size on throughput and latency");
 
   auto ycsb = [](std::uint32_t value, std::uint32_t update, std::uint32_t hot) {

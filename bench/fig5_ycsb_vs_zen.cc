@@ -70,8 +70,9 @@ void RunDataset(const char* dataset_label, std::uint64_t rows, std::size_t cache
 }  // namespace
 }  // namespace nvc::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nvc::bench;
+  ParseBenchFlags(argc, argv);
   PrintHeader("Figure 5", "YCSB throughput: NVCaracal vs Zen (scaled: paper used 16M/64M rows)");
   std::printf("\n--- (a) default dataset ---\n");
   RunDataset("default", Scaled(60'000), Scaled(60'000));

@@ -76,8 +76,9 @@ void RunTpcc(const char* label, std::uint32_t warehouses) {
 }  // namespace
 }  // namespace nvc::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nvc::bench;
+  ParseBenchFlags(argc, argv);
   PrintHeader("Figure 7", "NVCaracal vs all-NVMM vs hybrid Caracal designs (256 B rows)");
 
   std::printf("\n--- TPC-C ---\n");

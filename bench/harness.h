@@ -10,20 +10,71 @@
 // Environment knobs:
 //   NVC_BENCH_SCALE  multiplies dataset sizes and transaction counts
 //                    (default 1; use 0.2 for a quick smoke run).
+//   NVC_PROFILE      non-empty enables the epoch-phase profiler (report
+//                    table printed after each NVCaracal run).
+//   NVC_TRACE_OUT    path for a Chrome-trace JSON of the last profiled run
+//                    (implies profiling; open in https://ui.perfetto.dev).
+//
+// Command-line flags (call ParseBenchFlags from main):
+//   --profile            same as NVC_PROFILE=1
+//   --trace-out=PATH     same as NVC_TRACE_OUT=PATH
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/common/profiler.h"
 #include "src/core/database.h"
 #include "src/sim/nvm_device.h"
 #include "src/zen/zen_db.h"
 
 namespace nvc::bench {
+
+// Process-wide profiling options for bench binaries. Seeded from the
+// environment; ParseBenchFlags overrides from argv.
+struct ProfileOptions {
+  bool enabled = false;
+  std::string trace_out;  // empty = no trace file
+
+  static ProfileOptions FromEnv() {
+    ProfileOptions opts;
+    const char* profile = std::getenv("NVC_PROFILE");
+    opts.enabled = profile != nullptr && profile[0] != '\0';
+    const char* trace = std::getenv("NVC_TRACE_OUT");
+    if (trace != nullptr && trace[0] != '\0') {
+      opts.trace_out = trace;
+      opts.enabled = true;  // a trace implies profiling
+    }
+    return opts;
+  }
+};
+
+inline ProfileOptions& Profiling() {
+  static ProfileOptions opts = ProfileOptions::FromEnv();
+  return opts;
+}
+
+// Consumes the profiler flags every figure binary accepts. Unknown flags are
+// reported (exit) so typos do not silently run an unprofiled benchmark.
+inline void ParseBenchFlags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--profile") == 0) {
+      Profiling().enabled = true;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      Profiling().trace_out = arg + 12;
+      Profiling().enabled = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (supported: --profile --trace-out=PATH)\n", arg);
+      std::exit(2);
+    }
+  }
+}
 
 inline double ScaleFactor() {
   const char* env = std::getenv("NVC_BENCH_SCALE");
@@ -49,6 +100,7 @@ struct RunResult {
   std::size_t committed = 0;
   std::size_t aborted = 0;
   core::MemoryBreakdown memory;
+  ProfileReport profile;  // populated when Profiling().enabled (NVCaracal only)
 };
 
 // Applies the engine-mode defaults for the figure baselines: the all-DRAM
@@ -78,6 +130,11 @@ RunResult RunNvCaracal(Workload& workload, core::EngineMode mode, std::size_t ep
   workload.Load(db);
   db.FinalizeLoad();
 
+  if (Profiling().enabled) {
+    ProfilerConfig profiler_config;
+    profiler_config.enabled = true;
+    db.ConfigureProfiler(profiler_config);
+  }
   db.stats().Reset();
   device.stats().Reset();
   RunResult result;
@@ -100,6 +157,18 @@ RunResult RunNvCaracal(Workload& workload, core::EngineMode mode, std::size_t ep
   result.nvm_write_bytes = device.stats().write_bytes.Sum();
   result.nvm_read_bytes = device.stats().read_bytes.Sum();
   result.memory = db.GetMemoryBreakdown();
+  if (Profiling().enabled) {
+    result.profile = db.ProfileReport();
+    std::printf("%s", result.profile.ToTable().c_str());
+    if (!Profiling().trace_out.empty()) {
+      // Each profiled run overwrites the file; the last configuration wins.
+      if (db.profiler().WriteChromeTrace(Profiling().trace_out)) {
+        std::printf("[profiler] chrome trace written to %s\n", Profiling().trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "[profiler] failed to write %s\n", Profiling().trace_out.c_str());
+      }
+    }
+  }
   return result;
 }
 

@@ -215,6 +215,25 @@ Database::Database(sim::NvmDevice& device, const DatabaseSpec& spec,
   for (std::size_t i = 0; i < spec_.counters.size(); ++i) {
     counters_[i].store(spec_.counters[i], std::memory_order_relaxed);
   }
+
+  // Phase-boundary counter snapshots for the epoch-phase profiler. Only the
+  // hot NVMM device is mirrored into the nvm_* fields (cold-tier block I/O
+  // is a different cost model and has its own stats_ counters).
+  profiler_.SetSnapshotProvider([this] {
+    const sim::NvmCounters nvm = device_.stats().Snapshot();
+    OpCounters ops;
+    ops.nvm_read_bytes = nvm.read_bytes;
+    ops.nvm_read_granules = nvm.read_granules;
+    ops.nvm_write_bytes = nvm.write_bytes;
+    ops.nvm_write_lines = nvm.persisted_lines;
+    ops.nvm_persist_ops = nvm.persist_ops;
+    ops.nvm_fences = nvm.fences;
+    ops.transient_writes = stats_.transient_writes.Sum();
+    ops.persistent_writes = stats_.persistent_writes.Sum();
+    ops.cache_hits = stats_.cache_hits.Sum();
+    ops.cache_misses = stats_.cache_misses.Sum();
+    return ops;
+  });
 }
 
 Database::~Database() = default;

@@ -33,6 +33,7 @@
 
 #include "src/alloc/persistent_pool.h"
 #include "src/alloc/transient_pool.h"
+#include "src/common/profiler.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/common/worker_pool.h"
@@ -197,6 +198,15 @@ class Database {
   Epoch current_epoch() const { return current_epoch_; }
   const DatabaseSpec& spec() const { return spec_; }
   EngineStats& stats() { return stats_; }
+
+  // ---- Epoch-phase profiler --------------------------------------------------
+  // Off by default; ConfigureProfiler({.enabled = true}) turns on span
+  // recording and per-phase NVM/engine counter attribution for every
+  // subsequent ExecuteEpoch. See DESIGN.md section 9.
+  void ConfigureProfiler(const ProfilerConfig& config) { profiler_.Configure(config); }
+  PhaseProfiler& profiler() { return profiler_; }
+  const PhaseProfiler& profiler() const { return profiler_; }
+  nvc::ProfileReport ProfileReport() const { return profiler_.Report(); }
   std::uint64_t counter_value(txn::CounterId id) const {
     return counters_[id].load(std::memory_order_relaxed);
   }
@@ -370,6 +380,8 @@ class Database {
   std::vector<std::atomic<std::uint64_t>> counters_;
   std::vector<std::uint64_t> counters_epoch_start_;
   EngineStats stats_;
+  PhaseProfiler profiler_;
+  sim::NvmCounters epoch_nvm_start_;  // mirrored into stats_.nvm_* at epoch end
 
   Epoch current_epoch_ = 0;  // last completed epoch
   Epoch epoch_ = 0;          // epoch currently executing

@@ -165,10 +165,13 @@ EpochResult Database::ExecuteEpoch(std::vector<std::unique_ptr<txn::Transaction>
 
   EpochResult result;
   result.epoch = epoch;
+  epoch_nvm_start_ = device_.stats().Snapshot();
+  profiler_.BeginEpoch(epoch);
   try {
     // Input logging: all inputs durable before execution starts (4.3). The
     // replay path skips it — the crashed epoch's log is already durable.
     if (ModeLogsInputs(spec_.mode) && !replaying_) {
+      PhaseProfiler::ScopedPhase phase(profiler_, Phase::kLogInputs);
       last_log_bytes_ = log_->LogEpoch(epoch, owned_txns_, 0);
       stats_.log_bytes.Add(0, last_log_bytes_);
     }
@@ -202,6 +205,7 @@ EpochResult Database::ExecuteEpoch(std::vector<std::unique_ptr<txn::Transaction>
     RunMajorGc();
 
     if (spec_.enable_cache) {
+      PhaseProfiler::ScopedPhase phase(profiler_, Phase::kCacheEvict);
       vstore::VersionCache::EvictCallback on_evict;
       if (spec_.enable_cold_tier) {
         on_evict = [this](vstore::RowEntry* entry) {
@@ -229,12 +233,27 @@ EpochResult Database::ExecuteEpoch(std::vector<std::unique_ptr<txn::Transaction>
     }
 
     CheckpointEpoch(epoch);
-    FinishEpoch();
+    {
+      PhaseProfiler::ScopedPhase phase(profiler_, Phase::kFinish);
+      FinishEpoch();
+    }
     current_epoch_ = epoch;
   } catch (const CrashedException&) {
+    profiler_.CancelEpoch();
     result.crashed = true;
     return result;
   }
+
+  profiler_.EndEpoch();
+  // Mirror the epoch's device deltas into the engine-side counters so
+  // EngineStats reports NVM costs of epoch processing (loads excluded).
+  const sim::NvmCounters nvm_end = device_.stats().Snapshot();
+  stats_.nvm_read_bytes.Add(0, nvm_end.read_bytes - epoch_nvm_start_.read_bytes);
+  stats_.nvm_read_lines.Add(0, nvm_end.read_granules - epoch_nvm_start_.read_granules);
+  stats_.nvm_write_bytes.Add(0, nvm_end.write_bytes - epoch_nvm_start_.write_bytes);
+  stats_.nvm_write_lines.Add(0, nvm_end.persisted_lines - epoch_nvm_start_.persisted_lines);
+  stats_.nvm_persist_ops.Add(0, nvm_end.persist_ops - epoch_nvm_start_.persist_ops);
+  stats_.nvm_fences.Add(0, nvm_end.fences - epoch_nvm_start_.fences);
 
   result.committed = epoch_committed_.load(std::memory_order_relaxed);
   result.aborted = epoch_aborted_.load(std::memory_order_relaxed);
@@ -243,7 +262,9 @@ EpochResult Database::ExecuteEpoch(std::vector<std::unique_ptr<txn::Transaction>
 }
 
 void Database::RunInsertStep() {
+  PhaseProfiler::ScopedPhase phase(profiler_, Phase::kInsert);
   pool_.RunParallel([this](std::size_t w) {
+    PhaseProfiler::WorkerScope span(profiler_, w);
     for (std::size_t i = w; i < txn_states_.size(); i += spec_.workers) {
       TxnState& st = txn_states_[i];
       EngineInsertContext ctx(this, &st, w);
@@ -263,6 +284,7 @@ void Database::RunMajorGc() {
   if (!any) {
     return;
   }
+  PhaseProfiler::ScopedPhase phase(profiler_, Phase::kMajorGc);
 
   // Hot-tier blocks vacated by committed demotions (non-revertible frees,
   // same durability window as the GC frees below).
@@ -275,6 +297,7 @@ void Database::RunMajorGc() {
 
   // Pass 1 — append the stale non-inline values to the value-pool free list.
   pool_.RunParallel([this](std::size_t w) {
+    PhaseProfiler::WorkerScope span(profiler_, w);
     for (vstore::RowEntry* entry : pending_major_gc_[w]) {
       vstore::PersistentRow row = RowAt(entry);
       const vstore::VersionDesc v0 = row.ReadDesc(0);
@@ -312,6 +335,7 @@ void Database::RunMajorGc() {
   // now-available slot (paper 4.5 ordering rules).
   const bool hook_pass2 = static_cast<bool>(crash_hook_) && spec_.workers == 1;
   pool_.RunParallel([this, hook_pass2](std::size_t w) {
+    PhaseProfiler::WorkerScope span(profiler_, w);
     for (vstore::RowEntry* entry : pending_major_gc_[w]) {
       vstore::PersistentRow row = RowAt(entry);
       const vstore::VersionDesc v1 = row.ReadDesc(1);
@@ -338,7 +362,9 @@ void Database::RunAppendStep() {
     RunBatchAppendStep();
     return;
   }
+  PhaseProfiler::ScopedPhase phase(profiler_, Phase::kAppend);
   pool_.RunParallel([this](std::size_t w) {
+    PhaseProfiler::WorkerScope span(profiler_, w);
     for (std::size_t i = w; i < txn_states_.size(); i += spec_.workers) {
       TxnState& st = txn_states_[i];
       EngineAppendContext ctx(this, &st, w);
@@ -359,15 +385,21 @@ void Database::RunBatchAppendStep() {
     }
   }
   // Sub-phase 1: collect intents (DeclareWrite routes here in batch mode).
-  pool_.RunParallel([this](std::size_t w) {
-    for (std::size_t i = w; i < txn_states_.size(); i += spec_.workers) {
-      TxnState& st = txn_states_[i];
-      EngineAppendContext ctx(this, &st, w);
-      st.txn->AppendStep(ctx);
-    }
-  });
+  {
+    PhaseProfiler::ScopedPhase phase(profiler_, Phase::kAppendCollect);
+    pool_.RunParallel([this](std::size_t w) {
+      PhaseProfiler::WorkerScope span(profiler_, w);
+      for (std::size_t i = w; i < txn_states_.size(); i += spec_.workers) {
+        TxnState& st = txn_states_[i];
+        EngineAppendContext ctx(this, &st, w);
+        st.txn->AppendStep(ctx);
+      }
+    });
+  }
   // Sub-phase 2: each owner core builds the version arrays of its rows.
+  PhaseProfiler::ScopedPhase phase(profiler_, Phase::kAppendBuild);
   pool_.RunParallel([this](std::size_t owner) {
+    PhaseProfiler::WorkerScope span(profiler_, owner);
     std::vector<BatchIntent> intents;
     std::size_t total = 0;
     for (const auto& bucket : append_intents_[owner]) {
@@ -408,8 +440,10 @@ void Database::RunBatchAppendStep() {
 }
 
 void Database::RunExecutePhase() {
+  PhaseProfiler::ScopedPhase phase(profiler_, Phase::kExecute);
   const bool hook_each_txn = static_cast<bool>(crash_hook_) && spec_.workers == 1;
   pool_.RunParallel([this, hook_each_txn](std::size_t w) {
+    PhaseProfiler::WorkerScope span(profiler_, w);
     for (std::size_t i = w; i < txn_states_.size(); i += spec_.workers) {
       if (hook_each_txn) {
         MaybeCrash(CrashSite::kMidExecution);
@@ -430,36 +464,43 @@ void Database::RunExecutePhase() {
 }
 
 void Database::CheckpointEpoch(Epoch epoch) {
-  for (auto& pool : value_pools_) {
-    pool->Checkpoint(epoch, 0);
-  }
-  for (auto& pool : row_pools_) {
-    pool->Checkpoint(epoch, 0);
-  }
-  if (cold_pool_ != nullptr) {
-    cold_pool_->Checkpoint(epoch, 0);
-    cold_device_->Fence(0);  // cold-pool checkpoint durable with this epoch
+  {
+    PhaseProfiler::ScopedPhase phase(profiler_, Phase::kCheckpoint);
+    for (auto& pool : value_pools_) {
+      pool->Checkpoint(epoch, 0);
+    }
+    for (auto& pool : row_pools_) {
+      pool->Checkpoint(epoch, 0);
+    }
+    if (cold_pool_ != nullptr) {
+      cold_pool_->Checkpoint(epoch, 0);
+      cold_device_->Fence(0);  // cold-pool checkpoint durable with this epoch
+    }
+    if (spec_.enable_persistent_index) {
+      // Apply the epoch's index deltas in a batch (section-7 extension). The
+      // per-slot epoch tags make a torn batch recoverable, and replay
+      // re-applies its deltas idempotently.
+      for (CoreEpochState& cs : core_state_) {
+        for (const IndexDelta& delta : cs.index_deltas) {
+          // Crash with the batch partially applied: the already-written slots
+          // carry this (uncheckpointed) epoch's tag, so the fast rebuild must
+          // ignore them and replay must re-apply the whole batch idempotently.
+          MaybeCrash(CrashSite::kDuringIndexApply);
+          if (delta.is_delete) {
+            pindexes_[delta.table]->ApplyDelete(delta.key, epoch, 0);
+          } else {
+            pindexes_[delta.table]->ApplyInsert(delta.key, delta.prow, epoch, 0);
+          }
+        }
+        cs.index_deltas.clear();
+      }
+    }
   }
   if (spec_.enable_persistent_index) {
-    // Apply the epoch's index deltas in a batch (section-7 extension). The
-    // per-slot epoch tags make a torn batch recoverable, and replay
-    // re-applies its deltas idempotently.
-    for (CoreEpochState& cs : core_state_) {
-      for (const IndexDelta& delta : cs.index_deltas) {
-        // Crash with the batch partially applied: the already-written slots
-        // carry this (uncheckpointed) epoch's tag, so the fast rebuild must
-        // ignore them and replay must re-apply the whole batch idempotently.
-        MaybeCrash(CrashSite::kDuringIndexApply);
-        if (delta.is_delete) {
-          pindexes_[delta.table]->ApplyDelete(delta.key, epoch, 0);
-        } else {
-          pindexes_[delta.table]->ApplyInsert(delta.key, delta.prow, epoch, 0);
-        }
-      }
-      cs.index_deltas.clear();
-    }
+    PhaseProfiler::ScopedPhase phase(profiler_, Phase::kGcLog);
     WriteGcLog(epoch);
   }
+  PhaseProfiler::ScopedPhase phase(profiler_, Phase::kCheckpoint);
   PersistCounters(epoch);
   FenceAll();
   MaybeCrash(CrashSite::kBeforeEpochPersist);
@@ -951,6 +992,10 @@ void Database::PersistFinal(vstore::RowEntry* entry, Sid sid, const void* data,
 // durable. A crash in between leaks at most one batch (bounded; reclaimable
 // offline).
 void Database::RunDemotions() {
+  if (demotion_candidates_.empty()) {
+    return;
+  }
+  PhaseProfiler::ScopedPhase phase(profiler_, Phase::kDemotion);
   struct Demotion {
     vstore::RowEntry* entry;
     int slot;

@@ -80,6 +80,17 @@ struct NvmConfig {
   std::size_t access_granule = kNvmAccessGranularity;
 };
 
+// Point-in-time sums of every NvmStats counter. Plain values, so phase
+// profilers and tests can snapshot at a boundary and diff two snapshots.
+struct NvmCounters {
+  std::uint64_t read_bytes = 0;
+  std::uint64_t read_granules = 0;
+  std::uint64_t write_bytes = 0;
+  std::uint64_t persisted_lines = 0;
+  std::uint64_t persist_ops = 0;
+  std::uint64_t fences = 0;
+};
+
 // Cumulative device statistics (per-core sharded; Sum() on read).
 struct NvmStats {
   ShardedCounter read_bytes;
@@ -88,6 +99,15 @@ struct NvmStats {
   ShardedCounter persisted_lines; // 64 B lines covered by Persist
   ShardedCounter persist_ops;
   ShardedCounter fences;
+
+  NvmCounters Snapshot() const {
+    return NvmCounters{.read_bytes = read_bytes.Sum(),
+                       .read_granules = read_granules.Sum(),
+                       .write_bytes = write_bytes.Sum(),
+                       .persisted_lines = persisted_lines.Sum(),
+                       .persist_ops = persist_ops.Sum(),
+                       .fences = fences.Sum()};
+  }
 
   void Reset() {
     read_bytes.Reset();

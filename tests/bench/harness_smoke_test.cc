@@ -1,0 +1,59 @@
+// Bench-harness smoke test: a tiny YCSB run through bench/harness.h with
+// profiling enabled must produce a populated report and a parseable trace.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/harness.h"
+#include "src/workload/ycsb.h"
+
+namespace nvc::test {
+namespace {
+
+TEST(BenchHarnessSmokeTest, TinyYcsbRunWithProfilingProducesReportAndTrace) {
+  const std::string trace_path = ::testing::TempDir() + "harness_smoke_trace.json";
+  std::remove(trace_path.c_str());
+  bench::Profiling().enabled = true;
+  bench::Profiling().trace_out = trace_path;
+
+  workload::YcsbConfig config;
+  config.rows = 512;
+  config.value_size = 64;
+  config.update_bytes = 64;
+  config.row_size = 256;
+  workload::YcsbWorkload workload(config);
+
+  const bench::RunResult result =
+      bench::RunNvCaracal(workload, core::EngineMode::kNvCaracal, /*epochs=*/3,
+                          /*txns_per_epoch=*/64);
+
+  // Engine-level results are sane.
+  EXPECT_EQ(result.committed, 3u * 64u);
+  EXPECT_GT(result.txns_per_sec, 0.0);
+
+  // The profile report is populated.
+  EXPECT_TRUE(result.profile.enabled);
+  EXPECT_EQ(result.profile.epochs, 3u);
+  EXPECT_GT(result.profile.total.nvm_write_lines, 0u);
+  EXPECT_GT(result.profile.phase(Phase::kExecute).activations, 0u);
+  EXPECT_FALSE(result.profile.ToTable().empty());
+
+  // The trace file was written and looks like a Chrome trace.
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good()) << "trace file missing: " << trace_path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"execute\""), std::string::npos);
+
+  bench::Profiling() = bench::ProfileOptions{};  // do not leak into other tests
+  std::remove(trace_path.c_str());
+}
+
+}  // namespace
+}  // namespace nvc::test

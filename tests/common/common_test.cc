@@ -203,5 +203,92 @@ TEST(LatencyRecorderTest, Percentiles) {
   EXPECT_DOUBLE_EQ(recorder.Max(), 100.0);
 }
 
+TEST(LatencyRecorderTest, EmptyReturnsZero) {
+  LatencyRecorder recorder;
+  EXPECT_TRUE(recorder.empty());
+  EXPECT_EQ(recorder.count(), 0u);
+  EXPECT_DOUBLE_EQ(recorder.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.Percentile(100), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.Max(), 0.0);
+}
+
+TEST(LatencyRecorderTest, SingleSampleEveryPercentile) {
+  LatencyRecorder recorder;
+  recorder.Record(42.5);
+  EXPECT_DOUBLE_EQ(recorder.Mean(), 42.5);
+  EXPECT_DOUBLE_EQ(recorder.Percentile(0), 42.5);
+  EXPECT_DOUBLE_EQ(recorder.Percentile(50), 42.5);
+  EXPECT_DOUBLE_EQ(recorder.Percentile(100), 42.5);
+  EXPECT_DOUBLE_EQ(recorder.Max(), 42.5);
+}
+
+TEST(LatencyRecorderTest, InterpolatesBetweenSamples) {
+  // Linear interpolation on rank (p/100)*(n-1): for {10,20,30,40},
+  // p50 lands halfway between the 2nd and 3rd sorted samples.
+  LatencyRecorder recorder;
+  for (double sample : {40.0, 10.0, 30.0, 20.0}) {  // unsorted on purpose
+    recorder.Record(sample);
+  }
+  EXPECT_DOUBLE_EQ(recorder.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(recorder.Percentile(50), 25.0);
+  EXPECT_NEAR(recorder.Percentile(75), 32.5, 1e-9);
+  EXPECT_DOUBLE_EQ(recorder.Percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(recorder.Max(), 40.0);
+  recorder.Clear();
+  EXPECT_TRUE(recorder.empty());
+  EXPECT_DOUBLE_EQ(recorder.Percentile(50), 0.0);
+}
+
+TEST(ShardedCounterTest, ConcurrentAddsSumExactly) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kIncrementsPerThread = 50'000;
+  ShardedCounter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, t] {
+      for (std::uint64_t i = 0; i < kIncrementsPerThread; ++i) {
+        // Mix of same-shard and cross-shard adds, including ids beyond
+        // kMaxCores (which must wrap, not corrupt).
+        counter.Add(static_cast<std::size_t>(t) + (i % 3) * kMaxCores);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter.Sum(), kThreads * kIncrementsPerThread);
+}
+
+TEST(ShardedCounterTest, ResetWhileAddingLosesNothingAfterJoin) {
+  // Reset() racing Add() is allowed (benches reset between runs while the
+  // pool is idle; this stress documents that the race is at worst lossy for
+  // in-flight adds, never corrupting). After all writers join, a final
+  // Reset + quiesced Add must be exact.
+  ShardedCounter counter;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&counter, &stop, t] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter.Add(static_cast<std::size_t>(t));
+      }
+    });
+  }
+  for (int i = 0; i < 100; ++i) {
+    counter.Reset();
+    (void)counter.Sum();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& writer : writers) {
+    writer.join();
+  }
+  counter.Reset();
+  EXPECT_EQ(counter.Sum(), 0u);
+  counter.Add(3, 11);
+  EXPECT_EQ(counter.Sum(), 11u);
+}
+
 }  // namespace
 }  // namespace nvc::test

@@ -1,0 +1,122 @@
+// Standalone Chrome-trace exporter for the epoch-phase profiler.
+//
+// Runs a small YCSB workload against an NVCaracal engine with profiling
+// enabled and writes a Chrome-trace ("Trace Event Format") JSON, loadable in
+// https://ui.perfetto.dev or chrome://tracing. Also prints the per-phase
+// summary table. CI uploads the JSON as a build artifact so every commit has
+// an openable trace.
+//
+// Usage:
+//   trace_export [--out=trace.json] [--epochs=8] [--txns=512] [--workers=2]
+//                [--rows=4096] [--mode=nvcaracal|alldram|allnvmm|hybrid]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/core/database.h"
+#include "src/sim/nvm_device.h"
+#include "src/workload/ycsb.h"
+
+namespace {
+
+struct Options {
+  std::string out = "trace.json";
+  std::size_t epochs = 8;
+  std::size_t txns = 512;
+  std::size_t workers = 2;
+  std::uint64_t rows = 4096;
+  nvc::core::EngineMode mode = nvc::core::EngineMode::kNvCaracal;
+};
+
+bool ParseMode(const char* name, nvc::core::EngineMode* mode) {
+  using nvc::core::EngineMode;
+  if (std::strcmp(name, "nvcaracal") == 0) {
+    *mode = EngineMode::kNvCaracal;
+  } else if (std::strcmp(name, "alldram") == 0) {
+    *mode = EngineMode::kAllDram;
+  } else if (std::strcmp(name, "allnvmm") == 0) {
+    *mode = EngineMode::kAllNvmm;
+  } else if (std::strcmp(name, "hybrid") == 0) {
+    *mode = EngineMode::kHybrid;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--out=PATH] [--epochs=N] [--txns=N] [--workers=N] [--rows=N]\n"
+               "          [--mode=nvcaracal|alldram|allnvmm|hybrid]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--out=", 6) == 0) {
+      opts.out = arg + 6;
+    } else if (std::strncmp(arg, "--epochs=", 9) == 0) {
+      opts.epochs = std::strtoull(arg + 9, nullptr, 10);
+    } else if (std::strncmp(arg, "--txns=", 7) == 0) {
+      opts.txns = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+      opts.workers = std::strtoull(arg + 10, nullptr, 10);
+    } else if (std::strncmp(arg, "--rows=", 7) == 0) {
+      opts.rows = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--mode=", 7) == 0) {
+      if (!ParseMode(arg + 7, &opts.mode)) {
+        return Usage(argv[0]);
+      }
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (opts.epochs == 0 || opts.txns == 0 || opts.workers == 0 || opts.workers > nvc::kMaxCores) {
+    return Usage(argv[0]);
+  }
+
+  nvc::workload::YcsbConfig ycsb_config;
+  ycsb_config.rows = opts.rows;
+  nvc::workload::YcsbWorkload workload(ycsb_config);
+
+  nvc::core::DatabaseSpec spec = workload.Spec(opts.workers);
+  spec.mode = opts.mode;
+
+  nvc::sim::NvmConfig device_config;
+  device_config.size_bytes = nvc::core::Database::RequiredDeviceBytes(spec);
+  device_config.latency = nvc::sim::LatencyProfile::Optane();
+  nvc::sim::NvmDevice device(device_config);
+
+  nvc::core::Database db(device, spec);
+  db.Format();
+  workload.Load(db);
+  db.FinalizeLoad();
+
+  nvc::ProfilerConfig profiler_config;
+  profiler_config.enabled = true;
+  db.ConfigureProfiler(profiler_config);
+  db.stats().Reset();
+  device.stats().Reset();
+
+  for (std::size_t e = 0; e < opts.epochs; ++e) {
+    const nvc::core::EpochResult r = db.ExecuteEpoch(workload.MakeEpoch(opts.txns));
+    if (r.crashed) {
+      std::fprintf(stderr, "epoch %u crashed unexpectedly\n", r.epoch);
+      return 1;
+    }
+  }
+
+  std::printf("%s", db.ProfileReport().ToTable().c_str());
+  if (!db.profiler().WriteChromeTrace(opts.out)) {
+    std::fprintf(stderr, "failed to write %s\n", opts.out.c_str());
+    return 1;
+  }
+  std::printf("chrome trace written to %s (open in https://ui.perfetto.dev)\n", opts.out.c_str());
+  return 0;
+}
