@@ -1,0 +1,251 @@
+// PR4 tail-scaling bench: serial vs parallel epoch tail across worker counts.
+//
+// Runs the figure-12 contended-YCSB workload (values in the pools, cold tier
+// enabled so demotion participates) under Optane latency injection, once with
+// the legacy serial epoch tail and once with the parallel tail, at 1/2/4/8
+// workers. For each run it records throughput and the per-phase wall time and
+// NVM-counter deltas from the epoch-phase profiler, prints a before/after
+// tail-scaling table, and writes everything to BENCH_PR4.json.
+//
+// The headline metric is the summed wall time of the phases the parallel
+// tail distributes — log-inputs + demotion + checkpoint (+ gc-log, reported
+// separately) — and the serial/parallel ratio at each worker count. The
+// persisted-line, written-byte, and fence counts must not move between the
+// serial and the parallel tail at the same worker count (the parallel tail
+// persists line-disjoint slices and fences at the same durability points);
+// the bench cross-checks this and flags any drift. persist_ops legitimately
+// grows (one clwb batch per worker slice instead of one per region).
+//
+// Wall-clock speedups require real cores: on a single-CPU container the
+// latency-injection spins of concurrent workers serialize, so the measured
+// ratio degrades toward 1x there. hw_concurrency is recorded in the JSON so
+// readers can interpret the numbers.
+//
+// Usage: bench_pr4_tail [--out=PATH] [--workers-max=N] (default out
+// BENCH_PR4.json, workers 1,2,4,8 capped by --workers-max)
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/workload/ycsb.h"
+
+namespace nvc::bench {
+namespace {
+
+using core::Database;
+using workload::YcsbConfig;
+using workload::YcsbWorkload;
+
+constexpr Phase kTailPhases[] = {Phase::kLogInputs, Phase::kDemotion, Phase::kCheckpoint,
+                                 Phase::kGcLog};
+
+struct TailRun {
+  std::size_t workers = 1;
+  bool parallel_tail = false;
+  double txns_per_sec = 0;
+  double tail3_wall_ms = 0;  // log-inputs + demotion + checkpoint
+  double gclog_wall_ms = 0;
+  ProfileReport profile;
+};
+
+TailRun Run(std::size_t workers, bool parallel_tail, std::size_t epochs,
+            std::size_t txns_per_epoch) {
+  YcsbConfig config;
+  config.rows = Scaled(40'000);
+  config.value_size = 1000;
+  config.update_bytes = 100;
+  config.hot_ops = 7;
+  config.hot_rows = 1024;
+  config.row_size = 256;  // values live in the pools -> checkpointed/demotable
+  YcsbWorkload workload(config);
+
+  core::DatabaseSpec spec = workload.Spec(workers);
+  spec.enable_parallel_tail = parallel_tail;
+  spec.enable_cold_tier = true;
+  spec.cache_k = 1;  // short LRU window so the demotion phase has work
+  spec.cold_block_size = 1024;
+  // Per-core (not divided by workers): the serial tail allocates all cold
+  // blocks from core 0's shard, and exhausting it would make the serial and
+  // parallel runs demote different row sets and skew the comparison.
+  spec.cold_blocks_per_core = 2 * config.rows + 4096;
+  spec.cold_freelist_capacity = config.rows + 4096;
+  // Hot blocks vacated by demotions are all freed on core 0's ring during
+  // major GC; with aggressive demotion that burst can approach the whole
+  // dataset in one epoch, so the per-core freelist must not shrink with the
+  // worker count.
+  spec.value_freelist_capacity = 2 * config.rows + 4096;
+
+  sim::NvmConfig hot_config;
+  hot_config.size_bytes = Database::RequiredDeviceBytes(spec);
+  hot_config.latency = sim::LatencyProfile::Optane();
+  sim::NvmDevice hot(hot_config);
+
+  sim::NvmConfig cold_config;
+  cold_config.size_bytes = std::max<std::size_t>(Database::RequiredColdDeviceBytes(spec), 4096);
+  cold_config.latency = sim::LatencyProfile::FastSsd();
+  cold_config.access_granule = 4096;
+  sim::NvmDevice cold(cold_config);
+
+  Database db(hot, spec, &cold);
+  db.Format();
+  workload.Load(db);
+  db.FinalizeLoad();
+
+  ProfilerConfig profiler_config;
+  profiler_config.enabled = true;
+  db.ConfigureProfiler(profiler_config);
+  db.stats().Reset();
+  hot.stats().Reset();
+
+  TailRun run;
+  run.workers = workers;
+  run.parallel_tail = parallel_tail;
+  double total_seconds = 0;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    total_seconds += db.ExecuteEpoch(workload.MakeEpoch(txns_per_epoch)).seconds;
+  }
+  run.txns_per_sec = static_cast<double>(epochs * txns_per_epoch) / total_seconds;
+  run.profile = db.ProfileReport();
+  run.tail3_wall_ms = run.profile.phase(Phase::kLogInputs).wall_ms +
+                      run.profile.phase(Phase::kDemotion).wall_ms +
+                      run.profile.phase(Phase::kCheckpoint).wall_ms;
+  run.gclog_wall_ms = run.profile.phase(Phase::kGcLog).wall_ms;
+  return run;
+}
+
+void WritePhaseJson(std::FILE* f, const ProfileReport& report) {
+  std::fprintf(f, "      \"phases\": {\n");
+  for (std::size_t i = 0; i < std::size(kTailPhases); ++i) {
+    const PhaseAggregate& agg = report.phase(kTailPhases[i]);
+    std::fprintf(f,
+                 "        \"%s\": {\"wall_ms\": %.3f, \"busy_ms\": %.3f, "
+                 "\"nvm_write_bytes\": %llu, \"nvm_write_lines\": %llu, "
+                 "\"nvm_persist_ops\": %llu, \"nvm_fences\": %llu}%s\n",
+                 PhaseName(kTailPhases[i]), agg.wall_ms, agg.busy_ms,
+                 static_cast<unsigned long long>(agg.ops.nvm_write_bytes),
+                 static_cast<unsigned long long>(agg.ops.nvm_write_lines),
+                 static_cast<unsigned long long>(agg.ops.nvm_persist_ops),
+                 static_cast<unsigned long long>(agg.ops.nvm_fences),
+                 i + 1 < std::size(kTailPhases) ? "," : "");
+  }
+  std::fprintf(f, "      }\n");
+}
+
+}  // namespace
+}  // namespace nvc::bench
+
+int main(int argc, char** argv) {
+  using namespace nvc::bench;
+  using nvc::Phase;
+
+  std::string out_path = "BENCH_PR4.json";
+  std::size_t workers_max = 8;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+    } else if (std::strncmp(arg, "--workers-max=", 14) == 0) {
+      const long parsed = std::atol(arg + 14);
+      if (parsed <= 0) {
+        std::fprintf(stderr, "--workers-max requires a positive integer\n");
+        return 2;
+      }
+      workers_max = static_cast<std::size_t>(parsed);
+    } else {
+      std::fprintf(stderr, "usage: bench_pr4_tail [--out=PATH] [--workers-max=N]\n");
+      return 2;
+    }
+  }
+
+  PrintHeader("PR4", "parallel epoch tail: serial vs parallel across worker counts");
+
+  const std::size_t epochs = 8;
+  const std::size_t txns = Scaled(2000);
+  std::vector<std::size_t> worker_counts;
+  for (std::size_t w = 1; w <= workers_max; w *= 2) {
+    worker_counts.push_back(w);
+  }
+
+  std::vector<TailRun> runs;
+  for (std::size_t w : worker_counts) {
+    runs.push_back(Run(w, /*parallel_tail=*/false, epochs, txns));
+    runs.push_back(Run(w, /*parallel_tail=*/true, epochs, txns));
+  }
+
+  std::printf("%-8s %-9s %12s %14s %12s %10s %10s\n", "workers", "tail", "txn/s",
+              "tail wall ms", "gc-log ms", "lines", "fences");
+  bool counters_stable = true;
+  for (std::size_t i = 0; i + 1 < runs.size(); i += 2) {
+    const TailRun& serial = runs[i];
+    const TailRun& parallel = runs[i + 1];
+    for (const TailRun* run : {&serial, &parallel}) {
+      std::uint64_t lines = 0;
+      std::uint64_t fences = 0;
+      for (Phase p : kTailPhases) {
+        lines += run->profile.phase(p).ops.nvm_write_lines;
+        fences += run->profile.phase(p).ops.nvm_fences;
+      }
+      std::printf("%-8zu %-9s %12.0f %14.2f %12.2f %10llu %10llu\n", run->workers,
+                  run->parallel_tail ? "parallel" : "serial", run->txns_per_sec,
+                  run->tail3_wall_ms, run->gclog_wall_ms,
+                  static_cast<unsigned long long>(lines),
+                  static_cast<unsigned long long>(fences));
+    }
+    // The parallel tail must not change what becomes durable or how often the
+    // epoch fences — only how many clwb batches cover it.
+    for (Phase p : kTailPhases) {
+      const auto& s = serial.profile.phase(p).ops;
+      const auto& q = parallel.profile.phase(p).ops;
+      if (s.nvm_write_lines != q.nvm_write_lines || s.nvm_fences != q.nvm_fences ||
+          s.nvm_write_bytes != q.nvm_write_bytes) {
+        counters_stable = false;
+        std::printf("  !! %s NVM counters moved at %zu workers: "
+                    "lines %llu->%llu bytes %llu->%llu fences %llu->%llu\n",
+                    PhaseName(p), serial.workers,
+                    static_cast<unsigned long long>(s.nvm_write_lines),
+                    static_cast<unsigned long long>(q.nvm_write_lines),
+                    static_cast<unsigned long long>(s.nvm_write_bytes),
+                    static_cast<unsigned long long>(q.nvm_write_bytes),
+                    static_cast<unsigned long long>(s.nvm_fences),
+                    static_cast<unsigned long long>(q.nvm_fences));
+      }
+    }
+    std::printf("%-8s speedup %.2fx (serial tail %.2f ms -> parallel %.2f ms)\n\n", "",
+                parallel.tail3_wall_ms > 0 ? serial.tail3_wall_ms / parallel.tail3_wall_ms : 0,
+                serial.tail3_wall_ms, parallel.tail3_wall_ms);
+  }
+  std::printf("NVM write-line/byte/fence counts %s between serial and parallel tails\n",
+              counters_stable ? "identical" : "DIVERGED");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"pr4_parallel_tail\",\n");
+  std::fprintf(f, "  \"workload\": \"ycsb-high fig12-style + cold tier\",\n");
+  std::fprintf(f, "  \"epochs\": %zu,\n", epochs);
+  std::fprintf(f, "  \"txns_per_epoch\": %zu,\n", txns);
+  std::fprintf(f, "  \"hw_concurrency\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"nvm_counters_stable\": %s,\n", counters_stable ? "true" : "false");
+  std::fprintf(f, "  \"tail_phases\": [\"log-inputs\", \"demotion\", \"checkpoint\"],\n");
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const TailRun& run = runs[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"workers\": %zu,\n", run.workers);
+    std::fprintf(f, "      \"parallel_tail\": %s,\n", run.parallel_tail ? "true" : "false");
+    std::fprintf(f, "      \"txns_per_sec\": %.1f,\n", run.txns_per_sec);
+    std::fprintf(f, "      \"tail_wall_ms\": %.3f,\n", run.tail3_wall_ms);
+    std::fprintf(f, "      \"gclog_wall_ms\": %.3f,\n", run.gclog_wall_ms);
+    WritePhaseJson(f, run.profile);
+    std::fprintf(f, "    }%s\n", i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

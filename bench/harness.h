@@ -14,10 +14,12 @@
 //                    table printed after each NVCaracal run).
 //   NVC_TRACE_OUT    path for a Chrome-trace JSON of the last profiled run
 //                    (implies profiling; open in https://ui.perfetto.dev).
+//   NVC_WORKERS      worker-pool size for NVCaracal runs (default 1).
 //
 // Command-line flags (call ParseBenchFlags from main):
 //   --profile            same as NVC_PROFILE=1
 //   --trace-out=PATH     same as NVC_TRACE_OUT=PATH
+//   --workers=N          same as NVC_WORKERS=N
 #pragma once
 
 #include <cstdio>
@@ -59,6 +61,18 @@ inline ProfileOptions& Profiling() {
   return opts;
 }
 
+// Worker-pool size for NVCaracal bench runs. Seeded from NVC_WORKERS;
+// --workers=N overrides it. The figure binaries were calibrated at one
+// worker, so 1 stays the default.
+inline std::size_t& Workers() {
+  static std::size_t workers = [] {
+    const char* env = std::getenv("NVC_WORKERS");
+    const long parsed = env != nullptr ? std::atol(env) : 0;
+    return parsed > 0 ? static_cast<std::size_t>(parsed) : std::size_t{1};
+  }();
+  return workers;
+}
+
 // Consumes the profiler flags every figure binary accepts. Unknown flags are
 // reported (exit) so typos do not silently run an unprofiled benchmark.
 inline void ParseBenchFlags(int argc, char** argv) {
@@ -69,8 +83,17 @@ inline void ParseBenchFlags(int argc, char** argv) {
     } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       Profiling().trace_out = arg + 12;
       Profiling().enabled = true;
+    } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+      const long parsed = std::atol(arg + 10);
+      if (parsed <= 0) {
+        std::fprintf(stderr, "--workers requires a positive integer, got '%s'\n", arg + 10);
+        std::exit(2);
+      }
+      Workers() = static_cast<std::size_t>(parsed);
     } else {
-      std::fprintf(stderr, "unknown flag: %s (supported: --profile --trace-out=PATH)\n", arg);
+      std::fprintf(stderr,
+                   "unknown flag: %s (supported: --profile --trace-out=PATH --workers=N)\n",
+                   arg);
       std::exit(2);
     }
   }
@@ -116,7 +139,7 @@ template <typename Workload>
 RunResult RunNvCaracal(Workload& workload, core::EngineMode mode, std::size_t epochs,
                        std::size_t txns_per_epoch,
                        const std::function<void(core::DatabaseSpec&)>& tweak = {}) {
-  core::DatabaseSpec spec = workload.Spec(/*workers=*/1);
+  core::DatabaseSpec spec = workload.Spec(Workers());
   spec.mode = mode;
   if (tweak) {
     tweak(spec);

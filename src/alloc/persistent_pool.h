@@ -72,6 +72,12 @@ class PersistentPool {
   // fence that makes the checkpoint durable.
   void Checkpoint(Epoch epoch, std::size_t core_for_stats);
 
+  // Checkpoints a single core's shard (ring entries + meta parity slot).
+  // The parallel epoch tail has worker w call CheckpointCore(epoch, w, w) so
+  // each worker persists exactly the shard it dirtied; Checkpoint() is the
+  // serial all-cores loop over this. Distinct cores may run concurrently.
+  void CheckpointCore(Epoch epoch, std::size_t core, std::size_t core_for_stats);
+
   // Value pool only: make the init-phase GC frees durable and advance
   // current_tail, allowing the execution phase to both reuse GC'd blocks
   // and survive a crash without reverting the GC. Issues its own fences.

@@ -147,6 +147,14 @@ struct DatabaseSpec {
   // repartitions them by row-owner core, and builds each version array with
   // one exact-capacity sorted fill instead of per-append sorted insertion.
   bool enable_batch_append = false;
+
+  // Parallel epoch tail (DESIGN.md section 10). When enabled, the durability
+  // tail of ExecuteEpoch — input-log serialization, cold-tier demotion, pool
+  // checkpoints, persistent-index delta application, and GC-log assembly —
+  // fans out over the worker pool instead of running serially on core 0,
+  // with one cross-core barrier fence wherever the serial tail fenced once.
+  // Disabling it restores the serial tail (A/B benchmarking, oracle tests).
+  bool enable_parallel_tail = true;
 };
 
 }  // namespace nvc::core

@@ -144,7 +144,8 @@ Database::Database(sim::NvmDevice& device, const DatabaseSpec& spec,
       pool_(spec.workers),
       transient_(spec.workers),
       core_state_(spec.workers),
-      pending_major_gc_(spec.workers) {
+      pending_major_gc_(spec.workers),
+      scratch_(spec.workers) {
   if (layout_.total > device_.size()) {
     throw std::invalid_argument("Database: device too small for spec (need " +
                                 std::to_string(layout_.total) + " bytes)");
@@ -398,9 +399,9 @@ int Database::ReadCommitted(TableId table, Key key, void* out, std::uint32_t cap
   }
   const vstore::ValueLoc loc(desc.loc);
   if (cap < loc.size()) {
-    std::vector<std::uint8_t> tmp(loc.size());
-    ReadVersionValue(row, desc, tmp.data(), 0);
-    std::memcpy(out, tmp.data(), cap);
+    std::uint8_t* tmp = ScratchFor(0, loc.size());
+    ReadVersionValue(row, desc, tmp, 0);
+    std::memcpy(out, tmp, cap);
     return static_cast<int>(cap);
   }
   ReadVersionValue(row, desc, out, 0);

@@ -34,6 +34,7 @@
 #include "src/alloc/persistent_pool.h"
 #include "src/alloc/transient_pool.h"
 #include "src/common/profiler.h"
+#include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/common/worker_pool.h"
@@ -107,13 +108,18 @@ enum class CrashSite {
   kAfterExecution,
   kDuringIndexApply,   // between persistent-index delta applications
   kBeforeEpochPersist,
+  kMidParallelCheckpoint,  // parallel tail: between a worker's value-pool and
+                           // row-pool shard checkpoints (single-worker runs)
+  kMidParallelIndexApply,  // parallel tail: after a delta application, while
+                           // the shard batch is part-applied (single-worker)
 };
-inline constexpr std::size_t kCrashSiteCount = 11;
+inline constexpr std::size_t kCrashSiteCount = 13;
 inline constexpr CrashSite kAllCrashSites[kCrashSiteCount] = {
     CrashSite::kAfterLog,        CrashSite::kAfterInsert,   CrashSite::kDuringMajorGc,
     CrashSite::kDuringGcPass2,   CrashSite::kAfterGcPersist, CrashSite::kDuringDemotion,
     CrashSite::kAfterAppend,     CrashSite::kMidExecution,  CrashSite::kAfterExecution,
     CrashSite::kDuringIndexApply, CrashSite::kBeforeEpochPersist,
+    CrashSite::kMidParallelCheckpoint, CrashSite::kMidParallelIndexApply,
 };
 
 constexpr const char* CrashSiteName(CrashSite site) {
@@ -129,6 +135,8 @@ constexpr const char* CrashSiteName(CrashSite site) {
     case CrashSite::kAfterExecution: return "AfterExecution";
     case CrashSite::kDuringIndexApply: return "DuringIndexApply";
     case CrashSite::kBeforeEpochPersist: return "BeforeEpochPersist";
+    case CrashSite::kMidParallelCheckpoint: return "MidParallelCheckpoint";
+    case CrashSite::kMidParallelIndexApply: return "MidParallelIndexApply";
   }
   return "?";
 }
@@ -277,6 +285,53 @@ class Database {
   };
   static_assert(sizeof(SuperBlock) == kCacheLineSize);
 
+  // Small open-addressing set of pointers. Deduplicates a transaction's
+  // declared writes in O(1) per declaration instead of a linear rescan of
+  // the whole write set (quadratic for wide transactions).
+  class PtrSet {
+   public:
+    // Returns true when p was already present; inserts it otherwise.
+    bool CheckAndInsert(const void* p) {
+      if (slots_.empty()) {
+        slots_.assign(16, 0);
+      } else if ((size_ + 1) * 2 > slots_.size()) {
+        Grow();
+      }
+      const auto v = reinterpret_cast<std::uintptr_t>(p);
+      const std::size_t mask = slots_.size() - 1;
+      for (std::size_t i = SplitMix64(v) & mask;; i = (i + 1) & mask) {
+        if (slots_[i] == v) {
+          return true;
+        }
+        if (slots_[i] == 0) {
+          slots_[i] = v;
+          ++size_;
+          return false;
+        }
+      }
+    }
+
+   private:
+    void Grow() {
+      std::vector<std::uintptr_t> old = std::move(slots_);
+      slots_.assign(old.size() * 2, 0);
+      const std::size_t mask = slots_.size() - 1;
+      for (const std::uintptr_t v : old) {
+        if (v == 0) {
+          continue;
+        }
+        std::size_t i = SplitMix64(v) & mask;
+        while (slots_[i] != 0) {
+          i = (i + 1) & mask;
+        }
+        slots_[i] = v;
+      }
+    }
+
+    std::vector<std::uintptr_t> slots_;  // 0 = empty (rows never live at 0)
+    std::size_t size_ = 0;
+  };
+
   // Per-transaction epoch state.
   struct TxnState {
     txn::Transaction* txn = nullptr;
@@ -284,6 +339,7 @@ class Database {
     bool aborted = false;
     std::vector<vstore::RowEntry*> writes;    // declared write set (append step)
     std::vector<vstore::RowEntry*> inserted;  // rows created in the insert step
+    PtrSet declared;                          // batch-append duplicate filter
   };
 
   // ---- Aria concurrency control (aria.cc) -------------------------------------
@@ -342,6 +398,24 @@ class Database {
 
   void FenceAll();
   void PersistCounters(Epoch epoch);
+
+  // Reusable per-core bounce buffer for tiered value reads (grows
+  // geometrically, never shrinks); replaces per-call std::vector allocation
+  // on the ReadRow/ReadPreEpoch hot paths.
+  std::uint8_t* ScratchFor(std::size_t core, std::size_t size) {
+    auto& buf = scratch_[core].buf;
+    if (buf.size() < size) {
+      buf.resize(std::max(size, buf.size() * 2));
+    }
+    return buf.data();
+  }
+
+  // ---- Parallel epoch tail (epoch.cc; DESIGN.md section 10) -------------------
+  // Each fans the serial tail loop out over pool_, preserving the serial
+  // path's fence ordering (one FenceAll where the serial code fenced once).
+  void ApplyIndexDeltasParallel(Epoch epoch);
+  void ApplyIndexDeltasSerial(Epoch epoch);
+  void WriteGcLogParallel(Epoch epoch);
 
   vstore::PersistentRow RowAt(const vstore::RowEntry* entry) {
     return vstore::PersistentRow(device_, entry->prow,
@@ -406,6 +480,11 @@ class Database {
   };
   std::vector<CoreEpochState> core_state_;
   std::vector<std::vector<vstore::RowEntry*>> pending_major_gc_;  // consumed this epoch
+
+  struct alignas(kCacheLineSize) CoreScratch {
+    std::vector<std::uint8_t> buf;
+  };
+  std::vector<CoreScratch> scratch_;  // see ScratchFor()
 
   // Batch-append intent buffers: [owner core][collecting worker].
   struct BatchIntent {

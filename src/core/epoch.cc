@@ -172,7 +172,9 @@ EpochResult Database::ExecuteEpoch(std::vector<std::unique_ptr<txn::Transaction>
     // replay path skips it — the crashed epoch's log is already durable.
     if (ModeLogsInputs(spec_.mode) && !replaying_) {
       PhaseProfiler::ScopedPhase phase(profiler_, Phase::kLogInputs);
-      last_log_bytes_ = log_->LogEpoch(epoch, owned_txns_, 0);
+      last_log_bytes_ = spec_.enable_parallel_tail
+                            ? log_->LogEpochParallel(epoch, owned_txns_, pool_, profiler_)
+                            : log_->LogEpoch(epoch, owned_txns_, 0);
       stats_.log_bytes.Add(0, last_log_bytes_);
     }
     MaybeCrash(CrashSite::kAfterLog);
@@ -466,39 +468,63 @@ void Database::RunExecutePhase() {
 void Database::CheckpointEpoch(Epoch epoch) {
   {
     PhaseProfiler::ScopedPhase phase(profiler_, Phase::kCheckpoint);
-    for (auto& pool : value_pools_) {
-      pool->Checkpoint(epoch, 0);
-    }
-    for (auto& pool : row_pools_) {
-      pool->Checkpoint(epoch, 0);
-    }
-    if (cold_pool_ != nullptr) {
-      cold_pool_->Checkpoint(epoch, 0);
-      cold_device_->Fence(0);  // cold-pool checkpoint durable with this epoch
+    if (spec_.enable_parallel_tail) {
+      // Parallel tail: worker w checkpoints exactly the per-core pool shards
+      // it dirtied during the epoch (pool core == worker id throughout the
+      // engine). No fence is needed between shards — the serial path also
+      // deferred durability to the epoch's FenceAll below — so the workers
+      // are fully independent.
+      const bool hook_tail = static_cast<bool>(crash_hook_) && spec_.workers == 1;
+      pool_.RunParallel([this, epoch, hook_tail](std::size_t w) {
+        PhaseProfiler::WorkerScope span(profiler_, w);
+        for (auto& pool : value_pools_) {
+          pool->CheckpointCore(epoch, w, w);
+        }
+        if (hook_tail) {
+          // Crash between a core's value-pool and row-pool shard
+          // checkpoints: this epoch's meta parity slots are part-written,
+          // but nothing reads them until the superblock epoch flips.
+          MaybeCrash(CrashSite::kMidParallelCheckpoint);
+        }
+        for (auto& pool : row_pools_) {
+          pool->CheckpointCore(epoch, w, w);
+        }
+        if (cold_pool_ != nullptr) {
+          cold_pool_->CheckpointCore(epoch, w, w);
+        }
+      });
+      if (cold_pool_ != nullptr) {
+        // One cross-core barrier where the serial path fenced once: the
+        // workers' cold-meta persists all retire here.
+        cold_device_->FenceAll(0);
+      }
+    } else {
+      for (auto& pool : value_pools_) {
+        pool->Checkpoint(epoch, 0);
+      }
+      for (auto& pool : row_pools_) {
+        pool->Checkpoint(epoch, 0);
+      }
+      if (cold_pool_ != nullptr) {
+        cold_pool_->Checkpoint(epoch, 0);
+        cold_device_->Fence(0);  // cold-pool checkpoint durable with this epoch
+      }
     }
     if (spec_.enable_persistent_index) {
-      // Apply the epoch's index deltas in a batch (section-7 extension). The
-      // per-slot epoch tags make a torn batch recoverable, and replay
-      // re-applies its deltas idempotently.
-      for (CoreEpochState& cs : core_state_) {
-        for (const IndexDelta& delta : cs.index_deltas) {
-          // Crash with the batch partially applied: the already-written slots
-          // carry this (uncheckpointed) epoch's tag, so the fast rebuild must
-          // ignore them and replay must re-apply the whole batch idempotently.
-          MaybeCrash(CrashSite::kDuringIndexApply);
-          if (delta.is_delete) {
-            pindexes_[delta.table]->ApplyDelete(delta.key, epoch, 0);
-          } else {
-            pindexes_[delta.table]->ApplyInsert(delta.key, delta.prow, epoch, 0);
-          }
-        }
-        cs.index_deltas.clear();
+      if (spec_.enable_parallel_tail) {
+        ApplyIndexDeltasParallel(epoch);
+      } else {
+        ApplyIndexDeltasSerial(epoch);
       }
     }
   }
   if (spec_.enable_persistent_index) {
     PhaseProfiler::ScopedPhase phase(profiler_, Phase::kGcLog);
-    WriteGcLog(epoch);
+    if (spec_.enable_parallel_tail) {
+      WriteGcLogParallel(epoch);
+    } else {
+      WriteGcLog(epoch);
+    }
   }
   PhaseProfiler::ScopedPhase phase(profiler_, Phase::kCheckpoint);
   PersistCounters(epoch);
@@ -508,6 +534,66 @@ void Database::CheckpointEpoch(Epoch epoch) {
   sb->epoch = epoch;
   device_.Persist(layout_.superblock + offsetof(SuperBlock, epoch), sizeof(std::uint64_t), 0);
   device_.Fence(0);
+}
+
+// Serial index-delta application (enable_parallel_tail off). Applies the
+// epoch's index deltas in a batch (section-7 extension). The per-slot epoch
+// tags make a torn batch recoverable, and replay re-applies its deltas
+// idempotently.
+void Database::ApplyIndexDeltasSerial(Epoch epoch) {
+  for (CoreEpochState& cs : core_state_) {
+    for (const IndexDelta& delta : cs.index_deltas) {
+      // Crash with the batch partially applied: the already-written slots
+      // carry this (uncheckpointed) epoch's tag, so the fast rebuild must
+      // ignore them and replay must re-apply the whole batch idempotently.
+      MaybeCrash(CrashSite::kDuringIndexApply);
+      if (delta.is_delete) {
+        pindexes_[delta.table]->ApplyDelete(delta.key, epoch, 0);
+      } else {
+        pindexes_[delta.table]->ApplyInsert(delta.key, delta.prow, epoch, 0);
+      }
+    }
+    cs.index_deltas.clear();
+  }
+}
+
+// Parallel index-delta application: deltas are sharded by key-hash owner
+// (the batch-append owner function), so all operations on one key run on one
+// worker and per-core delta order — which carries the insert-before-delete
+// requirement for keys inserted and deleted in the same epoch — is preserved
+// within each shard. Every worker walks all core buckets in (core, index)
+// order and applies only its own keys; the slot CAS protocol in
+// PersistentIndex makes concurrent probes over shared chains safe.
+void Database::ApplyIndexDeltasParallel(Epoch epoch) {
+  const bool hook_tail = static_cast<bool>(crash_hook_) && spec_.workers == 1;
+  pool_.RunParallel([this, epoch, hook_tail](std::size_t w) {
+    PhaseProfiler::WorkerScope span(profiler_, w);
+    for (CoreEpochState& cs : core_state_) {
+      for (const IndexDelta& delta : cs.index_deltas) {
+        if (HashKey(delta.table, delta.key) % spec_.workers != w) {
+          continue;
+        }
+        if (hook_tail) {
+          // Same crash state as the serial site: batch partially applied,
+          // already-written slots tagged with the uncheckpointed epoch.
+          MaybeCrash(CrashSite::kDuringIndexApply);
+        }
+        if (delta.is_delete) {
+          pindexes_[delta.table]->ApplyDelete(delta.key, epoch, w);
+        } else {
+          pindexes_[delta.table]->ApplyInsert(delta.key, delta.prow, epoch, w);
+        }
+        if (hook_tail) {
+          // Crash right after an application: the shard batch is mid-apply
+          // with at least one slot already written.
+          MaybeCrash(CrashSite::kMidParallelIndexApply);
+        }
+      }
+    }
+  });
+  for (CoreEpochState& cs : core_state_) {
+    cs.index_deltas.clear();
+  }
 }
 
 // Persists the rows scheduled for major GC in the next epoch, so a crash
@@ -537,6 +623,75 @@ void Database::WriteGcLog(Epoch epoch) {
     device_.Persist(entries_base, count * sizeof(std::uint64_t), 0);
   }
   device_.Fence(0);
+  header->epoch = epoch;
+  header->count = count;
+  header->overflow = overflow ? 1 : 0;
+  device_.Persist(layout_.gc_log, sizeof(GcLogHeader), 0);
+}
+
+// Parallel-tail GC-log assembly. Prefix-sums the per-core contributions
+// (truncated at capacity in core order, matching the serial fill exactly),
+// then has each worker write and persist a disjoint slice of the
+// epoch-parity half. Interior persist boundaries are aligned down to cache
+// lines so no line is covered twice; one cross-core barrier replaces the
+// serial fence before the header flip.
+void Database::WriteGcLogParallel(Epoch epoch) {
+  auto* header = device_.As<GcLogHeader>(layout_.gc_log);
+  const std::uint64_t entries_base =
+      layout_.gc_log + sizeof(GcLogHeader) +
+      (epoch & 1) * spec_.gc_log_capacity * sizeof(std::uint64_t);
+
+  const std::size_t cores = core_state_.size();
+  std::vector<std::size_t> base(cores + 1, 0);
+  std::size_t raw_total = 0;
+  for (std::size_t c = 0; c < cores; ++c) {
+    raw_total += core_state_[c].major_gc.size();
+    base[c + 1] = std::min(raw_total, spec_.gc_log_capacity);
+  }
+  const auto count = static_cast<std::uint32_t>(base[cores]);
+  const bool overflow = raw_total > spec_.gc_log_capacity;
+
+  if (count > 0) {
+    pool_.RunParallel([&, this](std::size_t w) {
+      PhaseProfiler::WorkerScope span(profiler_, w);
+      const Range r = SplitRange(count, spec_.workers, w);
+      if (r.begin == r.end) {
+        return;
+      }
+      std::size_t core = 0;
+      while (base[core + 1] <= r.begin) {
+        ++core;
+      }
+      std::size_t idx = r.begin - base[core];
+      for (std::size_t g = r.begin; g < r.end; ++g) {
+        while (g >= base[core + 1]) {
+          ++core;
+          idx = 0;
+        }
+        const vstore::RowEntry* entry = core_state_[core].major_gc[idx++];
+        // Pack the owning table into the high bits of the row offset.
+        *device_.As<std::uint64_t>(entries_base + g * sizeof(std::uint64_t)) =
+            (static_cast<std::uint64_t>(entry->table) << 48) | entry->prow;
+      }
+      const auto align_down = [](std::uint64_t off) {
+        return off / kCacheLineSize * kCacheLineSize;
+      };
+      const std::uint64_t begin_off =
+          r.begin == 0 ? entries_base
+                       : std::max<std::uint64_t>(
+                             entries_base,
+                             align_down(entries_base + r.begin * sizeof(std::uint64_t)));
+      const std::uint64_t end_off =
+          r.end == count ? entries_base + count * sizeof(std::uint64_t)
+                         : std::max<std::uint64_t>(
+                               entries_base,
+                               align_down(entries_base + r.end * sizeof(std::uint64_t)));
+      if (end_off > begin_off) {
+        device_.Persist(begin_off, end_off - begin_off, w);
+      }
+    });
+  }
+  device_.FenceAll(0);
   header->epoch = epoch;
   header->count = count;
   header->overflow = overflow ? 1 : 0;
@@ -592,10 +747,10 @@ void Database::DeclareWrite(TxnState& st, TableId table, Key key, std::size_t co
   assert(entry != nullptr && "write declared for a missing row");
   if (spec_.enable_batch_append) {
     // Batch mode: record an intent; the arrays are built in sub-phase 2.
-    for (vstore::RowEntry* declared : st.writes) {
-      if (declared == entry) {
-        return;  // duplicate declaration by the same transaction
-      }
+    // The hashed filter replaces a linear rescan of the write set, which
+    // was O(writes) per declaration (quadratic for wide transactions).
+    if (st.declared.CheckAndInsert(entry)) {
+      return;  // duplicate declaration by the same transaction
     }
     st.writes.push_back(entry);
     const std::size_t owner = HashKey(table, key) % spec_.workers;
@@ -751,10 +906,11 @@ int Database::ReadRow(TableId table, Key key, Sid sid, void* out, std::uint32_t 
     }
     return static_cast<int>(loc.size());
   }
-  // Caller buffer too small: read through a bounce buffer.
-  std::vector<std::uint8_t> tmp(loc.size());
-  ReadVersionValue(row, desc, tmp.data(), core);
-  std::memcpy(out, tmp.data(), cap);
+  // Caller buffer too small: read through the per-core scratch buffer (no
+  // per-call allocation on this hot path).
+  std::uint8_t* tmp = ScratchFor(core, loc.size());
+  ReadVersionValue(row, desc, tmp, core);
+  std::memcpy(out, tmp, cap);
   return static_cast<int>(loc.size());
 }
 
@@ -789,9 +945,9 @@ int Database::ReadPreEpoch(TableId table, Key key, void* out, std::uint32_t cap,
     ReadVersionValue(row, desc, out, core);
     return static_cast<int>(loc.size());
   }
-  std::vector<std::uint8_t> tmp(loc.size());
-  ReadVersionValue(row, desc, tmp.data(), core);
-  std::memcpy(out, tmp.data(), cap);
+  std::uint8_t* tmp = ScratchFor(core, loc.size());
+  ReadVersionValue(row, desc, tmp, core);
+  std::memcpy(out, tmp, cap);
   return static_cast<int>(loc.size());
 }
 
@@ -1002,11 +1158,14 @@ void Database::RunDemotions() {
     vstore::VersionDesc old_desc;
     vstore::ValueLoc new_loc;
   };
-  std::vector<Demotion> batch;
-  for (vstore::RowEntry* entry : demotion_candidates_) {
+  // Eligibility + copy for one candidate on `core`; returns false when the
+  // candidate is skipped, throws nothing. Cold-tier exhaustion is signalled
+  // by *exhausted (the caller stops consuming its range).
+  const auto try_demote = [this](vstore::RowEntry* entry, std::size_t core,
+                                 std::vector<Demotion>* out, bool* exhausted) {
     if (entry->prow == 0 ||
         entry->latest_sid.load(std::memory_order_relaxed) == ~0ULL) {
-      continue;
+      return;
     }
     vstore::PersistentRow row = RowAt(entry);
     const vstore::VersionDesc v0 = row.ReadDesc(0);
@@ -1020,7 +1179,7 @@ void Database::RunDemotions() {
     if (v1.sid != 0 && !vstore::ValueLoc(v1.loc).is_null()) {
       const vstore::ValueLoc stale(v0.loc);
       if (!stale.is_null() && !stale.is_inline() && !stale.is_cold()) {
-        continue;  // awaiting major GC; skip defensively
+        return;  // awaiting major GC; skip defensively
       }
       slot = 1;
       target = v1;
@@ -1031,20 +1190,48 @@ void Database::RunDemotions() {
     const vstore::ValueLoc loc(target.loc);
     if (target.sid == 0 || loc.is_null() || loc.is_inline() || loc.is_cold() ||
         loc.size() > spec_.cold_block_size) {
-      continue;
+      return;
     }
-    const std::uint64_t cold_offset = cold_pool_->Alloc(0);
+    const std::uint64_t cold_offset = cold_pool_->Alloc(core);
     if (cold_offset == 0) {
-      break;  // cold tier full
+      *exhausted = true;  // this core's cold shard is full
+      return;
     }
-    device_.ChargeRead(loc.offset(), loc.size(), 0);
-    cold_device_->WritePersist(cold_offset, device_.At(loc.offset()), loc.size(), 0);
-    batch.push_back(Demotion{entry, slot, target,
-                             vstore::ValueLoc::Make(false, loc.size(), cold_offset,
-                                                    /*is_cold=*/true)});
+    device_.ChargeRead(loc.offset(), loc.size(), core);
+    cold_device_->WritePersist(cold_offset, device_.At(loc.offset()), loc.size(), core);
+    out->push_back(Demotion{entry, slot, target,
+                            vstore::ValueLoc::Make(false, loc.size(), cold_offset,
+                                                   /*is_cold=*/true)});
+  };
+
+  std::vector<std::vector<Demotion>> batches(spec_.workers);
+  if (spec_.enable_parallel_tail) {
+    // Read+copy fans out: each worker copies a contiguous candidate range to
+    // cold blocks from its own per-core cold shard. No descriptor is touched
+    // yet, so worker order is free.
+    pool_.RunParallel([&, this](std::size_t w) {
+      PhaseProfiler::WorkerScope span(profiler_, w);
+      const Range r = SplitRange(demotion_candidates_.size(), spec_.workers, w);
+      bool exhausted = false;
+      for (std::size_t i = r.begin; i < r.end && !exhausted; ++i) {
+        try_demote(demotion_candidates_[i], w, &batches[w], &exhausted);
+      }
+    });
+  } else {
+    bool exhausted = false;
+    for (vstore::RowEntry* entry : demotion_candidates_) {
+      if (exhausted) {
+        break;  // cold tier full
+      }
+      try_demote(entry, 0, &batches[0], &exhausted);
+    }
   }
   demotion_candidates_.clear();
-  if (batch.empty()) {
+  bool any = false;
+  for (const auto& batch : batches) {
+    any = any || !batch.empty();
+  }
+  if (!any) {
     return;
   }
   // Crash before the durability point: the copied cold data and bump pointer
@@ -1052,17 +1239,48 @@ void Database::RunDemotions() {
   // at its hot value.
   MaybeCrash(CrashSite::kDuringDemotion);
   // Durability point: cold data + allocations survive any crash from here on,
-  // so descriptors may reference them.
-  cold_device_->Fence(0);
+  // so descriptors may reference them. The parallel path's workers staged
+  // their cold persists per core; one cross-core barrier retires them all
+  // where the serial path fenced once.
+  if (spec_.enable_parallel_tail) {
+    cold_device_->FenceAll(0);
+  } else {
+    cold_device_->Fence(0);
+  }
   cold_pool_->PersistBumpNonRevertible(0);
-  for (const Demotion& demotion : batch) {
-    vstore::PersistentRow row = RowAt(demotion.entry);
-    row.WriteDesc(demotion.slot, Sid(demotion.old_desc.sid), demotion.new_loc, 0);
-    cold_frees_next_.push_back(vstore::ValueLoc(demotion.old_desc.loc));
-    stats_.demotions.Add(0);
-    // Crash mid-batch: some descriptors already name cold locations, the rest
-    // still name hot ones; both must read back correctly after recovery.
-    MaybeCrash(CrashSite::kDuringDemotion);
+  const bool hook_tail = static_cast<bool>(crash_hook_) && spec_.workers == 1;
+  if (spec_.enable_parallel_tail) {
+    pool_.RunParallel([&, this](std::size_t w) {
+      PhaseProfiler::WorkerScope span(profiler_, w);
+      for (const Demotion& demotion : batches[w]) {
+        vstore::PersistentRow row = RowAt(demotion.entry);
+        row.WriteDesc(demotion.slot, Sid(demotion.old_desc.sid), demotion.new_loc, w);
+        stats_.demotions.Add(w);
+        if (hook_tail) {
+          // Crash mid-batch: some descriptors already name cold locations,
+          // the rest still name hot ones; both must read back correctly
+          // after recovery.
+          MaybeCrash(CrashSite::kDuringDemotion);
+        }
+      }
+    });
+  } else {
+    for (const Demotion& demotion : batches[0]) {
+      vstore::PersistentRow row = RowAt(demotion.entry);
+      row.WriteDesc(demotion.slot, Sid(demotion.old_desc.sid), demotion.new_loc, 0);
+      stats_.demotions.Add(0);
+      // Crash mid-batch: some descriptors already name cold locations, the
+      // rest still name hot ones; both must read back correctly.
+      MaybeCrash(CrashSite::kDuringDemotion);
+    }
+  }
+  // Vacated hot blocks free in the NEXT epoch (after this epoch's checkpoint
+  // made the new descriptors durable). Worker-major order == candidate order
+  // (ranges are contiguous), matching the serial append order.
+  for (const auto& batch : batches) {
+    for (const Demotion& demotion : batch) {
+      cold_frees_next_.push_back(vstore::ValueLoc(demotion.old_desc.loc));
+    }
   }
 }
 

@@ -23,6 +23,11 @@
 #include "src/sim/nvm_device.h"
 #include "src/txn/transaction.h"
 
+namespace nvc {
+class WorkerPool;
+class PhaseProfiler;
+}  // namespace nvc
+
 namespace nvc::core {
 
 class InputLog {
@@ -33,12 +38,29 @@ class InputLog {
 
   void Format();
 
+  // Payload checksum: FNV-1a over the array of per-4096-byte-chunk FNV-1a
+  // hashes. Chunking makes the value independent of how the payload was
+  // produced (serial or per-worker slices) while letting the parallel path
+  // hash disjoint chunk ranges on different workers.
+  static std::uint64_t Checksum(const std::uint8_t* data, std::size_t n);
+
   // Serializes and persists the inputs of all transactions for `epoch`.
   // Returns the number of bytes logged. Issues its own fences; on return the
   // log is durable and marked complete.
   std::size_t LogEpoch(Epoch epoch,
                        const std::vector<std::unique_ptr<txn::Transaction>>& txns,
                        std::size_t core);
+
+  // Parallel-tail variant of LogEpoch: workers encode disjoint serial-order
+  // transaction ranges into per-worker buffers, copy them into the log at
+  // prefix-summed offsets (persisting line-disjoint slices so the persisted
+  // line and byte counts match the serial bulk write exactly), and hash
+  // disjoint checksum-chunk ranges; the driver alone orders the header
+  // commits, with the same three fences as the serial path. The persisted
+  // image is byte-identical to LogEpoch's.
+  std::size_t LogEpochParallel(Epoch epoch,
+                               const std::vector<std::unique_ptr<txn::Transaction>>& txns,
+                               WorkerPool& pool, PhaseProfiler& profiler);
 
   // Reads back the complete log for `epoch`, decoding each record through
   // the registry. Returns false when no complete log for that epoch exists.

@@ -1,10 +1,12 @@
 #include "src/index/persistent_index.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
 
 #include "src/common/hash.h"
+#include "src/common/latch.h"
 
 namespace nvc::index {
 namespace {
@@ -33,55 +35,78 @@ void PersistentIndex::Format() {
   device_.Persist(base_, capacity_ * sizeof(Slot), 0);
 }
 
-std::uint64_t PersistentIndex::Probe(Key key) const {
+void PersistentIndex::ApplyInsert(Key key, std::uint64_t prow, Epoch epoch, std::size_t core) {
+  // Concurrent linear probe. Once a slot is published (kUsed) its key never
+  // changes — a re-insert of the same key rewrites only the payload fields,
+  // and tombstoned slots of other keys are not reused (reuse would break
+  // probe chains; the table is sized for twice the live rows, and deleted
+  // keys are commonly re-inserted, reusing their own slot). That makes a
+  // plain read of slot->key safe after an acquire load observes kUsed.
   std::uint64_t index = SplitMix64(key) & mask_;
-  std::uint64_t first_free = ~0ULL;
   for (std::uint64_t step = 0; step < capacity_; ++step) {
-    const Slot* slot = SlotAt(index);
-    if (slot->state == kFree) {
-      return first_free != ~0ULL ? first_free : index;
+    Slot* slot = SlotAt(index);
+    std::atomic_ref<std::uint64_t> state(slot->state);
+    std::uint64_t observed = state.load(std::memory_order_acquire);
+    while (observed == kBusy) {
+      CpuRelax();
+      observed = state.load(std::memory_order_acquire);
+    }
+    if (observed == kFree) {
+      std::uint64_t expected = kFree;
+      if (state.compare_exchange_strong(expected, kBusy, std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        // Store order: payload fields first, the publish word last, all in
+        // one 32-byte (half-line) persist. A torn write leaves either a free
+        // slot or a fully-tagged one; either is recoverable.
+        slot->key = key;
+        slot->prow = prow;
+        slot->epoch_added = epoch;
+        slot->epoch_deleted = 0;
+        state.store(kUsed, std::memory_order_release);
+        device_.Persist(SlotOffset(index), sizeof(Slot), core);
+        return;
+      }
+      // Lost the claim race: another worker took this slot for a different
+      // key (same-key operations are single-threaded under the owner
+      // sharding). Wait for its publish, then re-examine the slot.
+      while (state.load(std::memory_order_acquire) == kBusy) {
+        CpuRelax();
+      }
     }
     if (slot->key == key) {
-      return index;  // used slot for this key (live or tombstoned)
+      // Re-insert into this key's own slot (live or tombstoned): refresh the
+      // payload without touching key/state.
+      slot->prow = prow;
+      slot->epoch_added = epoch;
+      slot->epoch_deleted = 0;
+      device_.Persist(SlotOffset(index), sizeof(Slot), core);
+      return;
     }
-    // Used slot for another key: keep probing. (Tombstoned slots of other
-    // keys are not reused — reuse would break probe chains; the table is
-    // sized for twice the live rows, and deleted keys are commonly
-    // re-inserted, reusing their own slot.)
     index = (index + 1) & mask_;
   }
-  return first_free;
-}
-
-void PersistentIndex::ApplyInsert(Key key, std::uint64_t prow, Epoch epoch, std::size_t core) {
-  const std::uint64_t index = Probe(key);
-  if (index == ~0ULL) {
-    throw std::runtime_error("PersistentIndex: table full");
-  }
-  Slot* slot = SlotAt(index);
-  // Store order: payload fields first, the state/publish word last, all in
-  // one 32-byte (half-line) persist. A torn write leaves either a free slot
-  // or a fully-tagged one; either is recoverable.
-  slot->key = key;
-  slot->prow = prow;
-  slot->epoch_added = epoch;
-  slot->epoch_deleted = 0;
-  std::atomic_signal_fence(std::memory_order_seq_cst);
-  slot->state = kUsed;
-  device_.Persist(SlotOffset(index), sizeof(Slot), core);
+  throw std::runtime_error("PersistentIndex: table full");
 }
 
 void PersistentIndex::ApplyDelete(Key key, Epoch epoch, std::size_t core) {
-  const std::uint64_t index = Probe(key);
-  if (index == ~0ULL) {
-    return;  // unknown key: nothing to delete (idempotent)
+  std::uint64_t index = SplitMix64(key) & mask_;
+  for (std::uint64_t step = 0; step < capacity_; ++step) {
+    Slot* slot = SlotAt(index);
+    std::atomic_ref<std::uint64_t> state(slot->state);
+    std::uint64_t observed = state.load(std::memory_order_acquire);
+    while (observed == kBusy) {
+      CpuRelax();
+      observed = state.load(std::memory_order_acquire);
+    }
+    if (observed == kFree) {
+      return;  // unknown key: nothing to delete (idempotent)
+    }
+    if (slot->key == key) {
+      slot->epoch_deleted = epoch;
+      device_.Persist(SlotOffset(index), sizeof(Slot), core);
+      return;
+    }
+    index = (index + 1) & mask_;
   }
-  Slot* slot = SlotAt(index);
-  if (slot->state != kUsed || slot->key != key) {
-    return;
-  }
-  slot->epoch_deleted = epoch;
-  device_.Persist(SlotOffset(index), sizeof(Slot), core);
 }
 
 void PersistentIndex::ForEachLive(Epoch last_checkpointed_epoch,

@@ -43,6 +43,12 @@ class PersistentIndex {
   // Applies one insert/delete; the caller persists in ranges via Flush()
   // after a batch (or relies on the checkpoint fence). Both operations are
   // idempotent, so a replayed epoch may re-apply its deltas.
+  //
+  // Concurrency: callers sharded by key hash may apply concurrently, as long
+  // as all operations on one key come from one thread (the parallel tail's
+  // owner sharding guarantees this). Free slots are claimed with a CAS
+  // through an intermediate kBusy state, published with a release store of
+  // kUsed; probers acquire-load the state word before trusting a slot's key.
   void ApplyInsert(Key key, std::uint64_t prow, Epoch epoch, std::size_t core);
   void ApplyDelete(Key key, Epoch epoch, std::size_t core);
 
@@ -62,21 +68,22 @@ class PersistentIndex {
     std::uint64_t prow;
     std::uint32_t epoch_added;
     std::uint32_t epoch_deleted;
-    std::uint64_t state;  // 0 = free, 1 = used
+    std::uint64_t state;  // 0 = free, 1 = used, 2 = claimed mid-publish
   };
   static_assert(sizeof(Slot) == 32);
 
   static constexpr std::uint64_t kFree = 0;
   static constexpr std::uint64_t kUsed = 1;
+  // Transient DRAM-side claim marker: a worker CASed the slot and is filling
+  // the payload fields. Never persisted — the claiming worker stores kUsed
+  // before the slot's only Persist, and crash hooks cannot fire mid-apply —
+  // so the on-NVMM image only ever holds kFree or kUsed.
+  static constexpr std::uint64_t kBusy = 2;
 
   Slot* SlotAt(std::uint64_t index) const {
     return device_.As<Slot>(base_ + index * sizeof(Slot));
   }
   std::uint64_t SlotOffset(std::uint64_t index) const { return base_ + index * sizeof(Slot); }
-
-  // Probe for the slot holding `key`, or the first free slot when absent.
-  // Returns ~0 when the table is full and the key is absent.
-  std::uint64_t Probe(Key key) const;
 
   sim::NvmDevice& device_;
   std::uint64_t base_;

@@ -206,6 +206,22 @@ void NvmDevice::Fence(std::size_t core) {
   }
 }
 
+void NvmDevice::FenceAll(std::size_t core_for_stats) {
+  assert(core_for_stats < kMaxCores && "core index out of range");
+  stats_.fences.Add(core_for_stats, 1);
+  if (config_.latency.fence_ns != 0) {
+    SpinDelayNs(config_.latency.fence_ns);
+  }
+  if (shadow_ != nullptr) {
+    for (auto& pending : pending_) {
+      for (const PendingRange& range : pending.ranges) {
+        ApplyToShadow(range);
+      }
+      pending.ranges.clear();
+    }
+  }
+}
+
 void NvmDevice::ApplyToShadow(const PendingRange& range) {
   // Persistence is line-granular: widen the range to full cache lines, the
   // way clwb writes back whole lines.

@@ -164,6 +164,14 @@ class NvmDevice {
   // persists.
   void Fence(std::size_t core);
 
+  // Cross-core durability barrier for fork/join parallel persistence: drains
+  // EVERY core's staged persists, charging a single fence (stats + latency)
+  // to core_for_stats. Models the epoch tail's join point, where each
+  // worker's clwbs are already issued and the per-core sfences would retire
+  // concurrently — one fence of wall time, not one per worker. Call only
+  // while the workers are quiesced (after RunParallel returns).
+  void FenceAll(std::size_t core_for_stats);
+
   // Accounting-only charges for data that has no concrete location in the
   // region — used by the all-NVMM baseline, where version arrays and
   // intermediate values notionally live in NVMM. Charges latency + stats as

@@ -14,13 +14,17 @@
 
 namespace nvc::txn {
 
-// Encodes the inputs of all transactions, in serial order.
-inline std::vector<std::uint8_t> EncodeTxnStream(
-    const std::vector<std::unique_ptr<Transaction>>& txns) {
+// Encodes the inputs of txns[begin, end), in serial order. Records are
+// framed independently, so concatenating the encodings of consecutive ranges
+// yields exactly the whole-stream encoding — the parallel input-log path
+// relies on this to serialize disjoint ranges on different workers.
+inline std::vector<std::uint8_t> EncodeTxnRange(
+    const std::vector<std::unique_ptr<Transaction>>& txns, std::size_t begin, std::size_t end) {
   std::vector<std::uint8_t> payload;
-  payload.reserve(64 * txns.size());
+  payload.reserve(64 * (end - begin));
   BinaryWriter writer(payload);
-  for (const auto& txn : txns) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto& txn = txns[i];
     writer.Put<std::uint32_t>(txn->type());
     const std::size_t size_pos = payload.size();
     writer.Put<std::uint32_t>(0);
@@ -30,6 +34,12 @@ inline std::vector<std::uint8_t> EncodeTxnStream(
     std::memcpy(payload.data() + size_pos, &body_size, sizeof(body_size));
   }
   return payload;
+}
+
+// Encodes the inputs of all transactions, in serial order.
+inline std::vector<std::uint8_t> EncodeTxnStream(
+    const std::vector<std::unique_ptr<Transaction>>& txns) {
+  return EncodeTxnRange(txns, 0, txns.size());
 }
 
 // Decodes `count` transactions back out of a stream. Throws when a type is

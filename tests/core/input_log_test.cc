@@ -138,7 +138,7 @@ TEST(InputLogTest, ChecksummedButMisframedPayloadIsRejected) {
   *reinterpret_cast<std::uint32_t*>(f.device.At(kHeaderSize + sizeof(std::uint32_t))) =
       0x7FFFFFFF;
   *reinterpret_cast<std::uint64_t*>(f.device.At(kHdrChecksum)) =
-      Fnv1a(f.device.At(kHeaderSize), payload_bytes);
+      core::InputLog::Checksum(f.device.At(kHeaderSize), payload_bytes);
   const auto registry = KvRegistry();
   std::vector<std::unique_ptr<txn::Transaction>> decoded;
   EXPECT_FALSE(f.log.LoadEpoch(4, registry, &decoded, 0));
@@ -153,7 +153,7 @@ TEST(InputLogTest, TruncationInsidePayloadIsRejected) {
   const std::uint64_t truncated = 13;
   *reinterpret_cast<std::uint64_t*>(f.device.At(kHdrPayloadBytes)) = truncated;
   *reinterpret_cast<std::uint64_t*>(f.device.At(kHdrChecksum)) =
-      Fnv1a(f.device.At(kHeaderSize), truncated);
+      core::InputLog::Checksum(f.device.At(kHeaderSize), truncated);
   const auto registry = KvRegistry();
   std::vector<std::unique_ptr<txn::Transaction>> decoded;
   EXPECT_FALSE(f.log.LoadEpoch(4, registry, &decoded, 0));

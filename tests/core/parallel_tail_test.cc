@@ -1,0 +1,297 @@
+// Parallel epoch tail: the fanned-out checkpoint / index-apply / demotion /
+// GC-log / input-log phases must produce the same logical persisted state as
+// the serial tail at any worker count, with identical fence and
+// persisted-line counts, and stay recoverable at the parallel-only crash
+// sites.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/common/profiler.h"
+#include "src/common/rng.h"
+#include "src/common/worker_pool.h"
+#include "src/core/input_log.h"
+#include "src/core/oracle.h"
+#include "tests/test_util.h"
+
+namespace nvc::test {
+namespace {
+
+using core::CrashSite;
+using core::Database;
+using core::DatabaseSpec;
+using core::InputLog;
+using core::OracleState;
+using sim::NvmConfig;
+using sim::NvmDevice;
+
+constexpr std::size_t kEpochs = 4;
+constexpr std::size_t kTxnsPerEpoch = 32;
+// Preloaded rows: puts/RMWs hit [0, 32), pool values [32, 64); the
+// insert/delete churn range [64, 88) must start empty.
+constexpr std::size_t kRows = 64;
+
+// Deterministic mixed workload: fixed-row puts/RMWs, pool-allocated values
+// (feed checkpoint + demotion), insert/delete churn (feed the persistent
+// index), and aborts.
+std::vector<std::unique_ptr<txn::Transaction>> MakeEpoch(std::uint64_t seed,
+                                                         std::size_t epoch,
+                                                         std::set<Key>* dyn_live) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + epoch + 1);
+  std::set<Key> dyn_touched;
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  for (std::size_t i = 0; i < kTxnsPerEpoch; ++i) {
+    const std::uint64_t pick = rng.NextBounded(100);
+    if (pick < 25) {
+      txns.push_back(std::make_unique<KvPutTxn>(rng.NextBounded(32), rng.Next()));
+    } else if (pick < 45) {
+      txns.push_back(std::make_unique<KvRmwTxn>(rng.NextBounded(32), rng.NextBounded(999)));
+    } else if (pick < 60) {
+      txns.push_back(std::make_unique<KvBigPutTxn>(32 + rng.NextBounded(32), rng.Next()));
+    } else if (pick < 72) {
+      txns.push_back(std::make_unique<KvVarPutTxn>(
+          32 + rng.NextBounded(32), static_cast<std::uint32_t>(8 + rng.NextBounded(300)),
+          rng.Next()));
+    } else if (pick < 90) {
+      const Key key = 64 + rng.NextBounded(24);
+      if (!dyn_touched.insert(key).second) {
+        txns.push_back(std::make_unique<KvPutTxn>(rng.NextBounded(32), rng.Next()));
+      } else if (dyn_live->count(key) != 0) {
+        dyn_live->erase(key);
+        txns.push_back(std::make_unique<KvDeleteTxn>(key));
+      } else {
+        dyn_live->insert(key);
+        txns.push_back(std::make_unique<KvInsertTxn>(key, rng.Next()));
+      }
+    } else {
+      txns.push_back(std::make_unique<KvAbortTxn>(rng.NextBounded(32)));
+    }
+  }
+  return txns;
+}
+
+enum class Variant { kDefault, kPersistentIndex, kColdTier };
+
+DatabaseSpec SpecFor(Variant variant, std::size_t workers, bool parallel_tail) {
+  DatabaseSpec spec = SmallKvSpec(workers);
+  spec.enable_parallel_tail = parallel_tail;
+  if (variant == Variant::kPersistentIndex) {
+    spec.enable_persistent_index = true;
+  } else if (variant == Variant::kColdTier) {
+    spec.enable_cold_tier = true;
+    spec.cache_k = 1;
+    spec.cold_block_size = 1024;
+    spec.cold_blocks_per_core = 4096;
+    spec.cold_freelist_capacity = 8192;
+  }
+  return spec;
+}
+
+NvmConfig ColdConfig(const DatabaseSpec& spec) {
+  NvmConfig config;
+  config.size_bytes = Database::RequiredColdDeviceBytes(spec);
+  config.crash_tracking = sim::CrashTracking::kShadow;
+  config.access_granule = 4096;
+  return config;
+}
+
+struct RunArtifacts {
+  OracleState state;
+  std::uint64_t fences = 0;
+  std::uint64_t persisted_lines = 0;
+  std::uint64_t write_bytes = 0;
+  std::uint64_t persist_ops = 0;
+  std::size_t index_bad = 0;
+};
+
+RunArtifacts RunWorkload(Variant variant, std::size_t workers, bool parallel_tail,
+                         std::uint64_t seed) {
+  const DatabaseSpec spec = SpecFor(variant, workers, parallel_tail);
+  NvmDevice device(ShadowDeviceConfig(spec));
+  std::unique_ptr<NvmDevice> cold;
+  if (variant == Variant::kColdTier) {
+    cold = std::make_unique<NvmDevice>(ColdConfig(spec));
+  }
+  Database db(device, spec, cold.get());
+  db.Format();
+  for (Key key = 0; key < kRows; ++key) {
+    const std::uint64_t value = 5000 + key;
+    db.BulkLoad(0, key, &value, sizeof(value));
+  }
+  db.FinalizeLoad();
+  device.stats().Reset();
+
+  std::set<Key> dyn_live;
+  for (std::size_t e = 0; e < kEpochs; ++e) {
+    db.ExecuteEpoch(MakeEpoch(seed, e, &dyn_live));
+  }
+
+  RunArtifacts out;
+  out.state = core::CaptureState(db);
+  out.fences = device.stats().fences.Sum();
+  out.persisted_lines = device.stats().persisted_lines.Sum();
+  out.write_bytes = device.stats().write_bytes.Sum();
+  out.persist_ops = device.stats().persist_ops.Sum();
+  std::string diff;
+  out.index_bad = core::ValidatePersistentIndex(db, &diff);
+  return out;
+}
+
+class ParallelTailTest : public ::testing::TestWithParam<Variant> {};
+
+// The oracle: the parallel tail at any worker count reaches the same logical
+// committed state as the serial tail.
+TEST_P(ParallelTailTest, MatchesSerialTailOracle) {
+  const Variant variant = GetParam();
+  const RunArtifacts serial = RunWorkload(variant, 1, /*parallel_tail=*/false, 7);
+  for (std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    const RunArtifacts parallel = RunWorkload(variant, workers, /*parallel_tail=*/true, 7);
+    std::string diff;
+    EXPECT_EQ(core::DiffStates(serial.state, parallel.state, &diff), 0u)
+        << "workers=" << workers << "\n"
+        << diff;
+    EXPECT_EQ(parallel.index_bad, 0u) << "workers=" << workers;
+  }
+}
+
+// Crash-ordering invariant: distributing the tail must not change what gets
+// persisted or how often the epoch fences — only how many clwb batches cover
+// the same lines (one per worker slice instead of one per region).
+TEST_P(ParallelTailTest, NvmCountsMatchSerialTail) {
+  const Variant variant = GetParam();
+  for (std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    const RunArtifacts serial = RunWorkload(variant, workers, /*parallel_tail=*/false, 11);
+    const RunArtifacts parallel = RunWorkload(variant, workers, /*parallel_tail=*/true, 11);
+    EXPECT_EQ(serial.fences, parallel.fences) << "workers=" << workers;
+    EXPECT_EQ(serial.persisted_lines, parallel.persisted_lines) << "workers=" << workers;
+    EXPECT_EQ(serial.write_bytes, parallel.write_bytes) << "workers=" << workers;
+    EXPECT_GE(parallel.persist_ops, serial.persist_ops) << "workers=" << workers;
+    // The split is bounded: at most (workers - 1) extra slices per persisted
+    // region, and regions number far fewer than the serial op count.
+    EXPECT_LE(parallel.persist_ops, serial.persist_ops * workers) << "workers=" << workers;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, ParallelTailTest,
+                         ::testing::Values(Variant::kDefault, Variant::kPersistentIndex,
+                                           Variant::kColdTier));
+
+// The parallel input log writes a byte-identical image to the serial one:
+// same header (including the chunked checksum) and same payload bytes.
+TEST(ParallelTailTest, ParallelInputLogImageIsByteIdentical) {
+  constexpr std::size_t kBuffer = 1 << 16;
+  NvmConfig config;
+  config.size_bytes = InputLog::RequiredBytes(kBuffer);
+  config.crash_tracking = sim::CrashTracking::kShadow;
+
+  NvmDevice serial_device(config);
+  NvmDevice parallel_device(config);
+  InputLog serial_log(serial_device, 0, kBuffer);
+  InputLog parallel_log(parallel_device, 0, kBuffer);
+  serial_log.Format();
+  parallel_log.Format();
+
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    txns.push_back(std::make_unique<KvVarPutTxn>(
+        i, static_cast<std::uint32_t>(8 + (i * 37) % 200), i * 3));
+  }
+
+  WorkerPool pool(4);
+  PhaseProfiler profiler;
+  const std::size_t serial_bytes = serial_log.LogEpoch(3, txns, 0);
+  const std::size_t parallel_bytes = parallel_log.LogEpochParallel(3, txns, pool, profiler);
+  EXPECT_EQ(serial_bytes, parallel_bytes);
+  EXPECT_EQ(std::memcmp(serial_device.At(kBuffer), parallel_device.At(kBuffer),
+                        sizeof(std::uint64_t) * 4 + serial_bytes),
+            0);
+
+  // Both decode back to the same transaction count through the registry.
+  const auto registry = KvRegistry();
+  std::vector<std::unique_ptr<txn::Transaction>> decoded;
+  ASSERT_TRUE(parallel_log.LoadEpoch(3, registry, &decoded, 0));
+  EXPECT_EQ(decoded.size(), txns.size());
+}
+
+// Crash/recover at the parallel-only sites (hooks fire at workers == 1,
+// where CrashedException propagates from the inline closure).
+class ParallelTailCrashTest : public ::testing::TestWithParam<CrashSite> {};
+
+TEST_P(ParallelTailCrashTest, CrashAtParallelSiteRecovers) {
+  const CrashSite site = GetParam();
+  DatabaseSpec spec = SpecFor(Variant::kPersistentIndex, 1, /*parallel_tail=*/true);
+
+  // Oracle: the same stream executed crash-free.
+  OracleState expected;
+  {
+    NvmDevice device(ShadowDeviceConfig(spec));
+    Database db(device, spec);
+    db.Format();
+    for (Key key = 0; key < kRows; ++key) {
+      const std::uint64_t value = 5000 + key;
+      db.BulkLoad(0, key, &value, sizeof(value));
+    }
+    db.FinalizeLoad();
+    std::set<Key> dyn_live;
+    for (std::size_t e = 0; e < kEpochs; ++e) {
+      db.ExecuteEpoch(MakeEpoch(21, e, &dyn_live));
+    }
+    expected = core::CaptureState(db);
+  }
+
+  NvmDevice device(ShadowDeviceConfig(spec));
+  bool crashed = false;
+  std::size_t crash_epoch = 0;
+  {
+    Database db(device, spec);
+    db.Format();
+    for (Key key = 0; key < kRows; ++key) {
+      const std::uint64_t value = 5000 + key;
+      db.BulkLoad(0, key, &value, sizeof(value));
+    }
+    db.FinalizeLoad();
+    std::uint64_t reached = 0;
+    db.SetCrashHook([&reached, site](CrashSite s) { return s == site && ++reached == 2; });
+    std::set<Key> dyn_live;
+    for (std::size_t e = 0; e < kEpochs; ++e) {
+      if (db.ExecuteEpoch(MakeEpoch(21, e, &dyn_live)).crashed) {
+        crashed = true;
+        crash_epoch = e;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(crashed) << "site " << core::CrashSiteName(site) << " never fired";
+
+  device.Crash();
+  Database db(device, spec);
+  const core::RecoveryReport report = db.Recover(KvRegistry());
+  std::set<Key> dyn_live;
+  std::size_t resume = crash_epoch;
+  for (std::size_t e = 0; e < resume; ++e) {
+    MakeEpoch(21, e, &dyn_live);  // advance the generator's live-set state
+  }
+  if (!report.replayed) {
+    db.ExecuteEpoch(MakeEpoch(21, crash_epoch, &dyn_live));
+  } else {
+    MakeEpoch(21, crash_epoch, &dyn_live);  // replayed from the input log
+  }
+  for (std::size_t e = crash_epoch + 1; e < kEpochs; ++e) {
+    db.ExecuteEpoch(MakeEpoch(21, e, &dyn_live));
+  }
+
+  std::string diff;
+  EXPECT_EQ(core::DiffStates(expected, core::CaptureState(db), &diff), 0u) << diff;
+  std::string index_diff;
+  EXPECT_EQ(core::ValidatePersistentIndex(db, &index_diff), 0u) << index_diff;
+}
+
+INSTANTIATE_TEST_SUITE_P(NewSites, ParallelTailCrashTest,
+                         ::testing::Values(CrashSite::kMidParallelCheckpoint,
+                                           CrashSite::kMidParallelIndexApply));
+
+}  // namespace
+}  // namespace nvc::test

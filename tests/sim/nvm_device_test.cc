@@ -79,6 +79,24 @@ TEST(NvmDeviceTest, FenceIsPerCore) {
   EXPECT_EQ(device.At(64)[0], 0);
 }
 
+TEST(NvmDeviceTest, FenceAllDrainsEveryCoreForOneFence) {
+  NvmDevice device(ShadowConfig());
+  std::memset(device.At(0), 0x44, 64);
+  std::memset(device.At(64), 0x55, 64);
+  std::memset(device.At(128), 0x66, 64);
+  device.Persist(0, 64, /*core=*/0);
+  device.Persist(64, 64, /*core=*/1);
+  device.Persist(128, 64, /*core=*/3);
+  const std::uint64_t fences_before = device.stats().fences.Sum();
+  device.FenceAll(/*core_for_stats=*/0);
+  EXPECT_EQ(device.stats().fences.Sum(), fences_before + 1);
+  device.Crash();
+  // All cores' staged persists became durable at the single barrier.
+  EXPECT_EQ(device.At(0)[0], 0x44);
+  EXPECT_EQ(device.At(64)[0], 0x55);
+  EXPECT_EQ(device.At(128)[0], 0x66);
+}
+
 TEST(NvmDeviceTest, ChaosCrashKeepsSubsetDeterministically) {
   auto run = [](std::uint64_t seed) {
     NvmDevice device(ShadowConfig());

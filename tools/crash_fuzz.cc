@@ -196,12 +196,29 @@ std::vector<FuzzConfig> BuildConfigs(bool smoke) {
     configs.push_back({"cold-tier", spec, true});
   }
   if (!smoke) {
-    DatabaseSpec spec = nvc::test::SmallKvSpec();
-    spec.enable_minor_gc = false;
-    configs.push_back({"no-minor-gc", spec, false});
-
-    DatabaseSpec mt = nvc::test::SmallKvSpec(/*workers=*/4);
-    configs.push_back({"multi-worker", mt, false});
+    {
+      DatabaseSpec spec = nvc::test::SmallKvSpec();
+      spec.enable_minor_gc = false;
+      configs.push_back({"no-minor-gc", spec, false});
+    }
+    {
+      DatabaseSpec mt = nvc::test::SmallKvSpec(/*workers=*/4);
+      configs.push_back({"multi-worker", mt, false});
+    }
+    // The legacy serial tail must stay recoverable while it remains an
+    // engine option (enable_parallel_tail = false). The parallel-only crash
+    // sites are simply never reached under these configs.
+    {
+      DatabaseSpec spec = nvc::test::SmallKvSpec();
+      spec.enable_parallel_tail = false;
+      configs.push_back({"serial-tail", spec, false});
+    }
+    {
+      DatabaseSpec spec = nvc::test::SmallKvSpec();
+      spec.enable_parallel_tail = false;
+      spec.enable_persistent_index = true;
+      configs.push_back({"serial-tail-pindex", spec, false});
+    }
   }
   return configs;
 }
@@ -223,6 +240,11 @@ std::uint64_t FireIndexBound(CrashSite site) {
       return kEpochs * kTxnsPerEpoch / 2;
     case CrashSite::kDuringIndexApply:
       return kEpochs * 8;
+    case CrashSite::kMidParallelIndexApply:
+      // Reached once per index delta (~18 per run); only the persistent-index
+      // configs reach it at all, so a tight bound keeps the smoke sweep's
+      // 3 armed runs firing reliably.
+      return kEpochs * 2;
     case CrashSite::kDuringGcPass2:
       return kEpochs * 4;
     case CrashSite::kDuringDemotion:
