@@ -1,0 +1,243 @@
+// PR5 service bench: open-loop group commit through the DbService front-end.
+//
+// Clients of the async submission API trade latency for batching: a larger
+// max_epoch_delay lets the pacer form bigger epochs (fewer fences per txn,
+// higher throughput) at the cost of every transaction waiting longer for its
+// group's durability point. This bench measures that curve directly.
+//
+// Setup: a YCSB database under Optane latency injection, wrapped in a
+// DbService. A single open-loop submitter offers transactions at a fixed
+// arrival rate (half of the hand-batched capacity measured by a calibration
+// run, so the queue does not grow without bound) and the service's own
+// LatencyRecorder captures the submit->durable time of every ticket. The
+// sweep re-runs this at several max_epoch_delay thresholds and reports
+// throughput, epoch count/size, and the p50/p99/max latency for each.
+//
+// Sanity cross-checks: every ticket must resolve (no kFailed outcomes), and
+// the recorded latency count must equal the submitted transaction count.
+//
+// Usage: bench_pr5_service [--out=PATH] (default out BENCH_PR5.json)
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/service/db_service.h"
+#include "src/workload/ycsb.h"
+
+namespace nvc::bench {
+namespace {
+
+using core::Database;
+using service::DbService;
+using service::ServiceSpec;
+using service::TicketOutcome;
+using service::TxnTicket;
+using workload::YcsbConfig;
+using workload::YcsbWorkload;
+
+constexpr std::size_t kWorkers = 4;
+
+YcsbConfig BenchConfig() {
+  YcsbConfig config;
+  config.rows = Scaled(20'000);
+  config.hot_ops = 7;
+  config.hot_rows = 1024;
+  return config;
+}
+
+void BuildDb(YcsbWorkload& workload, sim::NvmDevice& device, std::unique_ptr<Database>* db) {
+  *db = std::make_unique<Database>(device, workload.Spec(kWorkers));
+  (*db)->Format();
+  workload.Load(**db);
+  (*db)->FinalizeLoad();
+}
+
+sim::NvmConfig DeviceConfig(const core::DatabaseSpec& spec) {
+  sim::NvmConfig config;
+  config.size_bytes = Database::RequiredDeviceBytes(spec);
+  config.latency = sim::LatencyProfile::Optane();
+  return config;
+}
+
+// Hand-batched capacity: how fast the engine runs the same transactions when
+// a closed-loop driver hands it ready-made epochs. The open-loop arrival rate
+// is set to half of this so the service's queue stays near-empty and the
+// measured latency is batching delay, not unbounded queueing.
+double CalibrateCapacity(std::size_t total) {
+  YcsbWorkload workload(BenchConfig());
+  sim::NvmDevice device(DeviceConfig(workload.Spec(kWorkers)));
+  std::unique_ptr<Database> db;
+  BuildDb(workload, device, &db);
+  constexpr std::size_t kBatch = 1000;
+  double seconds = 0;
+  for (std::size_t done = 0; done < total; done += kBatch) {
+    seconds += db->ExecuteEpoch(workload.MakeEpoch(std::min(kBatch, total - done))).seconds;
+  }
+  return static_cast<double>(total) / seconds;
+}
+
+struct ServiceRun {
+  double delay_us = 0;
+  double arrival_rate = 0;  // offered, txn/s
+  std::size_t txns = 0;
+  std::size_t committed = 0;
+  std::size_t aborted = 0;
+  std::size_t failed = 0;
+  std::size_t epochs = 0;
+  double wall_seconds = 0;
+  double txns_per_sec = 0;  // measured end-to-end, incl. drain
+  LatencySummary latency;
+};
+
+ServiceRun Run(double delay_us, double arrival_rate, std::size_t total) {
+  YcsbWorkload workload(BenchConfig());
+  sim::NvmDevice device(DeviceConfig(workload.Spec(kWorkers)));
+  std::unique_ptr<Database> db;
+  BuildDb(workload, device, &db);
+
+  ServiceSpec sspec;
+  sspec.max_epoch_txns = 4096;
+  sspec.max_epoch_delay =
+      std::chrono::microseconds(static_cast<std::int64_t>(delay_us));
+  // Open loop: backpressure must never engage (but stay >= max_epoch_txns to
+  // satisfy ServiceSpec::Validate at small bench scales).
+  sspec.queue_capacity = std::max<std::size_t>(2 * total + 16, sspec.max_epoch_txns);
+  DbService svc(std::move(db), sspec);
+
+  // Pre-materialize the stream so generation cost never pollutes the
+  // submission timestamps.
+  std::vector<std::unique_ptr<txn::Transaction>> txns = workload.MakeEpoch(total);
+
+  ServiceRun run;
+  run.delay_us = delay_us;
+  run.arrival_rate = arrival_rate;
+  run.txns = total;
+
+  std::vector<TxnTicket> tickets;
+  tickets.reserve(total);
+  const auto start = std::chrono::steady_clock::now();
+  const std::chrono::duration<double> gap(1.0 / arrival_rate);
+  for (std::size_t i = 0; i < total; ++i) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    gap * static_cast<double>(i)));
+    auto ticket = svc.Submit(std::move(txns[i]));
+    if (!ticket.ok()) {
+      std::fprintf(stderr, "submit failed: %s\n", ticket.status().ToString().c_str());
+      break;
+    }
+    tickets.push_back(std::move(ticket).value());
+  }
+  svc.Drain().IgnoreError();
+  run.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  for (const TxnTicket& ticket : tickets) {
+    switch (ticket.Get().outcome) {  // Drain returned: every ticket is resolved
+      case TicketOutcome::kCommitted:
+        ++run.committed;
+        break;
+      case TicketOutcome::kUserAborted:
+        ++run.aborted;
+        break;
+      case TicketOutcome::kFailed:
+        ++run.failed;
+        break;
+    }
+  }
+  run.epochs = svc.epochs_executed();
+  run.txns_per_sec = static_cast<double>(tickets.size()) / run.wall_seconds;
+  run.latency = svc.LatencySnapshot();
+  return run;
+}
+
+}  // namespace
+}  // namespace nvc::bench
+
+int main(int argc, char** argv) {
+  using namespace nvc::bench;
+
+  std::string out_path = "BENCH_PR5.json";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+    } else {
+      std::fprintf(stderr, "usage: bench_pr5_service [--out=PATH]\n");
+      return 2;
+    }
+  }
+
+  PrintHeader("PR5", "group-commit service: latency vs epoch-delay threshold (open loop)");
+
+  const std::size_t total = Scaled(8000);
+  const double capacity = CalibrateCapacity(total);
+  const double arrival_rate = capacity / 2;
+  std::printf("hand-batched capacity %.0f txn/s -> open-loop arrival rate %.0f txn/s\n\n",
+              capacity, arrival_rate);
+
+  const double kDelaysUs[] = {100, 500, 2000, 10000};
+  std::vector<ServiceRun> runs;
+  for (double delay : kDelaysUs) {
+    runs.push_back(Run(delay, arrival_rate, total));
+  }
+
+  std::printf("%-10s %8s %10s %12s %10s %10s %10s %10s\n", "delay us", "epochs",
+              "txn/epoch", "txn/s", "p50 us", "p99 us", "max us", "mean us");
+  bool healthy = true;
+  for (const ServiceRun& run : runs) {
+    std::printf("%-10.0f %8zu %10.1f %12.0f %10.1f %10.1f %10.1f %10.1f\n", run.delay_us,
+                run.epochs,
+                run.epochs > 0 ? static_cast<double>(run.txns) / run.epochs : 0,
+                run.txns_per_sec, run.latency.p50, run.latency.p99, run.latency.max,
+                run.latency.mean);
+    if (run.failed != 0 || run.latency.count != run.txns) {
+      healthy = false;
+      std::printf("  !! %zu failed tickets, %zu latency samples for %zu txns\n",
+                  run.failed, run.latency.count, run.txns);
+    }
+  }
+  std::printf("\nall tickets resolved without failures: %s\n", healthy ? "yes" : "NO");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"pr5_service_group_commit\",\n");
+  std::fprintf(f, "  \"workload\": \"ycsb open-loop via DbService\",\n");
+  std::fprintf(f, "  \"workers\": %zu,\n", kWorkers);
+  std::fprintf(f, "  \"txns_per_run\": %zu,\n", total);
+  std::fprintf(f, "  \"hand_batched_capacity_txns_per_sec\": %.1f,\n", capacity);
+  std::fprintf(f, "  \"arrival_rate_txns_per_sec\": %.1f,\n", arrival_rate);
+  std::fprintf(f, "  \"hw_concurrency\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"healthy\": %s,\n", healthy ? "true" : "false");
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const ServiceRun& run = runs[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"max_epoch_delay_us\": %.0f,\n", run.delay_us);
+    std::fprintf(f, "      \"epochs\": %zu,\n", run.epochs);
+    std::fprintf(f, "      \"committed\": %zu,\n", run.committed);
+    std::fprintf(f, "      \"user_aborted\": %zu,\n", run.aborted);
+    std::fprintf(f, "      \"failed\": %zu,\n", run.failed);
+    std::fprintf(f, "      \"wall_seconds\": %.4f,\n", run.wall_seconds);
+    std::fprintf(f, "      \"txns_per_sec\": %.1f,\n", run.txns_per_sec);
+    std::fprintf(f,
+                 "      \"latency_us\": {\"count\": %zu, \"mean\": %.1f, \"p50\": %.1f, "
+                 "\"p99\": %.1f, \"max\": %.1f}\n",
+                 run.latency.count, run.latency.mean, run.latency.p50, run.latency.p99,
+                 run.latency.max);
+    std::fprintf(f, "    }%s\n", i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return !healthy;
+}

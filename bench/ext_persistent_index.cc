@@ -46,7 +46,7 @@ RecoveryReport CrashAndRecover(std::uint64_t rows, bool enable_pindex) {
   device.CrashChaos(8711, 0.5);
 
   Database recovered(device, spec);
-  return recovered.Recover(workload.Registry());
+  return recovered.Recover(workload.Registry()).value();
 }
 
 void RunSize(std::uint64_t rows) {

@@ -44,7 +44,7 @@ RecoveryReport CrashAndRecover(Workload& workload, std::size_t warmup_epochs,
   device.CrashChaos(/*seed=*/4242, /*keep_probability=*/0.5);
 
   Database recovered(device, spec);
-  return recovered.Recover(workload.Registry());
+  return recovered.Recover(workload.Registry()).value();
 }
 
 void PrintReport(const char* label, const RecoveryReport& report) {

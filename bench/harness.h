@@ -27,6 +27,7 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -143,6 +144,12 @@ RunResult RunNvCaracal(Workload& workload, core::EngineMode mode, std::size_t ep
   spec.mode = mode;
   if (tweak) {
     tweak(spec);
+  }
+  // Surface a broken tweak as one actionable message instead of whatever the
+  // first failing layout computation would have said.
+  const Status valid = spec.Validate();
+  if (!valid.ok()) {
+    throw std::invalid_argument("RunNvCaracal: " + valid.message());
   }
   sim::NvmConfig device_config;
   device_config.size_bytes = core::Database::RequiredDeviceBytes(spec);

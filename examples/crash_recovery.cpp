@@ -124,7 +124,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("[run 2] found existing pool %s — recovering\n", pool_path.c_str());
-  const core::RecoveryReport report = db.Recover(registry);
+  const core::RecoveryReport report = db.Recover(registry).value();
   std::printf("[run 2] recovered to epoch %u; scanned %zu rows in %.2f ms; replayed %zu "
               "transactions in %.2f ms\n",
               report.recovered_epoch, report.rows_scanned,

@@ -36,4 +36,30 @@ double LatencyRecorder::Max() const {
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
+LatencySummary LatencyRecorder::Summarize() const {
+  LatencySummary summary;
+  summary.count = samples_.size();
+  if (samples_.empty()) {
+    return summary;
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0.0;
+  for (double s : sorted) {
+    total += s;
+  }
+  summary.mean = total / static_cast<double>(sorted.size());
+  const auto at = [&sorted](double p) {
+    const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  };
+  summary.p50 = at(50);
+  summary.p99 = at(99);
+  summary.max = sorted.back();
+  return summary;
+}
+
 }  // namespace nvc

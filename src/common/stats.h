@@ -88,6 +88,17 @@ struct EngineStats {
   }
 };
 
+// One-call percentile digest of a LatencyRecorder (all values in the unit
+// the samples were recorded in). The service front-end reports these per
+// run; benches serialize them into their JSON artifacts.
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
 // Simple percentile recorder for epoch latencies (figure 12).
 class LatencyRecorder {
  public:
@@ -95,10 +106,15 @@ class LatencyRecorder {
   void Clear() { samples_.clear(); }
   bool empty() const { return samples_.empty(); }
   std::size_t count() const { return samples_.size(); }
+  void Reserve(std::size_t n) { samples_.reserve(n); }
 
   double Mean() const;
   double Percentile(double p) const;  // p in [0, 100]
   double Max() const;
+
+  // Sorts once and extracts count/mean/p50/p99/max (cheaper than separate
+  // Percentile calls, which each re-sort).
+  LatencySummary Summarize() const;
 
  private:
   std::vector<double> samples_;

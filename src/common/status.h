@@ -1,0 +1,217 @@
+// nvc::Status / nvc::StatusOr<T> — canonical error propagation for the
+// public API surface.
+//
+// The seed codebase grew three ad-hoc error conventions: int-or-negative
+// (ReadCommitted), exceptions (Recover, constructors), and silent UB
+// (out-of-range accessor ids). Status unifies the recoverable half of these:
+// an operation that can fail in a way the caller is expected to handle
+// returns Status (no payload) or StatusOr<T> (payload or error). Programmer
+// errors (out-of-range ids from tooling) stay exceptions/asserts.
+//
+// Modeled on absl::Status, minus the dependency: a code, a message, and a
+// StatusOr that throws std::runtime_error from value() on misuse so tests
+// can keep the terse `db.Recover(reg).value()` shape.
+#pragma once
+
+#include <cassert>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace nvc {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   // caller passed a bad spec/argument
+  kNotFound = 2,          // the named row/key/entity does not exist
+  kOutOfRange = 3,        // id or index outside the configured bounds
+  kResourceExhausted = 4, // queue/pool full; retry after backpressure clears
+  kFailedPrecondition = 5,// object not in the required state for the call
+  kUnavailable = 6,       // service stopped/stopping; submission refused
+  kDataLoss = 7,          // device contents unusable (bad magic, torn state)
+  kAborted = 8,           // operation abandoned (crash hook, shutdown race)
+  kInternal = 9,          // invariant violation that was caught, not proven
+};
+
+constexpr const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kAborted: return "ABORTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "?";
+}
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  // Explicit no-op for call sites that intentionally drop a Status.
+  void IgnoreError() const {}
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Thrown by StatusOr::value() on a non-OK result; carries the full status.
+class BadStatus : public std::runtime_error {
+ public:
+  explicit BadStatus(Status status)
+      : std::runtime_error(status.ToString()), status_(std::move(status)) {}
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+// A T or the Status explaining why there is no T. Never holds an OK status
+// without a value: constructing from an OK status is a programmer error and
+// is converted to kInternal.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(const T& value) : status_(Status::Ok()) { new (&storage_) T(value); }
+  StatusOr(T&& value) : status_(Status::Ok()) { new (&storage_) T(std::move(value)); }
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from an OK status without a value");
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from an OK status without a value");
+    }
+  }
+
+  StatusOr(const StatusOr& other) : status_(other.status_) {
+    if (status_.ok()) {
+      new (&storage_) T(other.ref());
+    }
+  }
+  StatusOr(StatusOr&& other) noexcept(std::is_nothrow_move_constructible_v<T>)
+      : status_(std::move(other.status_)) {
+    if (status_.ok()) {
+      new (&storage_) T(std::move(other.ref()));
+    }
+  }
+  StatusOr& operator=(const StatusOr& other) {
+    if (this != &other) {
+      Destroy();
+      status_ = other.status_;
+      if (status_.ok()) {
+        new (&storage_) T(other.ref());
+      }
+    }
+    return *this;
+  }
+  StatusOr& operator=(StatusOr&& other) noexcept(std::is_nothrow_move_constructible_v<T>) {
+    if (this != &other) {
+      Destroy();
+      status_ = std::move(other.status_);
+      if (status_.ok()) {
+        new (&storage_) T(std::move(other.ref()));
+      }
+    }
+    return *this;
+  }
+  ~StatusOr() { Destroy(); }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  // Accessors throw BadStatus (a std::runtime_error) when no value is held,
+  // so `Recover(reg).value()` keeps the pre-migration fail-fast behavior.
+  T& value() & {
+    EnsureOk();
+    return ref();
+  }
+  const T& value() const& {
+    EnsureOk();
+    return ref();
+  }
+  T&& value() && {
+    EnsureOk();
+    return std::move(ref());
+  }
+
+  T value_or(T fallback) const& { return ok() ? ref() : std::move(fallback); }
+
+  // Explicit no-op for call sites that intentionally drop the result.
+  void IgnoreError() const {}
+
+  // Unchecked access for call sites that just tested ok().
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  T& ref() { return *std::launder(reinterpret_cast<T*>(&storage_)); }
+  const T& ref() const { return *std::launder(reinterpret_cast<const T*>(&storage_)); }
+  void EnsureOk() const {
+    if (!ok()) {
+      throw BadStatus(status_);
+    }
+  }
+  void Destroy() {
+    if (status_.ok()) {
+      ref().~T();
+    }
+  }
+
+  Status status_;
+  alignas(T) unsigned char storage_[sizeof(T)];
+};
+
+}  // namespace nvc

@@ -227,6 +227,9 @@ EpochResult Database::ExecuteEpochAria(std::vector<std::unique_ptr<txn::Transact
 
   EpochResult result;
   result.epoch = epoch;
+  // Per executed slot (deferred-carryover transactions first); delivered to
+  // the epoch callback once the epoch number is durable.
+  std::vector<TxnOutcome> outcomes;
   try {
     if (ModeLogsInputs(spec_.mode) && !replaying_) {
       last_log_bytes_ = log_->LogEpoch(epoch, owned_txns_, 0);
@@ -383,17 +386,21 @@ EpochResult Database::ExecuteEpochAria(std::vector<std::unique_ptr<txn::Transact
 
     // Deferred transactions carry over to the next batch, keeping order.
     std::vector<std::unique_ptr<txn::Transaction>> still_deferred;
+    outcomes.reserve(states.size());
     for (std::size_t i = 0; i < states.size(); ++i) {
       const AriaTxnState& st = states[i];
       if (st.deferred) {
         still_deferred.push_back(std::move(owned_txns_[i]));
         ++result.deferred;
+        outcomes.push_back(TxnOutcome::kDeferred);
       } else if (st.user_aborted) {
         ++result.aborted;
         stats_.txn_aborted.Add(0);
+        outcomes.push_back(TxnOutcome::kAborted);
       } else {
         ++result.committed;
         stats_.txn_committed.Add(0);
+        outcomes.push_back(TxnOutcome::kCommitted);
       }
     }
 
@@ -414,6 +421,9 @@ EpochResult Database::ExecuteEpochAria(std::vector<std::unique_ptr<txn::Transact
   }
 
   result.seconds = SecondsSince(start);
+  if (epoch_callback_) {
+    epoch_callback_(result, outcomes);
+  }
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/common/types.h"
 
 namespace nvc::core {
@@ -147,6 +148,13 @@ struct DatabaseSpec {
   // repartitions them by row-owner core, and builds each version array with
   // one exact-capacity sorted fill instead of per-append sorted insertion.
   bool enable_batch_append = false;
+
+  // Checks every spec-only invariant the Database constructor relies on and
+  // returns the first violation with an actionable message (kOk when the
+  // spec is constructible). Device-dependent checks (device size, presence
+  // of a cold device) still live in the constructor, which calls this first.
+  // Defined in database.cc.
+  Status Validate() const;
 
   // Parallel epoch tail (DESIGN.md section 10). When enabled, the durability
   // tail of ExecuteEpoch — input-log serialization, cold-tier demotion, pool

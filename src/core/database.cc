@@ -14,6 +14,69 @@ constexpr std::uint32_t kVersion = 1;
 constexpr Sid kLoadSid(1, 1);
 }  // namespace
 
+Status DatabaseSpec::Validate() const {
+  if (workers == 0 || workers > kMaxCores) {
+    return Status::InvalidArgument("spec.workers must be in [1, " +
+                                   std::to_string(kMaxCores) + "], got " +
+                                   std::to_string(workers));
+  }
+  for (const TableSpec& table : tables) {
+    if (table.row_size < vstore::kRowHeaderSize) {
+      return Status::InvalidArgument(
+          "table '" + table.name + "': row_size " + std::to_string(table.row_size) +
+          " is below the persistent row header (" +
+          std::to_string(vstore::kRowHeaderSize) + " bytes)");
+    }
+    if (table.capacity_rows == 0) {
+      return Status::InvalidArgument("table '" + table.name + "': capacity_rows must be > 0");
+    }
+  }
+  // Value-pool classes: positive geometry, strictly distinct block sizes
+  // (ValuePoolForOffset maps offsets back by disjoint area, but duplicate
+  // classes silently waste half the NVMM budget — reject them).
+  for (const ValuePoolSpec& pool : value_pools) {
+    if (pool.block_size == 0 || pool.blocks_per_core == 0 || pool.freelist_capacity == 0) {
+      return Status::InvalidArgument(
+          "value pool class " + std::to_string(pool.block_size) +
+          " B: block_size, blocks_per_core, and freelist_capacity must all be > 0");
+    }
+  }
+  for (std::size_t i = 0; i < value_pools.size(); ++i) {
+    for (std::size_t j = i + 1; j < value_pools.size(); ++j) {
+      if (value_pools[i].block_size == value_pools[j].block_size) {
+        return Status::InvalidArgument("duplicate value pool class of " +
+                                       std::to_string(value_pools[i].block_size) +
+                                       " B; block sizes must be distinct");
+      }
+    }
+  }
+  if (value_pools.empty() &&
+      (value_block_size == 0 || value_blocks_per_core == 0 || value_freelist_capacity == 0)) {
+    return Status::InvalidArgument(
+        "legacy value pool: value_block_size, value_blocks_per_core, and "
+        "value_freelist_capacity must all be > 0");
+  }
+  if (log_bytes == 0 && ModeLogsInputs(mode)) {
+    return Status::InvalidArgument("log_bytes must be > 0 when the engine mode logs inputs");
+  }
+  if (enable_cold_tier) {
+    if (cold_block_size == 0 || cold_blocks_per_core == 0 || cold_freelist_capacity == 0) {
+      return Status::InvalidArgument(
+          "enable_cold_tier requires cold_block_size, cold_blocks_per_core, and "
+          "cold_freelist_capacity > 0");
+    }
+    if (!enable_cache) {
+      return Status::InvalidArgument(
+          "enable_cold_tier requires enable_cache: demotion candidates are "
+          "discovered by cache aging (DESIGN.md section 6)");
+    }
+  }
+  if (enable_persistent_index && gc_log_capacity == 0) {
+    return Status::InvalidArgument("enable_persistent_index requires gc_log_capacity > 0");
+  }
+  return Status::Ok();
+}
+
 std::vector<DatabaseSpec::ValuePoolSpec> Database::EffectiveValuePools(
     const DatabaseSpec& spec) {
   std::vector<DatabaseSpec::ValuePoolSpec> pools = spec.value_pools;
@@ -31,10 +94,9 @@ Database::Layout Database::ComputeLayout(const DatabaseSpec& spec) {
   // Runs before any other member initialization (layout_ precedes pool_), so
   // this also stops WorkerPool/per-core arrays from being built with a core
   // count the kMaxCores-sharded device and stats paths cannot represent.
-  if (spec.workers == 0 || spec.workers > kMaxCores) {
-    throw std::invalid_argument("Database: spec.workers must be in [1, " +
-                                std::to_string(kMaxCores) + "], got " +
-                                std::to_string(spec.workers));
+  const Status valid = spec.Validate();
+  if (!valid.ok()) {
+    throw std::invalid_argument("Database: " + valid.message());
   }
   Layout layout;
   std::uint64_t offset = 0;
@@ -146,14 +208,11 @@ Database::Database(sim::NvmDevice& device, const DatabaseSpec& spec,
       core_state_(spec.workers),
       pending_major_gc_(spec.workers),
       scratch_(spec.workers) {
+  // Spec-only invariants were validated by ComputeLayout (spec_.Validate());
+  // only the device-dependent checks remain here.
   if (layout_.total > device_.size()) {
     throw std::invalid_argument("Database: device too small for spec (need " +
                                 std::to_string(layout_.total) + " bytes)");
-  }
-  for (const TableSpec& table : spec_.tables) {
-    if (table.row_size < vstore::kRowHeaderSize) {
-      throw std::invalid_argument("Database: row_size below header size for " + table.name);
-    }
   }
 
   const auto value_pool_specs = EffectiveValuePools(spec_);
@@ -384,10 +443,29 @@ void Database::FenceAll() {
   }
 }
 
-int Database::ReadCommitted(TableId table, Key key, void* out, std::uint32_t cap) {
+void Database::CheckTableId(TableId table) const {
+  if (table >= tables_.size()) {
+    throw std::out_of_range("Database: table id " + std::to_string(table) +
+                            " out of range (spec has " + std::to_string(tables_.size()) +
+                            " tables)");
+  }
+}
+
+void Database::CheckCounterId(txn::CounterId id) const {
+  if (id >= counters_.size()) {
+    throw std::out_of_range("Database: counter id " + std::to_string(id) +
+                            " out of range (spec has " + std::to_string(counters_.size()) +
+                            " counters)");
+  }
+}
+
+StatusOr<std::uint32_t> Database::ReadCommitted(TableId table, Key key, void* out,
+                                                std::uint32_t cap) {
+  CheckTableId(table);
   vstore::RowEntry* entry = tables_[table]->Get(key);
   if (entry == nullptr || entry->prow == 0) {
-    return -1;
+    return Status::NotFound("no committed row for key " + std::to_string(key) +
+                            " in table '" + spec_.tables[table].name + "'");
   }
   vstore::PersistentRow row = RowAt(entry);
   const vstore::VersionDesc v1 = row.ReadDesc(1);
@@ -395,17 +473,18 @@ int Database::ReadCommitted(TableId table, Key key, void* out, std::uint32_t cap
                                        ? v1
                                        : row.ReadDesc(0);
   if (desc.sid == 0 || vstore::ValueLoc(desc.loc).is_null()) {
-    return -1;
+    return Status::NotFound("no committed version for key " + std::to_string(key) +
+                            " in table '" + spec_.tables[table].name + "'");
   }
   const vstore::ValueLoc loc(desc.loc);
   if (cap < loc.size()) {
     std::uint8_t* tmp = ScratchFor(0, loc.size());
     ReadVersionValue(row, desc, tmp, 0);
     std::memcpy(out, tmp, cap);
-    return static_cast<int>(cap);
+    return cap;
   }
   ReadVersionValue(row, desc, out, 0);
-  return static_cast<int>(loc.size());
+  return loc.size();
 }
 
 MemoryBreakdown Database::GetMemoryBreakdown() const {

@@ -34,6 +34,7 @@
 #include "src/alloc/persistent_pool.h"
 #include "src/alloc/transient_pool.h"
 #include "src/common/profiler.h"
+#include "src/common/status.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
@@ -58,6 +59,24 @@ struct EpochResult {
   double seconds = 0;
   bool crashed = false;  // a crash hook fired; the Database must be discarded
 };
+
+// Per-transaction fate within one executed epoch.
+enum class TxnOutcome : std::uint8_t {
+  kCommitted = 0,
+  kAborted = 1,   // user-level abort (durable: the abort is the outcome)
+  kDeferred = 2,  // Aria: conflict-deferred; re-runs at the front of the
+                  // next batch (the Database retains the transaction)
+};
+
+// Durable-notify hook for epoch completion. Invoked synchronously on the
+// ExecuteEpoch caller's thread *after* the epoch number is persisted (the
+// group-commit durability point) and never for a crashed epoch. `outcomes`
+// is indexed by executed-batch slot: under Aria the batch is [previously
+// deferred transactions in order, then the new ones]; under Caracal it is
+// exactly the input vector. The service front-end (src/service/) uses this
+// to resolve per-transaction tickets and measure submit->durable latency.
+using EpochCallback =
+    std::function<void(const EpochResult& result, const std::vector<TxnOutcome>& outcomes)>;
 
 struct RecoveryReport {
   Epoch recovered_epoch = 0;       // last checkpointed epoch
@@ -196,7 +215,17 @@ class Database {
 
   // Rebuilds DRAM state from the device after a crash and deterministically
   // replays the crashed epoch from the input log if one is complete.
-  RecoveryReport Recover(const txn::TxnRegistry& registry);
+  // Failure statuses:
+  //   kDataLoss           the device carries no NVCaracal superblock
+  //   kFailedPrecondition the on-device table count disagrees with the spec
+  //   kAborted            a crash hook fired during the replay
+  StatusOr<RecoveryReport> Recover(const txn::TxnRegistry& registry);
+
+  // Pre-Status shim; identical to Recover(registry).value().
+  [[deprecated("use Recover(), which returns StatusOr<RecoveryReport>")]]
+  RecoveryReport RecoverOrDie(const txn::TxnRegistry& registry) {
+    return Recover(registry).value();
+  }
 
   // Processes one epoch of transactions (batch = epoch, paper footnote 1).
   EpochResult ExecuteEpoch(std::vector<std::unique_ptr<txn::Transaction>> txns);
@@ -215,18 +244,38 @@ class Database {
   PhaseProfiler& profiler() { return profiler_; }
   const PhaseProfiler& profiler() const { return profiler_; }
   nvc::ProfileReport ProfileReport() const { return profiler_.Report(); }
+
+  // Bounds-checked introspection accessors: an out-of-range id from tooling
+  // used to index straight into the vectors (UB); they now throw
+  // std::out_of_range with the offending id and the configured bound.
   std::uint64_t counter_value(txn::CounterId id) const {
+    CheckCounterId(id);
     return counters_[id].load(std::memory_order_relaxed);
   }
-  std::size_t table_rows(TableId table) const { return tables_[table]->entries(); }
+  std::size_t table_rows(TableId table) const {
+    CheckTableId(table);
+    return tables_[table]->entries();
+  }
 
   // Reads the latest committed value of a row outside any epoch (tests,
-  // examples). Returns the size or -1 when absent.
-  int ReadCommitted(TableId table, Key key, void* out, std::uint32_t cap);
+  // examples, tooling). Returns the number of bytes copied into `out`
+  // (min(cap, value size)); kNotFound when the row has no committed value.
+  StatusOr<std::uint32_t> ReadCommitted(TableId table, Key key, void* out, std::uint32_t cap);
+
+  // Pre-Status shim for the old int convention (bytes copied, or -1 when
+  // absent). Unused in-repo; kept for one PR for external callers.
+  [[deprecated("use ReadCommitted(), which returns StatusOr<std::uint32_t>")]]
+  int ReadCommittedLegacy(TableId table, Key key, void* out, std::uint32_t cap) {
+    const StatusOr<std::uint32_t> n = ReadCommitted(table, key, out, cap);
+    return n.ok() ? static_cast<int>(*n) : -1;
+  }
 
   MemoryBreakdown GetMemoryBreakdown() const;
 
   void SetCrashHook(CrashHook hook) { crash_hook_ = std::move(hook); }
+
+  // Durable-notify: see EpochCallback above. Pass {} to clear.
+  void SetEpochCallback(EpochCallback callback) { epoch_callback_ = std::move(callback); }
 
   // Per-site reach/fire counts accumulated over this object's lifetime.
   CrashSiteCoverage crash_coverage() const {
@@ -238,7 +287,10 @@ class Database {
     return cov;
   }
 
-  index::TableIndex& table_index(TableId table) { return *tables_[table]; }
+  index::TableIndex& table_index(TableId table) {
+    CheckTableId(table);
+    return *tables_[table];
+  }
 
   // ---- Oracle / fuzzing support ---------------------------------------------
   sim::NvmDevice& device() { return device_; }
@@ -250,6 +302,9 @@ class Database {
   }
 
  private:
+  void CheckTableId(TableId table) const;
+  void CheckCounterId(txn::CounterId id) const;
+
   friend class EngineInsertContext;
   friend class EngineAppendContext;
   friend class EngineExecContext;
@@ -503,6 +558,7 @@ class Database {
   std::vector<vstore::ValueLoc> cold_frees_due_;
 
   CrashHook crash_hook_;
+  EpochCallback epoch_callback_;
   std::array<std::atomic<std::uint64_t>, kCrashSiteCount> site_reached_{};
   std::array<std::atomic<std::uint64_t>, kCrashSiteCount> site_fired_{};
   std::size_t last_log_bytes_ = 0;

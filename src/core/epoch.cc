@@ -165,6 +165,9 @@ EpochResult Database::ExecuteEpoch(std::vector<std::unique_ptr<txn::Transaction>
 
   EpochResult result;
   result.epoch = epoch;
+  // Captured before FinishEpoch clears txn_states_; delivered to the epoch
+  // callback only after the epoch number is durable.
+  std::vector<TxnOutcome> outcomes;
   epoch_nvm_start_ = device_.stats().Snapshot();
   profiler_.BeginEpoch(epoch);
   try {
@@ -234,6 +237,13 @@ EpochResult Database::ExecuteEpoch(std::vector<std::unique_ptr<txn::Transaction>
       cs.deleted.clear();
     }
 
+    if (epoch_callback_) {
+      outcomes.resize(txn_states_.size());
+      for (std::size_t i = 0; i < txn_states_.size(); ++i) {
+        outcomes[i] = txn_states_[i].aborted ? TxnOutcome::kAborted : TxnOutcome::kCommitted;
+      }
+    }
+
     CheckpointEpoch(epoch);
     {
       PhaseProfiler::ScopedPhase phase(profiler_, Phase::kFinish);
@@ -260,6 +270,9 @@ EpochResult Database::ExecuteEpoch(std::vector<std::unique_ptr<txn::Transaction>
   result.committed = epoch_committed_.load(std::memory_order_relaxed);
   result.aborted = epoch_aborted_.load(std::memory_order_relaxed);
   result.seconds = SecondsSince(start);
+  if (epoch_callback_) {
+    epoch_callback_(result, outcomes);
+  }
   return result;
 }
 

@@ -33,16 +33,45 @@ OracleState CaptureState(Database& db) {
       keys.push_back(key);
     });
     for (Key key : keys) {
-      const int size = db.ReadCommitted(static_cast<TableId>(t), key, buffer.data(),
-                                        static_cast<std::uint32_t>(buffer.size()));
-      if (size < 0) {
+      const StatusOr<std::uint32_t> size = db.ReadCommitted(
+          static_cast<TableId>(t), key, buffer.data(),
+          static_cast<std::uint32_t>(buffer.size()));
+      if (!size.ok()) {
         continue;  // indexed but no committed version: logically absent
       }
       snapshot.emplace(key,
-                       std::vector<std::uint8_t>(buffer.begin(), buffer.begin() + size));
+                       std::vector<std::uint8_t>(buffer.begin(), buffer.begin() + *size));
     }
   }
   return state;
+}
+
+std::uint64_t StateHash(const OracleState& state) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(state.epoch);
+  mix(state.counters.size());
+  for (const std::uint64_t c : state.counters) {
+    mix(c);
+  }
+  mix(state.tables.size());
+  for (const auto& table : state.tables) {
+    mix(table.size());
+    for (const auto& [key, bytes] : table) {  // std::map: key order
+      mix(key);
+      mix(bytes.size());
+      for (const std::uint8_t b : bytes) {
+        h ^= b;
+        h *= 1099511628211ULL;
+      }
+    }
+  }
+  return h;
 }
 
 std::size_t DiffStates(const OracleState& expected, const OracleState& actual,

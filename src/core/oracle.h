@@ -43,6 +43,12 @@ struct OracleState {
 // epochs (no execution in flight).
 OracleState CaptureState(Database& db);
 
+// Order-independent 64-bit digest of a snapshot (FNV-1a over epoch,
+// counters, and every table's key/value bytes in key order). Two states
+// hash equal iff DiffStates would report zero divergences, up to hash
+// collisions; tests use it to compare runs without holding both states.
+std::uint64_t StateHash(const OracleState& state);
+
 // Compares two snapshots. Returns the number of divergences and appends a
 // human-readable description of the first `max_reports` of them to *out.
 std::size_t DiffStates(const OracleState& expected, const OracleState& actual,

@@ -30,15 +30,17 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-RecoveryReport Database::Recover(const txn::TxnRegistry& registry) {
+StatusOr<RecoveryReport> Database::Recover(const txn::TxnRegistry& registry) {
   RecoveryReport report;
   device_.ChargeRead(layout_.superblock, sizeof(SuperBlock), 0);
   const auto* sb = device_.As<SuperBlock>(layout_.superblock);
   if (sb->magic != kMagic) {
-    throw std::runtime_error("Recover: device is not a formatted NVCaracal database");
+    return Status::DataLoss("Recover: device is not a formatted NVCaracal database");
   }
   if (sb->table_count != spec_.tables.size()) {
-    throw std::runtime_error("Recover: table schema mismatch with the on-device layout");
+    return Status::FailedPrecondition(
+        "Recover: on-device layout has " + std::to_string(sb->table_count) +
+        " tables but the spec has " + std::to_string(spec_.tables.size()));
   }
   const Epoch last_checkpointed = static_cast<Epoch>(sb->epoch);
   report.recovered_epoch = last_checkpointed;
@@ -114,7 +116,7 @@ RecoveryReport Database::Recover(const txn::TxnRegistry& registry) {
     replaying_ = false;
     gc_dedup_.clear();
     if (result.crashed) {
-      throw std::runtime_error("Recover: crash hook fired during replay");
+      return Status::Aborted("Recover: crash hook fired during replay");
     }
     report.replay_seconds = SecondsSince(replay_start);
   }

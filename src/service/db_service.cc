@@ -1,0 +1,340 @@
+#include "src/service/db_service.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace nvc::service {
+
+namespace {
+
+double MicrosSince(std::chrono::steady_clock::time_point start,
+                   std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+}  // namespace
+
+Status ServiceSpec::Validate() const {
+  if (max_epoch_txns == 0) {
+    return Status::InvalidArgument("ServiceSpec: max_epoch_txns must be at least 1");
+  }
+  if (max_epoch_delay.count() < 0) {
+    return Status::InvalidArgument("ServiceSpec: max_epoch_delay must be non-negative");
+  }
+  if (queue_capacity == 0) {
+    return Status::InvalidArgument("ServiceSpec: queue_capacity must be at least 1");
+  }
+  if (queue_capacity < max_epoch_txns) {
+    return Status::InvalidArgument(
+        "ServiceSpec: queue_capacity (" + std::to_string(queue_capacity) +
+        ") must admit a full epoch of max_epoch_txns (" +
+        std::to_string(max_epoch_txns) + ")");
+  }
+  return Status::Ok();
+}
+
+// ---- TxnTicket ---------------------------------------------------------------
+
+const TicketResult& TxnTicket::Get() const {
+  std::unique_lock<std::mutex> lk(state_->mu);
+  state_->cv.wait(lk, [&] { return state_->done; });
+  return state_->result;
+}
+
+bool TxnTicket::WaitFor(std::chrono::microseconds timeout) const {
+  std::unique_lock<std::mutex> lk(state_->mu);
+  return state_->cv.wait_for(lk, timeout, [&] { return state_->done; });
+}
+
+bool TxnTicket::done() const {
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->done;
+}
+
+// ---- DbService ---------------------------------------------------------------
+
+DbService::DbService(std::unique_ptr<core::Database> db, const ServiceSpec& spec)
+    : db_(std::move(db)), spec_(spec) {
+  if (!db_) {
+    throw std::invalid_argument("DbService: database must not be null");
+  }
+  const Status valid = spec_.Validate();
+  if (!valid.ok()) {
+    throw std::invalid_argument("DbService: " + valid.message());
+  }
+  db_->SetEpochCallback(
+      [this](const core::EpochResult& result, const std::vector<core::TxnOutcome>& outcomes) {
+        OnEpochDurable(result, outcomes);
+      });
+  pacer_ = std::thread([this] { PacerLoop(); });
+}
+
+DbService::~DbService() { Stop().IgnoreError(); }
+
+StatusOr<TxnTicket> DbService::Submit(std::unique_ptr<txn::Transaction> txn) {
+  if (!txn) {
+    return Status::InvalidArgument("DbService::Submit: transaction must not be null");
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!fail_status_.ok()) {
+    return fail_status_;
+  }
+  if (stopping_) {
+    return Status::Unavailable("DbService::Submit: service is stopped");
+  }
+  if (queue_.size() >= spec_.queue_capacity) {
+    if (spec_.backpressure == BackpressurePolicy::kReject) {
+      return Status::ResourceExhausted(
+          "DbService::Submit: queue full (" + std::to_string(spec_.queue_capacity) +
+          " transactions); retry after the pacer drains");
+    }
+    space_cv_.wait(lk, [&] {
+      return stopping_ || !fail_status_.ok() || queue_.size() < spec_.queue_capacity;
+    });
+    if (!fail_status_.ok()) {
+      return fail_status_;
+    }
+    if (stopping_) {
+      return Status::Unavailable("DbService::Submit: service stopped while blocked");
+    }
+  }
+  auto state = std::make_shared<internal::TicketState>();
+  state->submit_time = std::chrono::steady_clock::now();
+  queue_.push_back(Pending{std::move(txn), state});
+  work_cv_.notify_all();
+  return TxnTicket(std::move(state));
+}
+
+void DbService::PacerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (deferred_.empty()) {
+      work_cv_.wait(lk, [&] {
+        return stopping_ || !fail_status_.ok() || !queue_.empty() || flush_;
+      });
+    } else {
+      // Aria deferrals are in flight: never sleep past the delay bound, so a
+      // deferred ticket resolves even when no new traffic arrives.
+      work_cv_.wait_for(lk, spec_.max_epoch_delay, [&] {
+        return stopping_ || !fail_status_.ok() || !queue_.empty() || flush_;
+      });
+    }
+    if (!fail_status_.ok()) {
+      break;
+    }
+    if (queue_.empty()) {
+      if (!deferred_.empty()) {
+        // Flush epoch: empty input; the engine re-runs its deferred batch.
+        const std::size_t before = deferred_.size();
+        if (!RunBatch(lk, {})) {
+          break;
+        }
+        if (stopping_ && deferred_.size() >= before) {
+          // Defensive: Aria guarantees the batch's first transaction commits,
+          // so a no-progress flush means an engine bug. Fail the stragglers
+          // rather than spinning in shutdown forever.
+          FailAll(Status::Internal(
+              "DbService: flush epoch resolved no deferred transactions"));
+          break;
+        }
+        continue;
+      }
+      if (flush_) {
+        flush_ = false;
+        idle_cv_.notify_all();
+      }
+      if (stopping_) {
+        break;
+      }
+      continue;
+    }
+    // A batch is forming: cut on size, delay bound, flush, or shutdown.
+    const auto deadline = queue_.front().state->submit_time + spec_.max_epoch_delay;
+    while (!stopping_ && !flush_ && fail_status_.ok() &&
+           queue_.size() < spec_.max_epoch_txns) {
+      if (work_cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
+    if (!fail_status_.ok()) {
+      break;
+    }
+    const std::size_t n = std::min(queue_.size(), spec_.max_epoch_txns);
+    std::vector<Pending> batch;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    space_cv_.notify_all();
+    if (!RunBatch(lk, std::move(batch))) {
+      break;
+    }
+  }
+  idle_cv_.notify_all();
+  space_cv_.notify_all();
+}
+
+bool DbService::RunBatch(std::unique_lock<std::mutex>& lk, std::vector<Pending> batch) {
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  txns.reserve(batch.size());
+  slots_.clear();
+  slots_.reserve(deferred_.size() + batch.size());
+  // Executed-batch slot order: engine-held deferrals first, then the new
+  // submissions (matches EpochCallback's contract).
+  for (const auto& state : deferred_) {
+    slots_.push_back(state);
+  }
+  for (auto& p : batch) {
+    txns.push_back(std::move(p.txn));
+    slots_.push_back(std::move(p.state));
+  }
+  executing_ = true;
+  lk.unlock();
+  // OnEpochDurable runs synchronously on this thread inside ExecuteEpoch,
+  // after the epoch number is persisted; it rebuilds deferred_ under mu_.
+  const core::EpochResult result = db_->ExecuteEpoch(std::move(txns));
+  lk.lock();
+  executing_ = false;
+  ++epochs_;
+  if (result.crashed) {
+    const Status why = Status::DataLoss(
+        "DbService: crash hook fired during epoch " + std::to_string(result.epoch) +
+        "; recover the database from the device");
+    FailAll(why);
+    return false;
+  }
+  if (queue_.empty() && deferred_.empty()) {
+    if (flush_) {
+      flush_ = false;
+    }
+    idle_cv_.notify_all();
+  }
+  return true;
+}
+
+void DbService::OnEpochDurable(const core::EpochResult& result,
+                               const std::vector<core::TxnOutcome>& outcomes) {
+  const auto now = std::chrono::steady_clock::now();
+  std::deque<std::shared_ptr<internal::TicketState>> still_deferred;
+  {
+    std::lock_guard<std::mutex> stats_lk(stats_mu_);
+    for (std::size_t i = 0; i < outcomes.size() && i < slots_.size(); ++i) {
+      const std::shared_ptr<internal::TicketState>& state = slots_[i];
+      switch (outcomes[i]) {
+        case core::TxnOutcome::kDeferred:
+          ++state->deferrals;
+          still_deferred.push_back(state);
+          break;
+        case core::TxnOutcome::kAborted:
+        case core::TxnOutcome::kCommitted: {
+          const TicketOutcome outcome = outcomes[i] == core::TxnOutcome::kCommitted
+                                            ? TicketOutcome::kCommitted
+                                            : TicketOutcome::kUserAborted;
+          latency_.Record(MicrosSince(state->submit_time, now));
+          Resolve(state, outcome, result.epoch, Status::Ok());
+          break;
+        }
+      }
+    }
+  }
+  slots_.clear();  // pacer-thread-only; every slot is resolved or re-deferred
+  std::lock_guard<std::mutex> lk(mu_);
+  deferred_ = std::move(still_deferred);
+}
+
+void DbService::Resolve(const std::shared_ptr<internal::TicketState>& state,
+                        TicketOutcome outcome, Epoch epoch, Status status) {
+  const auto now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lk(state->mu);
+    if (state->done) {
+      return;  // first resolution wins (e.g. FailAll over a stale slot)
+    }
+    state->result.outcome = outcome;
+    state->result.epoch = epoch;
+    state->result.latency_micros = MicrosSince(state->submit_time, now);
+    state->result.deferrals = state->deferrals;
+    state->result.status = std::move(status);
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+void DbService::FailAll(const Status& why) {
+  fail_status_ = why;
+  for (const auto& state : slots_) {
+    Resolve(state, TicketOutcome::kFailed, 0, why);
+  }
+  slots_.clear();
+  for (const auto& state : deferred_) {
+    Resolve(state, TicketOutcome::kFailed, 0, why);
+  }
+  deferred_.clear();
+  for (auto& p : queue_) {
+    Resolve(p.state, TicketOutcome::kFailed, 0, why);
+  }
+  queue_.clear();
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  idle_cv_.notify_all();
+}
+
+Status DbService::Drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!fail_status_.ok()) {
+    return fail_status_;
+  }
+  flush_ = true;
+  work_cv_.notify_all();
+  idle_cv_.wait(lk, [&] {
+    return !fail_status_.ok() ||
+           (queue_.empty() && deferred_.empty() && !executing_ && !flush_);
+  });
+  return fail_status_;
+}
+
+Status DbService::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+  if (pacer_.joinable()) {
+    pacer_.join();
+  }
+  if (db_) {
+    db_->SetEpochCallback({});
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  return fail_status_;
+}
+
+std::unique_ptr<core::Database> DbService::TakeDatabase() {
+  Stop().IgnoreError();
+  return std::move(db_);
+}
+
+LatencySummary DbService::LatencySnapshot() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return latency_.Summarize();
+}
+
+std::size_t DbService::epochs_executed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return epochs_;
+}
+
+std::size_t DbService::queue_depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+Status DbService::health() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return fail_status_;
+}
+
+}  // namespace nvc::service

@@ -103,10 +103,10 @@ Balance SmallBankWorkload::TotalMoney(core::Database& db, std::uint64_t customer
   Balance total = 0;
   for (std::uint64_t customer = 0; customer < customers; ++customer) {
     Balance balance = 0;
-    db.ReadCommitted(kSavingsTable, customer, &balance, sizeof(balance));
+    db.ReadCommitted(kSavingsTable, customer, &balance, sizeof(balance)).IgnoreError();
     total += balance;
     balance = 0;
-    db.ReadCommitted(kCheckingTable, customer, &balance, sizeof(balance));
+    db.ReadCommitted(kCheckingTable, customer, &balance, sizeof(balance)).IgnoreError();
     total += balance;
   }
   return total;

@@ -636,8 +636,9 @@ bool TpccWorkload::CheckConsistency(core::Database& db, const TpccConfig& config
         NewOrderRow new_order{};
         const bool has_new_order =
             db.ReadCommitted(kNewOrderTable, NewOrderKey(w, d, o), &new_order,
-                             sizeof(new_order)) >= 0;
-        if (db.ReadCommitted(kOrderTable, OrderKey(w, d, o), &order, sizeof(order)) < 0) {
+                             sizeof(new_order))
+                .ok();
+        if (!db.ReadCommitted(kOrderTable, OrderKey(w, d, o), &order, sizeof(order)).ok()) {
           // Order-id gap from a rolled-back NewOrder (2.4.1.4): the counter
           // advanced but every inserted row was discarded with the abort.
           if (has_new_order) {
@@ -660,8 +661,8 @@ bool TpccWorkload::CheckConsistency(core::Database& db, const TpccConfig& config
         // Every order line of a delivered order must have a delivery date.
         for (std::uint64_t ol = 1; ol <= order.ol_cnt; ++ol) {
           OrderLineRow line{};
-          if (db.ReadCommitted(kOrderLine, OrderLineKey(w, d, o, ol), &line, sizeof(line)) <
-              0) {
+          if (!db.ReadCommitted(kOrderLine, OrderLineKey(w, d, o, ol), &line, sizeof(line))
+                   .ok()) {
             *message = "missing order line o=" + std::to_string(o) +
                        " ol=" + std::to_string(ol);
             return false;

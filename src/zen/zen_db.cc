@@ -415,8 +415,14 @@ ZenRecoveryReport ZenDb::Recover() {
   return report;
 }
 
-int ZenDb::ReadCommitted(TableId table, Key key, void* out, std::uint32_t cap) {
-  return ReadRow(table, key, out, cap, 0);
+StatusOr<std::uint32_t> ZenDb::ReadCommitted(TableId table, Key key, void* out,
+                                             std::uint32_t cap) {
+  const int n = ReadRow(table, key, out, cap, 0);
+  if (n < 0) {
+    return Status::NotFound("ZenDb::ReadCommitted: no committed version for key " +
+                            std::to_string(key));
+  }
+  return static_cast<std::uint32_t>(n);
 }
 
 }  // namespace nvc::zen

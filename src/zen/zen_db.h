@@ -36,6 +36,7 @@
 
 #include "src/common/latch.h"
 #include "src/common/stats.h"
+#include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/common/worker_pool.h"
 #include "src/sim/nvm_device.h"
@@ -88,7 +89,9 @@ class ZenDb {
   // the tuple heap). Call on a fresh ZenDb over a recovered device.
   ZenRecoveryReport Recover();
 
-  int ReadCommitted(TableId table, Key key, void* out, std::uint32_t cap);
+  // Latest committed value; kNotFound when the row has no committed version
+  // (same contract as core::Database::ReadCommitted).
+  StatusOr<std::uint32_t> ReadCommitted(TableId table, Key key, void* out, std::uint32_t cap);
 
   EngineStats& stats() { return stats_; }
   std::size_t cache_entries() const { return cache_entries_.load(std::memory_order_relaxed); }

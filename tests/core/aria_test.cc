@@ -259,7 +259,7 @@ TEST(AriaTest, CrashRecoveryMatchesReference) {
   device.CrashChaos(71, 0.5);
 
   Database recovered(device, spec);
-  const auto report = recovered.Recover(AriaRegistry());
+  const auto report = recovered.Recover(AriaRegistry()).value();
   ASSERT_TRUE(report.replayed);
   for (Key key = 0; key < 16; ++key) {
     EXPECT_EQ(ReadBytes(recovered, 0, key), expected[key]) << "key " << key;

@@ -165,7 +165,7 @@ TEST_P(ColdCrashTest, DemotionCrashWindowsAreSafe) {
   f.cold.CrashChaos(50 + crash_epoch_offset, 0.5);
 
   auto db = f.Open();
-  const auto report = db->Recover(KvRegistry());
+  const auto report = db->Recover(KvRegistry()).value();
   ASSERT_TRUE(report.replayed);
   std::vector<std::uint8_t> expected(kBigValueSize);
   KvBigPutTxn::Fill(100, 7, expected.data());
@@ -219,7 +219,7 @@ TEST(ColdTierTest, MixedSoakWithCrashes) {
       f.hot.CrashChaos(8000 + epoch, 0.5);
       f.cold.CrashChaos(9000 + epoch, 0.5);
       db = f.Open();
-      ASSERT_TRUE(db->Recover(registry).replayed);
+      ASSERT_TRUE(db->Recover(registry).value().replayed);
     } else {
       db->SetCrashHook({});
       ASSERT_FALSE(db->ExecuteEpoch(std::move(txns)).crashed);

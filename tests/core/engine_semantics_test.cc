@@ -399,7 +399,7 @@ TEST(BatchAppendTest, CrashRecoveryWithBatchAppend) {
   }
   device.CrashChaos(55, 0.5);
   Database recovered(device, spec);
-  const auto report = recovered.Recover(KvRegistry());
+  const auto report = recovered.Recover(KvRegistry()).value();
   ASSERT_TRUE(report.replayed);
   for (Key key = 0; key < 16; ++key) {
     EXPECT_EQ(ReadBytes(recovered, 0, key), expected[key]) << "key " << key;

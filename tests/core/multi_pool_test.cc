@@ -178,7 +178,7 @@ TEST(MultiPoolTest, CrashRecoveryAcrossClasses) {
   device.CrashChaos(91, 0.5);
 
   Database recovered(device, spec);
-  const auto report = recovered.Recover(MultiPoolRegistry());
+  const auto report = recovered.Recover(MultiPoolRegistry()).value();
   ASSERT_TRUE(report.replayed);
   for (Key key = 0; key < 16; ++key) {
     EXPECT_EQ(ReadBytes(recovered, 0, key), expected[key]) << "key " << key;

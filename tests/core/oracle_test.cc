@@ -113,7 +113,7 @@ TEST(OracleTest, PersistentIndexCrossCheckPassesAfterRecovery) {
   }
   device.Crash();
   Database recovered(device, spec);
-  recovered.Recover(KvRegistry());
+  recovered.Recover(KvRegistry()).value();
   std::string report;
   EXPECT_EQ(ValidatePersistentIndex(recovered, &report), 0u) << report;
   std::string diff;

@@ -268,7 +268,7 @@ TEST_P(ParallelTailCrashTest, CrashAtParallelSiteRecovers) {
 
   device.Crash();
   Database db(device, spec);
-  const core::RecoveryReport report = db.Recover(KvRegistry());
+  const core::RecoveryReport report = db.Recover(KvRegistry()).value();
   std::set<Key> dyn_live;
   std::size_t resume = crash_epoch;
   for (std::size_t e = 0; e < resume; ++e) {

@@ -93,7 +93,7 @@ void RunCrashAt(CrashSite site, bool chaos, std::uint64_t chaos_seed = 0) {
 
   Database recovered(device, spec);
   const txn::TxnRegistry registry = KvRegistry();
-  const RecoveryReport report = recovered.Recover(registry);
+  const RecoveryReport report = recovered.Recover(registry).value();
   // If the crash happened before the log was complete, the epoch never
   // started executing; the recovered state must equal the previous epoch.
   // Replay the last epoch manually in that case.
@@ -150,7 +150,7 @@ TEST_P(MidExecutionCrashTest, RecoversFromPartialExecution) {
 
   Database recovered(device, spec);
   const txn::TxnRegistry registry = KvRegistry();
-  const RecoveryReport report = recovered.Recover(registry);
+  const RecoveryReport report = recovered.Recover(registry).value();
   ASSERT_TRUE(report.replayed);
   EXPECT_EQ(report.replayed_txns, kTxnsPerEpoch);
   for (std::size_t i = 0; i < kRows; ++i) {
@@ -190,12 +190,14 @@ TEST(RecoveryTest, DoubleCrashOnSameEpoch) {
     db.SetCrashHook([&count](CrashSite s) {
       return s == CrashSite::kMidExecution && ++count > 25;
     });
-    EXPECT_THROW(db.Recover(registry), std::runtime_error);
+    const auto failed = db.Recover(registry);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.status().code(), nvc::StatusCode::kAborted);
   }
   device.CrashChaos(8, 0.7);
 
   Database recovered(device, spec);
-  const core::RecoveryReport report = recovered.Recover(registry);
+  const core::RecoveryReport report = recovered.Recover(registry).value();
   ASSERT_TRUE(report.replayed);
   for (std::size_t i = 0; i < kRows; ++i) {
     EXPECT_EQ(ReadBytes(recovered, 0, i), expected[i]) << "key " << i;
@@ -242,7 +244,7 @@ TEST_P(MultiWorkerCrashTest, CoordinatorSiteCrashRecovers) {
     device.CrashChaos(600 + static_cast<int>(site), 0.5);
 
     Database recovered(device, spec);
-    const RecoveryReport report = recovered.Recover(KvRegistry());
+    const RecoveryReport report = recovered.Recover(KvRegistry()).value();
     ASSERT_TRUE(report.replayed);
     for (std::size_t i = 0; i < kRows; ++i) {
       ASSERT_EQ(ReadBytes(recovered, 0, i), expected[i])
@@ -268,7 +270,7 @@ TEST(RecoveryTest, CleanRestart) {
 
   Database recovered(device, spec);
   const txn::TxnRegistry registry = KvRegistry();
-  const RecoveryReport report = recovered.Recover(registry);
+  const RecoveryReport report = recovered.Recover(registry).value();
   EXPECT_EQ(report.recovered_epoch, 2u);
   EXPECT_EQ(report.rows_scanned, kRows);
 

@@ -205,7 +205,7 @@ TEST_P(SoakTest, RandomOpsWithCrashesMatchModel) {
       db.reset();  // lose DRAM
       device.CrashChaos(seed * 1000 + epoch, 0.2 + rng.NextDouble() * 0.7);
       db = std::make_unique<Database>(device, spec);
-      const auto report = db->Recover(registry);
+      const auto report = db->Recover(registry).value();
       ASSERT_TRUE(report.replayed) << "epoch " << epoch;
     } else {
       db->SetCrashHook({});
@@ -226,7 +226,7 @@ TEST_P(SoakTest, RandomOpsWithCrashesMatchModel) {
     for (Key key : deleted_this_epoch) {
       if (model.rows.count(key) == 0) {
         std::uint8_t buffer[8];
-        ASSERT_EQ(db->ReadCommitted(0, key, buffer, sizeof(buffer)), -1)
+        ASSERT_FALSE(db->ReadCommitted(0, key, buffer, sizeof(buffer)).ok())
             << "seed " << seed << " epoch " << epoch << " deleted key " << key;
       }
     }

@@ -163,7 +163,7 @@ TEST(PersistentIndexTest, FastRecoveryMatchesScanRecovery) {
     }
     device.CrashChaos(13, 0.5);
     Database recovered(device, spec);
-    const auto report = recovered.Recover(KvRegistry());
+    const auto report = recovered.Recover(KvRegistry()).value();
     used_fast = report.used_persistent_index;
     EXPECT_TRUE(report.replayed);
     for (Key key = 0; key < 64; ++key) {
@@ -217,7 +217,7 @@ TEST(PersistentIndexTest, RevertPolicyFallsBackToScan) {
   device.CrashChaos(12, 0.8);
 
   Database recovered(device, spec);
-  const auto report = recovered.Recover(KvRegistry());
+  const auto report = recovered.Recover(KvRegistry()).value();
   EXPECT_FALSE(report.used_persistent_index);
   EXPECT_EQ(report.rows_scanned, 16u);  // the scan ran
   ASSERT_TRUE(report.replayed);
@@ -255,7 +255,7 @@ TEST(PersistentIndexTest, FastRecoveryHandlesDeletesAndInserts) {
   }
   device.CrashChaos(3, 0.6);
   Database recovered(device, spec);
-  const auto report = recovered.Recover(KvRegistry());
+  const auto report = recovered.Recover(KvRegistry()).value();
   EXPECT_TRUE(report.used_persistent_index);
   ASSERT_TRUE(report.replayed);
   for (Key key = 0; key < 8; ++key) {

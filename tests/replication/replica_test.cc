@@ -162,7 +162,7 @@ TEST(ReplicationTest, ReplicaCrashRecoversAndResumes) {
   // Standard recovery finishes the crashed epoch from the replica's own
   // input log; re-shipped bundles are skipped idempotently.
   Database standby(replica_device, spec);
-  const auto report = standby.Recover(KvRegistry());
+  const auto report = standby.Recover(KvRegistry()).value();
   ASSERT_TRUE(report.replayed);
   Replica replica(standby, KvRegistry());
   std::size_t applied = 0;

@@ -1,0 +1,412 @@
+// DbService: group-commit front-end over the deterministic engine.
+//
+// Covers the PR's acceptance invariants: a service-driven run is bit-for-bit
+// the same engine execution as a hand-batched ExecuteEpoch run with the same
+// cuts (oracle state hash AND persisted-line/fence counts), backpressure in
+// both block and reject flavors, crash-during-drain failing every in-flight
+// ticket with the crash status, and Aria deferral tickets resolving across
+// flush epochs. ConcurrentSubmitters doubles as the TSan target.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/core/oracle.h"
+#include "src/service/db_service.h"
+#include "tests/test_util.h"
+
+namespace nvc::test {
+namespace {
+
+using core::CaptureState;
+using core::CrashSite;
+using core::Database;
+using core::DatabaseSpec;
+using core::DiffStates;
+using core::OracleState;
+using core::StateHash;
+using service::BackpressurePolicy;
+using service::DbService;
+using service::ServiceSpec;
+using service::TicketOutcome;
+using service::TicketResult;
+using service::TxnTicket;
+using sim::NvmDevice;
+
+constexpr std::size_t kLoadedRows = 32;
+
+std::unique_ptr<Database> MakeLoadedDb(NvmDevice& device, const DatabaseSpec& spec) {
+  auto db = std::make_unique<Database>(device, spec);
+  db->Format();
+  for (Key key = 0; key < kLoadedRows; ++key) {
+    const std::uint64_t value = 1000 + key;
+    db->BulkLoad(0, key, &value, sizeof(value));
+  }
+  db->FinalizeLoad();
+  return db;
+}
+
+// Deterministic mixed stream: puts, order-sensitive RMWs, pool-allocated big
+// values, inserts, deletes, and user aborts. The key space is partitioned by
+// case (deletes get unique keys nothing revisits) because a declared update
+// on a deleted row is a workload bug the engine asserts on.
+std::unique_ptr<txn::Transaction> MakeTxn(std::size_t i) {
+  const std::size_t round = i / 6;
+  switch (i % 6) {
+    case 0:
+      return std::make_unique<KvPutTxn>(round % 8, 5000 + i);
+    case 1:
+      return std::make_unique<KvRmwTxn>(8 + round % 8, i + 1);
+    case 2:
+      return std::make_unique<KvBigPutTxn>(16 + round % 4, i);
+    case 3:
+      return std::make_unique<KvInsertTxn>(kLoadedRows + i, i);
+    case 4:
+      return std::make_unique<KvDeleteTxn>(20 + round % 8);  // each key once
+    default:
+      return std::make_unique<KvAbortTxn>(28 + round % 4);
+  }
+}
+
+// Sleeps inside execution so a test can keep the pacer busy while it fills
+// the submission queue.
+class SlowPutTxn final : public txn::Transaction {
+ public:
+  SlowPutTxn(Key key, std::chrono::milliseconds delay) : key_(key), delay_(delay) {}
+  txn::TxnType type() const override { return 90; }
+  void EncodeInputs(BinaryWriter& w) const override { w.Put(key_); }
+  void AppendStep(txn::AppendContext& ctx) override { ctx.DeclareUpdate(0, key_); }
+  void Execute(txn::ExecContext& ctx) override {
+    std::this_thread::sleep_for(delay_);
+    const std::uint64_t value = 77;
+    ctx.Write(0, key_, &value, sizeof(value));
+  }
+
+ private:
+  Key key_;
+  std::chrono::milliseconds delay_;
+};
+
+// The determinism acceptance criterion: a DbService run and a hand-batched
+// ExecuteEpoch run over the same transaction sequence with the same cuts
+// produce identical oracle state hashes and identical persisted-line/fence
+// counts.
+TEST(DbServiceTest, DeterminismMatchesHandBatchedRun) {
+  const DatabaseSpec spec = SmallKvSpec();
+  constexpr std::size_t kBatch = 8;
+  constexpr std::size_t kTotal = 3 * kBatch;
+
+  // Service-driven run: size-only batching (delay effectively infinite), so
+  // the cuts are exactly kBatch-sized prefixes of the submission order.
+  NvmDevice service_device(ShadowDeviceConfig(spec));
+  OracleState service_state;
+  std::uint64_t service_persists = 0;
+  std::uint64_t service_fences = 0;
+  std::uint64_t service_write_lines = 0;
+  {
+    ServiceSpec sspec;
+    sspec.max_epoch_txns = kBatch;
+    sspec.max_epoch_delay = std::chrono::microseconds(60'000'000);
+    sspec.queue_capacity = kTotal;
+    DbService svc(MakeLoadedDb(service_device, spec), sspec);
+    std::vector<TxnTicket> tickets;
+    for (std::size_t i = 0; i < kTotal; ++i) {
+      auto ticket = svc.Submit(MakeTxn(i));
+      ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+      tickets.push_back(*ticket);
+    }
+    ASSERT_TRUE(svc.Drain().ok());
+    for (std::size_t i = 0; i < kTotal; ++i) {
+      const TicketResult& r = tickets[i].Get();
+      EXPECT_EQ(r.outcome, i % 6 == 5 ? TicketOutcome::kUserAborted
+                                      : TicketOutcome::kCommitted)
+          << "txn " << i;
+      EXPECT_GE(r.latency_micros, 0.0);
+    }
+    EXPECT_EQ(svc.epochs_executed(), kTotal / kBatch);
+    auto db = svc.TakeDatabase();
+    service_state = CaptureState(*db);
+    service_persists = db->stats().nvm_persist_ops.Sum();
+    service_fences = db->stats().nvm_fences.Sum();
+    service_write_lines = db->stats().nvm_write_lines.Sum();
+  }
+
+  // Hand-batched reference with the same cuts.
+  NvmDevice ref_device(ShadowDeviceConfig(spec));
+  auto ref = MakeLoadedDb(ref_device, spec);
+  for (std::size_t base = 0; base < kTotal; base += kBatch) {
+    std::vector<std::unique_ptr<txn::Transaction>> batch;
+    for (std::size_t i = base; i < base + kBatch; ++i) {
+      batch.push_back(MakeTxn(i));
+    }
+    ASSERT_FALSE(ref->ExecuteEpoch(std::move(batch)).crashed);
+  }
+  const OracleState ref_state = CaptureState(*ref);
+
+  std::string diff;
+  EXPECT_EQ(DiffStates(ref_state, service_state, &diff), 0u) << diff;
+  EXPECT_EQ(StateHash(ref_state), StateHash(service_state));
+  EXPECT_EQ(service_persists, ref->stats().nvm_persist_ops.Sum());
+  EXPECT_EQ(service_fences, ref->stats().nvm_fences.Sum());
+  EXPECT_EQ(service_write_lines, ref->stats().nvm_write_lines.Sum());
+}
+
+TEST(DbServiceTest, TimeThresholdResolvesUnderfullEpoch) {
+  const DatabaseSpec spec = SmallKvSpec();
+  NvmDevice device(ShadowDeviceConfig(spec));
+  ServiceSpec sspec;
+  sspec.max_epoch_txns = 1024;  // never reached
+  sspec.max_epoch_delay = std::chrono::microseconds(2000);
+  DbService svc(MakeLoadedDb(device, spec), sspec);
+
+  auto ticket = svc.Submit(std::make_unique<KvPutTxn>(0, 42));
+  ASSERT_TRUE(ticket.ok());
+  // No Drain: the delay bound alone must cut the epoch.
+  const TicketResult& r = ticket->Get();
+  EXPECT_EQ(r.outcome, TicketOutcome::kCommitted);
+  EXPECT_GT(r.epoch, 1u);
+  auto db = svc.TakeDatabase();
+  EXPECT_EQ(ReadU64(*db, 0, 0), 42u);
+}
+
+TEST(DbServiceTest, LatencySnapshotCountsResolvedTickets) {
+  const DatabaseSpec spec = SmallKvSpec();
+  NvmDevice device(ShadowDeviceConfig(spec));
+  ServiceSpec sspec;
+  sspec.max_epoch_txns = 4;
+  sspec.max_epoch_delay = std::chrono::microseconds(1000);
+  DbService svc(MakeLoadedDb(device, spec), sspec);
+  for (std::size_t i = 0; i < 12; ++i) {
+    ASSERT_TRUE(svc.Submit(std::make_unique<KvPutTxn>(i % kLoadedRows, i)).ok());
+  }
+  ASSERT_TRUE(svc.Drain().ok());
+  const LatencySummary summary = svc.LatencySnapshot();
+  EXPECT_EQ(summary.count, 12u);
+  EXPECT_GT(summary.max, 0.0);
+  EXPECT_LE(summary.p50, summary.p99);
+  EXPECT_LE(summary.p99, summary.max);
+}
+
+TEST(DbServiceTest, BackpressureRejectReturnsResourceExhausted) {
+  const DatabaseSpec spec = SmallKvSpec();
+  NvmDevice device(ShadowDeviceConfig(spec));
+  ServiceSpec sspec;
+  sspec.max_epoch_txns = 1;
+  sspec.max_epoch_delay = std::chrono::microseconds(0);
+  sspec.queue_capacity = 2;
+  sspec.backpressure = BackpressurePolicy::kReject;
+  DbService svc(MakeLoadedDb(device, spec), sspec);
+
+  // The slow transaction occupies the pacer; the queue then fills behind it.
+  auto slow = svc.Submit(std::make_unique<SlowPutTxn>(0, std::chrono::milliseconds(400)));
+  ASSERT_TRUE(slow.ok());
+  // Give the pacer time to move the slow txn from the queue into its epoch.
+  while (svc.queue_depth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(svc.Submit(std::make_unique<KvPutTxn>(1, 1)).ok());
+  ASSERT_TRUE(svc.Submit(std::make_unique<KvPutTxn>(2, 2)).ok());
+  const auto rejected = svc.Submit(std::make_unique<KvPutTxn>(3, 3));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(svc.Drain().ok());
+}
+
+TEST(DbServiceTest, BackpressureBlockEventuallyAdmits) {
+  const DatabaseSpec spec = SmallKvSpec();
+  NvmDevice device(ShadowDeviceConfig(spec));
+  ServiceSpec sspec;
+  sspec.max_epoch_txns = 1;
+  sspec.max_epoch_delay = std::chrono::microseconds(0);
+  sspec.queue_capacity = 1;
+  sspec.backpressure = BackpressurePolicy::kBlock;
+  DbService svc(MakeLoadedDb(device, spec), sspec);
+
+  auto slow = svc.Submit(std::make_unique<SlowPutTxn>(0, std::chrono::milliseconds(200)));
+  ASSERT_TRUE(slow.ok());
+  while (svc.queue_depth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(svc.Submit(std::make_unique<KvPutTxn>(1, 1)).ok());  // fills the queue
+  // Blocks until the slow epoch finishes and the pacer pops the queue.
+  const auto blocked = svc.Submit(std::make_unique<KvPutTxn>(2, 2));
+  ASSERT_TRUE(blocked.ok());
+  ASSERT_TRUE(svc.Drain().ok());
+  EXPECT_EQ(blocked->Get().outcome, TicketOutcome::kCommitted);
+}
+
+// Crash-during-drain: every unresolved ticket fails with the crash status,
+// Drain surfaces it, and recovery over the same device replays the crashed
+// epoch to the exact crash-free reference state.
+TEST(DbServiceTest, CrashDuringDrainFailsTicketsAndRecoversToReference) {
+  const DatabaseSpec spec = SmallKvSpec();
+  constexpr std::size_t kBatch = 8;
+  constexpr std::size_t kTotal = 3 * kBatch;
+
+  NvmDevice device(ShadowDeviceConfig(spec));
+  auto db = MakeLoadedDb(device, spec);
+  // Crash in the third service epoch, after its input log is durable.
+  int persists = 0;
+  db->SetCrashHook([&persists](CrashSite site) {
+    return site == CrashSite::kBeforeEpochPersist && ++persists == 3;
+  });
+
+  ServiceSpec sspec;
+  sspec.max_epoch_txns = kBatch;
+  sspec.max_epoch_delay = std::chrono::microseconds(60'000'000);
+  sspec.queue_capacity = kTotal;
+  DbService svc(std::move(db), sspec);
+  std::vector<TxnTicket> tickets;
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    auto ticket = svc.Submit(MakeTxn(i));
+    ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+    tickets.push_back(*ticket);
+  }
+  const Status drained = svc.Drain();
+  ASSERT_FALSE(drained.ok());
+  EXPECT_EQ(drained.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(svc.health(), drained);
+  // The first two epochs committed; the crashed epoch's tickets failed.
+  for (std::size_t i = 0; i < 2 * kBatch; ++i) {
+    EXPECT_NE(tickets[i].Get().outcome, TicketOutcome::kFailed) << "txn " << i;
+  }
+  for (std::size_t i = 2 * kBatch; i < kTotal; ++i) {
+    const TicketResult& r = tickets[i].Get();
+    EXPECT_EQ(r.outcome, TicketOutcome::kFailed) << "txn " << i;
+    EXPECT_EQ(r.status.code(), StatusCode::kDataLoss) << "txn " << i;
+  }
+  const auto refused = svc.Submit(MakeTxn(0));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kDataLoss);
+
+  // Drop DRAM + unflushed lines, recover, and replay from the input log.
+  svc.TakeDatabase().reset();
+  device.Crash();
+  Database recovered(device, spec);
+  const auto report = recovered.Recover(KvRegistry());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->replayed);  // the log was complete before the crash
+
+  // Crash-free reference over the same stream and cuts.
+  NvmDevice ref_device(ShadowDeviceConfig(spec));
+  auto ref = MakeLoadedDb(ref_device, spec);
+  for (std::size_t base = 0; base < kTotal; base += kBatch) {
+    std::vector<std::unique_ptr<txn::Transaction>> batch;
+    for (std::size_t i = base; i < base + kBatch; ++i) {
+      batch.push_back(MakeTxn(i));
+    }
+    ref->ExecuteEpoch(std::move(batch));
+  }
+  std::string diff;
+  const OracleState expected = CaptureState(*ref);
+  const OracleState actual = CaptureState(recovered);
+  EXPECT_EQ(DiffStates(expected, actual, &diff), 0u) << diff;
+  EXPECT_EQ(StateHash(expected), StateHash(actual));
+}
+
+TEST(DbServiceTest, AriaDeferredTicketsResolveAcrossFlushEpochs) {
+  DatabaseSpec spec = SmallKvSpec();
+  spec.concurrency = core::ConcurrencyControl::kAria;
+  NvmDevice device(ShadowDeviceConfig(spec));
+  ServiceSpec sspec;
+  sspec.max_epoch_txns = 3;
+  sspec.max_epoch_delay = std::chrono::microseconds(60'000'000);
+  DbService svc(MakeLoadedDb(device, spec), sspec);
+
+  // Three writers to one key: Aria commits the smallest sid per batch and
+  // defers the rest, so the tickets resolve over three epochs in order.
+  auto t1 = svc.Submit(std::make_unique<KvPutTxn>(3, 1111));
+  auto t2 = svc.Submit(std::make_unique<KvPutTxn>(3, 2222));
+  auto t3 = svc.Submit(std::make_unique<KvPutTxn>(3, 3333));
+  ASSERT_TRUE(t1.ok() && t2.ok() && t3.ok());
+  ASSERT_TRUE(svc.Drain().ok());
+
+  const TicketResult& r1 = t1->Get();
+  const TicketResult& r2 = t2->Get();
+  const TicketResult& r3 = t3->Get();
+  EXPECT_EQ(r1.outcome, TicketOutcome::kCommitted);
+  EXPECT_EQ(r2.outcome, TicketOutcome::kCommitted);
+  EXPECT_EQ(r3.outcome, TicketOutcome::kCommitted);
+  EXPECT_EQ(r1.deferrals, 0u);
+  EXPECT_EQ(r2.deferrals, 1u);
+  EXPECT_EQ(r3.deferrals, 2u);
+  EXPECT_LT(r1.epoch, r2.epoch);
+  EXPECT_LT(r2.epoch, r3.epoch);
+
+  auto db = svc.TakeDatabase();
+  EXPECT_EQ(ReadU64(*db, 0, 3), 3333u);  // submission order won
+}
+
+// TSan target: concurrent submitters over the full Submit/ticket/Drain
+// surface. Each thread owns one key, so per-key values are totally ordered
+// by that thread's submission order.
+TEST(DbServiceTest, ConcurrentSubmitters) {
+  const DatabaseSpec spec = SmallKvSpec();
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 50;
+  NvmDevice device(ShadowDeviceConfig(spec));
+  ServiceSpec sspec;
+  sspec.max_epoch_txns = 16;
+  sspec.max_epoch_delay = std::chrono::microseconds(500);
+  sspec.queue_capacity = 64;
+  DbService svc(MakeLoadedDb(device, spec), sspec);
+
+  std::atomic<std::size_t> committed{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        auto ticket = svc.Submit(std::make_unique<KvPutTxn>(t, t * 1000 + i));
+        ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+        if (ticket->Get().outcome == TicketOutcome::kCommitted) {
+          committed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  ASSERT_TRUE(svc.Drain().ok());
+  EXPECT_EQ(committed.load(), kThreads * kPerThread);
+  const LatencySummary summary = svc.LatencySnapshot();
+  EXPECT_EQ(summary.count, kThreads * kPerThread);
+
+  auto db = svc.TakeDatabase();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    // Tickets resolve in submission order, so the thread's last write wins.
+    EXPECT_EQ(ReadU64(*db, 0, t), t * 1000 + (kPerThread - 1));
+  }
+}
+
+TEST(DbServiceTest, StopRefusesFurtherSubmissions) {
+  const DatabaseSpec spec = SmallKvSpec();
+  NvmDevice device(ShadowDeviceConfig(spec));
+  DbService svc(MakeLoadedDb(device, spec), ServiceSpec{});
+  auto ticket = svc.Submit(std::make_unique<KvPutTxn>(0, 7));
+  ASSERT_TRUE(ticket.ok());
+  ASSERT_TRUE(svc.Stop().ok());
+  EXPECT_EQ(ticket->Get().outcome, TicketOutcome::kCommitted);  // drained first
+  const auto refused = svc.Submit(std::make_unique<KvPutTxn>(1, 8));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(DbServiceTest, SpecValidationRejectsBadThresholds) {
+  ServiceSpec bad;
+  bad.max_epoch_txns = 0;
+  EXPECT_EQ(bad.Validate().code(), StatusCode::kInvalidArgument);
+  bad = ServiceSpec{};
+  bad.queue_capacity = 4;
+  bad.max_epoch_txns = 8;
+  EXPECT_EQ(bad.Validate().code(), StatusCode::kInvalidArgument);
+
+  const DatabaseSpec spec = SmallKvSpec();
+  NvmDevice device(ShadowDeviceConfig(spec));
+  EXPECT_THROW(DbService(MakeLoadedDb(device, spec), bad), std::invalid_argument);
+  EXPECT_THROW(DbService(nullptr, ServiceSpec{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nvc::test

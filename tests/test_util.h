@@ -245,18 +245,18 @@ inline sim::NvmConfig ShadowDeviceConfig(const core::DatabaseSpec& spec) {
 
 inline std::uint64_t ReadU64(core::Database& db, TableId table, Key key) {
   std::uint64_t value = 0;
-  const int n = db.ReadCommitted(table, key, &value, sizeof(value));
-  return n < 0 ? ~0ULL : value;
+  const StatusOr<std::uint32_t> n = db.ReadCommitted(table, key, &value, sizeof(value));
+  return n.ok() ? value : ~0ULL;
 }
 
 // Full committed row contents (empty vector when absent).
 inline std::vector<std::uint8_t> ReadBytes(core::Database& db, TableId table, Key key) {
   std::vector<std::uint8_t> buffer(4096);
-  const int n = db.ReadCommitted(table, key, buffer.data(), buffer.size());
-  if (n < 0) {
+  const StatusOr<std::uint32_t> n = db.ReadCommitted(table, key, buffer.data(), buffer.size());
+  if (!n.ok()) {
     return {};
   }
-  buffer.resize(static_cast<std::size_t>(n));
+  buffer.resize(*n);
   return buffer;
 }
 

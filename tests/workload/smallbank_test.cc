@@ -73,10 +73,10 @@ struct BankModel {
 void ExpectMatchesModel(Database& db, const BankModel& model) {
   for (std::uint64_t c = 0; c < model.savings.size(); ++c) {
     Balance balance = 0;
-    ASSERT_GE(db.ReadCommitted(kSavingsTable, c, &balance, sizeof(balance)), 0);
+    ASSERT_TRUE(db.ReadCommitted(kSavingsTable, c, &balance, sizeof(balance)).ok());
     ASSERT_EQ(balance, model.savings[c]) << "savings " << c;
     balance = 0;
-    ASSERT_GE(db.ReadCommitted(kCheckingTable, c, &balance, sizeof(balance)), 0);
+    ASSERT_TRUE(db.ReadCommitted(kCheckingTable, c, &balance, sizeof(balance)).ok());
     ASSERT_EQ(balance, model.checking[c]) << "checking " << c;
   }
 }
@@ -162,7 +162,7 @@ TEST(SmallBankTest, CrashRecoveryMatchesModel) {
   device.CrashChaos(23, 0.4);
 
   Database recovered(device, spec);
-  const auto report = recovered.Recover(SmallBankWorkload::Registry());
+  const auto report = recovered.Recover(SmallBankWorkload::Registry()).value();
   ASSERT_TRUE(report.replayed);
   ExpectMatchesModel(recovered, model);
 }

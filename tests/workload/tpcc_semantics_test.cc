@@ -40,7 +40,7 @@ struct TpccFixture {
   template <typename T>
   T Get(TableId table, Key key) {
     T row{};
-    EXPECT_GE(db->ReadCommitted(table, key, &row, sizeof(row)), 0) << "missing row";
+    EXPECT_TRUE(db->ReadCommitted(table, key, &row, sizeof(row)).ok()) << "missing row";
     return row;
   }
 
@@ -137,9 +137,9 @@ TEST(TpccSemanticsTest, DeliveryDeliversOldestUndeliveredOrders) {
   const OrderRow delivered = f.Get<OrderRow>(kOrderTable, OrderKey(1, 1, 8));
   EXPECT_EQ(delivered.carrier_id, 9u);
   NewOrderRow no_row{};
-  EXPECT_EQ(f.db->ReadCommitted(kNewOrderTable, NewOrderKey(1, 1, 8), &no_row,
-                                sizeof(no_row)),
-            -1);
+  EXPECT_FALSE(f.db->ReadCommitted(kNewOrderTable, NewOrderKey(1, 1, 8), &no_row,
+                                 sizeof(no_row))
+                   .ok());
   std::int64_t total = 0;
   for (std::uint64_t ol = 1; ol <= delivered.ol_cnt; ++ol) {
     const OrderLineRow line = f.Get<OrderLineRow>(kOrderLine, OrderLineKey(1, 1, 8, ol));
@@ -184,8 +184,8 @@ TEST(TpccSemanticsTest, RolledBackNewOrderHasNoEffects) {
   // The counter advanced (gap), but no rows or stock changes exist.
   EXPECT_EQ(f.db->counter_value(OrderCounter(f.config, 1, 1)), next_o + 1);
   OrderRow order{};
-  EXPECT_EQ(f.db->ReadCommitted(kOrderTable, OrderKey(1, 1, next_o), &order, sizeof(order)),
-            -1);
+  EXPECT_FALSE(
+      f.db->ReadCommitted(kOrderTable, OrderKey(1, 1, next_o), &order, sizeof(order)).ok());
   const StockRow stock_after = f.Get<StockRow>(kStock, StockKey(1, 5));
   EXPECT_EQ(stock_after.quantity, stock_before.quantity);
   EXPECT_EQ(stock_after.order_cnt, stock_before.order_cnt);

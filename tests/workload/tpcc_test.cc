@@ -112,7 +112,7 @@ TEST(TpccTest, CrashRecoveryRestoresConsistency) {
   device.CrashChaos(31, 0.5);
 
   Database recovered(device, spec);
-  const auto report = recovered.Recover(workload.Registry());
+  const auto report = recovered.Recover(workload.Registry()).value();
   ASSERT_TRUE(report.replayed);
   EXPECT_EQ(report.replayed_txns, 250u);
 
@@ -180,7 +180,7 @@ TEST(TpccTest, RevertedVersionsAreCounted) {
   device.CrashChaos(5, 0.95);
 
   Database recovered(device, spec);
-  const auto report = recovered.Recover(workload.Registry());
+  const auto report = recovered.Recover(workload.Registry()).value();
   ASSERT_TRUE(report.replayed);
   // The whole epoch executed before the crash, so many persistent versions
   // carried the crashed epoch's SIDs and had to be reverted.

@@ -74,8 +74,8 @@ TEST(YcsbTest, RunsAndUpdatesRows) {
   // Find a key no transaction touched (beyond hot rows; check a high key).
   const Key cold = 1999;
   YcsbWorkload::FillRow(cold, expected.data(), 100);
-  const int n = db.ReadCommitted(kYcsbTable, cold, actual.data(), 100);
-  ASSERT_EQ(n, 100);
+  const auto n = db.ReadCommitted(kYcsbTable, cold, actual.data(), 100);
+  ASSERT_EQ(n.value(), 100u);
   // The key may have been updated by chance; only compare sizes then.
   // (Deterministic seed: verify whether it was in any write set.)
   bool touched = false;
@@ -166,7 +166,7 @@ TEST(YcsbTest, CrashRecoveryMatchesReference) {
   device.CrashChaos(17, 0.5);
 
   Database recovered(device, spec);
-  const auto report = recovered.Recover(workload.Registry());
+  const auto report = recovered.Recover(workload.Registry()).value();
   ASSERT_TRUE(report.replayed);
   for (Key key = 0; key < config.rows; ++key) {
     ASSERT_EQ(ReadBytes(recovered, kYcsbTable, key), expected[key]) << "key " << key;

@@ -33,9 +33,9 @@ TEST(ZenDbTest, LoadAndRead) {
     db.BulkLoad(0, k, &v, sizeof(v));
   }
   std::uint64_t v = 0;
-  ASSERT_EQ(db.ReadCommitted(0, 42, &v, sizeof(v)), 8);
+  ASSERT_EQ(db.ReadCommitted(0, 42, &v, sizeof(v)).value(), 8u);
   EXPECT_EQ(v, 126u);
-  EXPECT_EQ(db.ReadCommitted(0, 1000, &v, sizeof(v)), -1);
+  EXPECT_FALSE(db.ReadCommitted(0, 1000, &v, sizeof(v)).ok());
 }
 
 TEST(ZenDbTest, BatchesMatchSerialOrderAndChargeNvmPerUpdate) {
@@ -63,7 +63,7 @@ TEST(ZenDbTest, BatchesMatchSerialOrderAndChargeNvmPerUpdate) {
     expected = expected * 3 + i;
   }
   std::uint64_t v = 0;
-  ASSERT_EQ(db.ReadCommitted(0, 1, &v, sizeof(v)), 8);
+  ASSERT_EQ(db.ReadCommitted(0, 1, &v, sizeof(v)).value(), 8u);
   EXPECT_EQ(v, expected);
 }
 
@@ -89,7 +89,7 @@ TEST(ZenDbTest, AbortedTransactionsTouchNothing) {
   EXPECT_EQ(result.aborted, 1u);
   EXPECT_EQ(device.stats().persist_ops.Sum(), 0u);
   std::int64_t v = 0;
-  db.ReadCommitted(workload::kCheckingTable, 7, &v, sizeof(v));
+  db.ReadCommitted(workload::kCheckingTable, 7, &v, sizeof(v)).IgnoreError();
   EXPECT_EQ(v, 100);
 }
 
@@ -103,13 +103,13 @@ TEST(ZenDbTest, CacheBoundAndEviction) {
   }
   std::uint64_t v = 0;
   for (std::uint64_t k = 0; k < 200; ++k) {
-    db.ReadCommitted(0, k, &v, sizeof(v));
+    db.ReadCommitted(0, k, &v, sizeof(v)).IgnoreError();
   }
   EXPECT_LE(db.cache_entries(), 16u);
   EXPECT_GT(db.stats().cache_evictions.Sum(), 0u);
   // Hot re-reads hit the cache.
   const auto misses_before = db.stats().cache_misses.Sum();
-  db.ReadCommitted(0, 199, &v, sizeof(v));
+  db.ReadCommitted(0, 199, &v, sizeof(v)).IgnoreError();
   EXPECT_EQ(db.stats().cache_misses.Sum(), misses_before);
 }
 
@@ -138,7 +138,7 @@ TEST(ZenDbTest, TwoPassRecoveryRebuildsCommittedState) {
   EXPECT_EQ(report.slots_scanned, 2u * 8192u);
   for (std::uint64_t k = 0; k < 100; ++k) {
     std::uint64_t v = 0;
-    ASSERT_EQ(recovered.ReadCommitted(0, k, &v, sizeof(v)), 8);
+    ASSERT_EQ(recovered.ReadCommitted(0, k, &v, sizeof(v)).value(), 8u);
     if (k < 20) {
       EXPECT_EQ(v, 7'000 + 40 + k);  // last writer in the batch
     } else {

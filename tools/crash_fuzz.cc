@@ -19,11 +19,21 @@
 // or recovery repair logic. The tool reports per-site reach/fire counts so a
 // sweep that silently stopped exercising a recovery branch is visible.
 //
+// Half of the runs (deterministically chosen from the run seed) drive the
+// crashing execution through the DbService group-commit front-end instead of
+// hand-batched ExecuteEpoch calls: transactions are submitted one by one,
+// the pacer cuts size-triggered epochs matching the stream's composition,
+// and the crash fires mid-Drain(). The service must fail every in-flight
+// ticket with the crash status, and recovery over the surviving image must
+// still replay to the crash-free oracle state — proving the front-end adds
+// no persistence-ordering behavior of its own.
+//
 // Usage: crash_fuzz [--smoke] [--seeds N] [--verbose]
 //   --smoke    small sweep for CI (fewer seeds and configurations)
 //   --seeds N  workload seeds per configuration (default 20, smoke 3)
 //   --verbose  per-run output instead of per-config summaries
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -37,6 +47,7 @@
 #include "src/common/rng.h"
 #include "src/core/database.h"
 #include "src/core/oracle.h"
+#include "src/service/db_service.h"
 #include "src/sim/nvm_device.h"
 #include "tests/test_util.h"
 
@@ -55,6 +66,8 @@ using nvc::core::kCrashSiteCount;
 using nvc::core::OracleState;
 using nvc::sim::NvmConfig;
 using nvc::sim::NvmDevice;
+using nvc::service::DbService;
+using nvc::service::ServiceSpec;
 
 // ---- Workload ---------------------------------------------------------------
 //
@@ -259,7 +272,8 @@ std::uint64_t FireIndexBound(CrashSite site) {
 struct SweepStats {
   std::size_t runs = 0;
   std::size_t crashed_runs = 0;
-  std::size_t missed_runs = 0;  // the armed site was never reached
+  std::size_t missed_runs = 0;   // the armed site was never reached
+  std::size_t service_runs = 0;  // driven through the DbService front-end
   std::size_t divergences = 0;
   std::size_t index_inconsistencies = 0;
   CrashSiteCoverage coverage;
@@ -302,6 +316,7 @@ std::string RunCase(const FuzzConfig& config, std::size_t config_index, std::uin
   constexpr double kKeepSweep[] = {0.0, 0.25, 0.5, 0.75, 1.0};
   const double keep = kKeepSweep[run_rng.NextBounded(5)];
   const std::uint64_t crash_seed = run_rng.Next();
+  const bool use_service = run_rng.NextBounded(2) == 1;
 
   NvmDevice device(nvc::test::ShadowDeviceConfig(config.spec));
   std::unique_ptr<NvmDevice> cold;
@@ -315,21 +330,51 @@ std::string RunCase(const FuzzConfig& config, std::size_t config_index, std::uin
   bool crashed = false;
   std::size_t crash_epoch = 0;
   {
-    Database db(device, config.spec, cold.get());
-    db.Format();
-    LoadAll(db);
+    auto dbp = std::make_unique<Database>(device, config.spec, cold.get());
+    dbp->Format();
+    LoadAll(*dbp);
     std::atomic<std::uint64_t> reached{0};
-    db.SetCrashHook([&reached, site, fire_index](CrashSite s) {
+    dbp->SetCrashHook([&reached, site, fire_index](CrashSite s) {
       return s == site && ++reached == fire_index;
     });
-    for (std::size_t e = 0; e < stream.size(); ++e) {
-      if (db.ExecuteEpoch(Materialize(stream[e])).crashed) {
-        crashed = true;
-        crash_epoch = e;
-        break;
+    if (use_service) {
+      // Drive the same stream through the group-commit front-end. Size-only
+      // batching (the delay bound far exceeds the run) makes the pacer cut
+      // exactly kTxnsPerEpoch-sized epochs in submission order, so the batch
+      // composition — and therefore the cached oracle state and crash_epoch
+      // bookkeeping — matches the hand-batched path bit for bit.
+      ++stats->service_runs;
+      ServiceSpec sspec;
+      sspec.max_epoch_txns = kTxnsPerEpoch;
+      sspec.max_epoch_delay = std::chrono::minutes(1);
+      sspec.queue_capacity = kEpochs * kTxnsPerEpoch;
+      DbService svc(std::move(dbp), sspec);
+      bool submit_ok = true;
+      for (std::size_t e = 0; submit_ok && e < stream.size(); ++e) {
+        for (auto& txn : Materialize(stream[e])) {
+          if (!svc.Submit(std::move(txn)).ok()) {
+            submit_ok = false;  // already failed over the crash; Drain reports it
+            break;
+          }
+        }
+      }
+      crashed = !svc.Drain().ok();
+      if (crashed) {
+        // RunBatch counts the crashed epoch too, so the last executed
+        // epoch index is exactly the stream epoch that crashed.
+        crash_epoch = svc.epochs_executed() - 1;
+      }
+      dbp = svc.TakeDatabase();
+    } else {
+      for (std::size_t e = 0; e < stream.size(); ++e) {
+        if (dbp->ExecuteEpoch(Materialize(stream[e])).crashed) {
+          crashed = true;
+          crash_epoch = e;
+          break;
+        }
       }
     }
-    stats->coverage.Merge(db.crash_coverage());
+    stats->coverage.Merge(dbp->crash_coverage());
   }
 
   std::unique_ptr<Database> db;
@@ -351,7 +396,7 @@ std::string RunCase(const FuzzConfig& config, std::size_t config_index, std::uin
         break;
     }
     db = std::make_unique<Database>(device, config.spec, cold.get());
-    const nvc::core::RecoveryReport report = db->Recover(nvc::test::KvRegistry());
+    const nvc::core::RecoveryReport report = db->Recover(nvc::test::KvRegistry()).value();
     if (!report.replayed) {
       // The crashed epoch's log never became durable, so that epoch never
       // changed persistent state; re-run it through the normal path.
@@ -365,7 +410,7 @@ std::string RunCase(const FuzzConfig& config, std::size_t config_index, std::uin
     // The completed run still doubles as a no-crash consistency check.
     ++stats->missed_runs;
     db = std::make_unique<Database>(device, config.spec, cold.get());
-    db->Recover(nvc::test::KvRegistry());
+    db->Recover(nvc::test::KvRegistry()).value();
   }
 
   std::string failure;
@@ -386,10 +431,11 @@ std::string RunCase(const FuzzConfig& config, std::size_t config_index, std::uin
 
   if (verbose || !failure.empty()) {
     static constexpr const char* kModeNames[] = {"crash", "chaos", "torn"};
-    std::printf("[%s seed=%llu site=%s mode=%s keep=%.2f fire=%llu] %s\n",
+    std::printf("[%s seed=%llu site=%s mode=%s keep=%.2f fire=%llu via=%s] %s\n",
                 config.name.c_str(), static_cast<unsigned long long>(seed),
                 CrashSiteName(site), kModeNames[mode], keep,
                 static_cast<unsigned long long>(fire_index),
+                use_service ? "service" : "direct",
                 failure.empty() ? (crashed ? "ok" : "miss") : "FAIL");
   }
   return failure;
@@ -459,10 +505,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("\ntotal: %zu runs, %zu crashed+recovered, %zu missed, %zu divergences, "
-              "%zu index inconsistencies\n",
-              stats.runs, stats.crashed_runs, stats.missed_runs, stats.divergences,
-              stats.index_inconsistencies);
+  std::printf("\ntotal: %zu runs (%zu via service), %zu crashed+recovered, %zu missed, "
+              "%zu divergences, %zu index inconsistencies\n",
+              stats.runs, stats.service_runs, stats.crashed_runs, stats.missed_runs,
+              stats.divergences, stats.index_inconsistencies);
   if (failures != 0 || !all_sites_fired) {
     std::printf("FAIL\n");
     return 1;
