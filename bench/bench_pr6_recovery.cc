@@ -1,0 +1,200 @@
+// PR6 recovery bench: time-to-first-commit under instant recovery vs full
+// replay.
+//
+// For a sweep of crashed-epoch sizes, two identical YCSB runs crash at the
+// end of an epoch (after execution, before the epoch's durability point) and
+// the surviving image is recovered two ways:
+//   - full replay: Recover() loads the checkpoint, rebuilds the index, and
+//     re-executes the whole crashed epoch before returning; time to first
+//     commit is the whole recovery.
+//   - instant: Recover() returns as soon as the index roots are rebuilt and
+//     the replay digest is loaded; the crashed epoch is redone on demand
+//     (first read measured below) and retired by a background backfill.
+// Both arms must converge to the same logical state (oracle StateHash after
+// the instant arm's backfill completes).
+//
+// Paper shape: full-replay recovery time grows with the epoch size while the
+// instant arm's time to first commit stays flat (it defers exactly the part
+// that scales), so the speedup widens with the epoch — the headline is the
+// largest-epoch row.
+//
+// Usage: bench_pr6_recovery [--out=PATH] (default out BENCH_PR6.json)
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/core/oracle.h"
+#include "src/workload/ycsb.h"
+
+namespace nvc::bench {
+namespace {
+
+using core::CrashSite;
+using core::Database;
+using core::RecoveryReport;
+using workload::YcsbConfig;
+using workload::YcsbWorkload;
+
+YcsbConfig BenchConfig() {
+  YcsbConfig config;
+  config.rows = Scaled(8000);
+  config.hot_ops = 0;
+  return config;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+struct ArmResult {
+  RecoveryReport report;
+  double ondemand_read_us = 0;  // instant arm: first post-recovery read
+  double backfill_ms = 0;       // instant arm: CompleteBackfill wall time
+  std::uint64_t state_hash = 0;
+};
+
+// Executes the same warmup + crashed epoch and recovers with or without
+// instant recovery. The workload streams are identical across arms because
+// each arm constructs its own workload from the same config and draws the
+// same MakeEpoch sequence.
+ArmResult RunArm(std::size_t epoch_txns, bool instant) {
+  YcsbWorkload workload(BenchConfig());
+  core::DatabaseSpec spec = workload.Spec(1);
+  spec.enable_persistent_index = true;  // both arms use the fast index rebuild
+  spec.enable_instant_recovery = instant;
+
+  sim::NvmConfig device_config;
+  device_config.size_bytes = Database::RequiredDeviceBytes(spec);
+  device_config.latency = sim::LatencyProfile::Optane();
+  device_config.crash_tracking = sim::CrashTracking::kShadow;
+  sim::NvmDevice device(device_config);
+  {
+    Database db(device, spec);
+    db.Format();
+    workload.Load(db);
+    db.FinalizeLoad();
+    for (int e = 0; e < 2; ++e) {
+      db.ExecuteEpoch(workload.MakeEpoch(epoch_txns));
+    }
+    // Crash after the epoch fully executed but before its durability point:
+    // recovery has the maximum amount of the epoch to make visible again.
+    db.SetCrashHook([](CrashSite site) { return site == CrashSite::kBeforeEpochPersist; });
+    db.ExecuteEpoch(workload.MakeEpoch(epoch_txns));
+  }
+  device.CrashChaos(/*seed=*/4242, /*keep_probability=*/0.5);
+
+  ArmResult result;
+  Database recovered(device, spec);
+  result.report = recovered.Recover(workload.Registry()).value();
+  if (instant) {
+    std::vector<std::uint8_t> row(4096);
+    const auto read_start = std::chrono::steady_clock::now();
+    recovered.ReadCommitted(0, 0, row.data(), static_cast<std::uint32_t>(row.size()))
+        .status()
+        .IgnoreError();
+    result.ondemand_read_us = SecondsSince(read_start) * 1e6;
+    const auto backfill_start = std::chrono::steady_clock::now();
+    if (const Status done = recovered.CompleteBackfill(); !done.ok()) {
+      std::fprintf(stderr, "backfill failed: %s\n", done.ToString().c_str());
+      std::exit(1);
+    }
+    result.backfill_ms = SecondsSince(backfill_start) * 1e3;
+  }
+  result.state_hash = core::StateHash(core::CaptureState(recovered));
+  return result;
+}
+
+struct SizeResult {
+  std::size_t epoch_txns = 0;
+  double full_replay_ms = 0;
+  double instant_ttfc_ms = 0;
+  double ondemand_read_us = 0;
+  double backfill_ms = 0;
+  double speedup = 0;
+  bool instant_path = false;  // the instant arm actually took the fast path
+  bool state_match = false;
+};
+
+SizeResult RunSize(std::size_t epoch_txns) {
+  const ArmResult full = RunArm(epoch_txns, /*instant=*/false);
+  const ArmResult instant = RunArm(epoch_txns, /*instant=*/true);
+  SizeResult row;
+  row.epoch_txns = epoch_txns;
+  row.full_replay_ms = full.report.total_seconds() * 1e3;
+  row.instant_ttfc_ms = instant.report.time_to_first_commit * 1e3;
+  row.ondemand_read_us = instant.ondemand_read_us;
+  row.backfill_ms = instant.backfill_ms;
+  row.speedup = row.instant_ttfc_ms > 0 ? row.full_replay_ms / row.instant_ttfc_ms : 0;
+  row.instant_path = instant.report.instant;
+  row.state_match = full.state_hash == instant.state_hash;
+  return row;
+}
+
+}  // namespace
+}  // namespace nvc::bench
+
+int main(int argc, char** argv) {
+  using namespace nvc::bench;
+
+  std::string out_path = "BENCH_PR6.json";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+    } else {
+      std::fprintf(stderr, "usage: bench_pr6_recovery [--out=PATH]\n");
+      return 2;
+    }
+  }
+
+  PrintHeader("PR6", "instant recovery: time to first commit vs crashed-epoch size");
+
+  const std::size_t kEpochSizes[] = {Scaled(250), Scaled(500), Scaled(1000), Scaled(2000)};
+  std::vector<SizeResult> rows;
+  for (std::size_t size : kEpochSizes) {
+    rows.push_back(RunSize(size));
+  }
+
+  std::printf("%-12s %14s %14s %10s %14s %12s %8s\n", "epoch txns", "full replay",
+              "instant TTFC", "speedup", "1st read us", "backfill ms", "match");
+  bool healthy = true;
+  for (const SizeResult& row : rows) {
+    std::printf("%-12zu %11.2f ms %11.2f ms %9.1fx %14.1f %12.2f %8s\n", row.epoch_txns,
+                row.full_replay_ms, row.instant_ttfc_ms, row.speedup, row.ondemand_read_us,
+                row.backfill_ms, row.state_match ? "yes" : "NO");
+    healthy = healthy && row.state_match && row.instant_path;
+  }
+  std::printf("\nboth arms converge to the same state: %s\n", healthy ? "yes" : "NO");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"pr6_instant_recovery\",\n");
+  std::fprintf(f, "  \"workload\": \"ycsb, crash at end of epoch, chaos keep=0.5\",\n");
+  std::fprintf(f, "  \"rows\": %llu,\n",
+               static_cast<unsigned long long>(BenchConfig().rows));
+  std::fprintf(f, "  \"healthy\": %s,\n", healthy ? "true" : "false");
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SizeResult& row = rows[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"epoch_txns\": %zu,\n", row.epoch_txns);
+    std::fprintf(f, "      \"full_replay_ms\": %.3f,\n", row.full_replay_ms);
+    std::fprintf(f, "      \"instant_ttfc_ms\": %.3f,\n", row.instant_ttfc_ms);
+    std::fprintf(f, "      \"speedup\": %.2f,\n", row.speedup);
+    std::fprintf(f, "      \"ondemand_read_us\": %.1f,\n", row.ondemand_read_us);
+    std::fprintf(f, "      \"backfill_ms\": %.3f,\n", row.backfill_ms);
+    std::fprintf(f, "      \"instant_path\": %s,\n", row.instant_path ? "true" : "false");
+    std::fprintf(f, "      \"state_match\": %s\n", row.state_match ? "true" : "false");
+    std::fprintf(f, "    }%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return !healthy;
+}

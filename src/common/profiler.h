@@ -49,9 +49,10 @@ enum class Phase : std::uint8_t {
   kCheckpoint,     // pool/index checkpoints, counters, epoch persist
   kGcLog,          // persisted major-GC list (persistent-index runs)
   kFinish,         // transient pool reset
+  kRecoveryBackfill,  // instant-recovery redo: on-demand + background sweep
   kOther,          // synthetic: in-epoch work outside any bracketed phase
 };
-inline constexpr std::size_t kPhaseCount = 13;
+inline constexpr std::size_t kPhaseCount = 14;
 
 constexpr const char* PhaseName(Phase phase) {
   switch (phase) {
@@ -67,6 +68,7 @@ constexpr const char* PhaseName(Phase phase) {
     case Phase::kCheckpoint: return "checkpoint";
     case Phase::kGcLog: return "gc-log";
     case Phase::kFinish: return "finish";
+    case Phase::kRecoveryBackfill: return "recovery-backfill";
     case Phase::kOther: return "other";
   }
   return "?";

@@ -142,6 +142,19 @@ struct DatabaseSpec {
   std::size_t cold_blocks_per_core = 1 << 16;
   std::size_t cold_freelist_capacity = 1 << 16;
 
+  // Instant recovery (DESIGN.md section 12). During the epoch tail the
+  // engine also persists a per-epoch key -> txn-slot digest next to the
+  // input log; after a crash, Recover() returns as soon as the index roots
+  // are rebuilt, marking the crashed epoch "pending-replay". Accesses to an
+  // unreplayed key trigger targeted redo of that key's slice of the crashed
+  // epoch, and a background backfill sweep retires the remaining keys.
+  // Requires RecoveryPolicy::kReplayInPlace and ConcurrencyControl::kCaracal
+  // (the digest is collected from the deterministic declare/insert steps).
+  bool enable_instant_recovery = false;
+  // Digest buffer size per parity copy (entries are 16 bytes per declared
+  // write; an epoch whose digest does not fit falls back to full replay).
+  std::size_t digest_bytes = 1u << 20;
+
   // Caracal's batch-append optimization (absent from the paper's artifact,
   // which is why contended small-row YCSB degrades at large epochs —
   // section 6.9). When enabled, the append step collects intents per worker,

@@ -74,6 +74,34 @@ Status DatabaseSpec::Validate() const {
   if (enable_persistent_index && gc_log_capacity == 0) {
     return Status::InvalidArgument("enable_persistent_index requires gc_log_capacity > 0");
   }
+  if (enable_instant_recovery) {
+    if (!ModeLogsInputs(mode)) {
+      return Status::InvalidArgument(
+          "enable_instant_recovery requires an engine mode that logs inputs "
+          "(EngineMode::kNvCaracal)");
+    }
+    if (recovery != RecoveryPolicy::kReplayInPlace) {
+      return Status::InvalidArgument(
+          "enable_instant_recovery requires RecoveryPolicy::kReplayInPlace: "
+          "per-key redo relies on fully deterministic replay");
+    }
+    if (concurrency != ConcurrencyControl::kCaracal) {
+      return Status::InvalidArgument(
+          "enable_instant_recovery requires ConcurrencyControl::kCaracal: the "
+          "replay digest is collected from pre-declared write sets");
+    }
+    if (digest_bytes <= sizeof(std::uint64_t) * 4) {
+      return Status::InvalidArgument("enable_instant_recovery requires digest_bytes large "
+                                     "enough for the digest header");
+    }
+    for (const auto& table : tables) {
+      if (table.ordered) {
+        return Status::InvalidArgument(
+            "enable_instant_recovery does not support ordered tables: range "
+            "queries cannot see rows whose redo has not materialized yet");
+      }
+    }
+  }
   return Status::Ok();
 }
 
@@ -107,6 +135,10 @@ Database::Layout Database::ComputeLayout(const DatabaseSpec& spec) {
                     kNvmAccessGranularity);
   layout.log = offset;
   offset += InputLog::RequiredBytes(spec.log_bytes);
+  if (spec.enable_instant_recovery) {
+    layout.digest = offset;
+    offset += InputLog::RequiredBytes(spec.digest_bytes);
+  }
 
   for (const auto& pool : EffectiveValuePools(spec)) {
     alloc::PersistentPoolConfig value_config{
@@ -159,6 +191,10 @@ std::vector<Database::AreaInfo> Database::DescribeLayout(const DatabaseSpec& spe
                    2 * spec.counters.size() * sizeof(std::uint64_t)});
   areas.push_back({"input log (2 parity buffers)", layout.log,
                    InputLog::RequiredBytes(spec.log_bytes)});
+  if (spec.enable_instant_recovery) {
+    areas.push_back({"replay digest (2 parity buffers)", layout.digest,
+                     InputLog::RequiredBytes(spec.digest_bytes)});
+  }
   for (std::size_t i = 0; i < layout.value_pools.size(); ++i) {
     areas.push_back({"value pool class " + std::to_string(layout.value_pools[i].block_size) +
                          " B",
@@ -269,6 +305,9 @@ Database::Database(sim::NvmDevice& device, const DatabaseSpec& spec,
   }
 
   log_ = std::make_unique<InputLog>(device_, layout_.log, spec_.log_bytes);
+  if (spec_.enable_instant_recovery) {
+    log_->AttachDigestArea(layout_.digest, spec_.digest_bytes);
+  }
   cache_ = std::make_unique<vstore::VersionCache>(
       spec_.enable_cache ? spec_.cache_max_entries : 0, spec_.cache_k, spec_.workers);
   counters_ = std::vector<std::atomic<std::uint64_t>>(spec_.counters.size());
@@ -313,6 +352,9 @@ void Database::Format() {
     pool->Format();
   }
   log_->Format();
+  if (log_->has_digest_area()) {
+    log_->FormatDigest();
+  }
   if (cold_pool_ != nullptr) {
     cold_pool_->Format();
   }
@@ -462,10 +504,40 @@ void Database::CheckCounterId(txn::CounterId id) const {
 StatusOr<std::uint32_t> Database::ReadCommitted(TableId table, Key key, void* out,
                                                 std::uint32_t cap) {
   CheckTableId(table);
+  // Instant recovery: a read of an unreplayed key first redoes that key's
+  // slice of the crashed epoch (DESIGN.md section 12). While the window is
+  // open, reads serialize on the recovery mutex — both the redo and the row
+  // read itself, so a read never overlaps the backfill's final checkpoint.
+  // Once the backfill retires the window, the gate is a single acquire load
+  // and the path below runs branch-free and lock-free.
+  if (instant_active_.load(std::memory_order_acquire)) {
+    std::unique_lock<std::mutex> lock(instant_mu_);
+    if (instant_ != nullptr && instant_active_.load(std::memory_order_relaxed)) {
+      try {
+        RedoKeySliceLocked(table, key, 0);
+      } catch (const CrashedException&) {
+        return Status::Aborted("crash hook fired during on-demand replay of key " +
+                               std::to_string(key));
+      }
+      return ReadCommittedImpl(table, key, out, cap);
+    }
+  }
+  return ReadCommittedImpl(table, key, out, cap);
+}
+
+StatusOr<std::uint32_t> Database::ReadCommittedImpl(TableId table, Key key, void* out,
+                                                    std::uint32_t cap) {
   vstore::RowEntry* entry = tables_[table]->Get(key);
   if (entry == nullptr || entry->prow == 0) {
     return Status::NotFound("no committed row for key " + std::to_string(key) +
                             " in table '" + spec_.tables[table].name + "'");
+  }
+  if (entry->latest_sid.load(std::memory_order_acquire) == ~0ULL) {
+    // Deleted this epoch (or retire-deleted during instant recovery): the
+    // index entry lingers until the deferred removal at epoch finish, but the
+    // persistent row behind it is already freed and must not be read.
+    return Status::NotFound("key " + std::to_string(key) + " in table '" +
+                            spec_.tables[table].name + "' was deleted");
   }
   vstore::PersistentRow row = RowAt(entry);
   const vstore::VersionDesc v1 = row.ReadDesc(1);

@@ -26,8 +26,10 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -82,16 +84,32 @@ struct RecoveryReport {
   Epoch recovered_epoch = 0;       // last checkpointed epoch
   bool replayed = false;           // a complete log for the crashed epoch existed
   bool used_persistent_index = false;  // fast rebuild path (no full row scan)
+  bool instant = false;            // fast phase returned with pending-replay state
   std::size_t rows_scanned = 0;
-  std::size_t replayed_txns = 0;
+  std::size_t replayed_txns = 0;   // instant: txns the pending epoch will redo
   std::size_t reverted_versions = 0;  // kRevertAndReplay only
+  std::size_t backfill_pending_keys = 0;  // keys awaiting on-demand/backfill redo
   double load_txn_seconds = 0;
   double scan_rebuild_seconds = 0;
   double revert_seconds = 0;       // folded into the scan pass; timed separately
   double replay_seconds = 0;
+  // Seconds until the database could serve its first post-crash access:
+  // the fast-phase wall time under instant recovery, total_seconds() for a
+  // full-replay recovery.
+  double time_to_first_commit = 0;
   double total_seconds() const {
     return load_txn_seconds + scan_rebuild_seconds + revert_seconds + replay_seconds;
   }
+};
+
+// Live view of an in-progress instant recovery (Database::RecoveryProgress).
+struct BackfillProgress {
+  bool pending = false;        // crashed epoch still pending-replay
+  Epoch crashed_epoch = 0;
+  std::size_t pending_keys = 0;   // keys not yet redone
+  std::size_t total_keys = 0;     // keys the crashed epoch wrote
+  std::size_t replayed_txns = 0;  // transaction slots executed so far
+  std::size_t total_txns = 0;     // transactions in the crashed epoch
 };
 
 // DRAM / NVMM footprint breakdown (figure 8).
@@ -131,14 +149,19 @@ enum class CrashSite {
                            // row-pool shard checkpoints (single-worker runs)
   kMidParallelIndexApply,  // parallel tail: after a delta application, while
                            // the shard batch is part-applied (single-worker)
+  kMidInstantRecoveryOnDemand,  // instant recovery: before an on-demand key
+                                // redo triggered by a foreground access
+  kMidBackfill,                 // instant recovery: between backfill keys
+                                // (crash while recovering from a crash)
 };
-inline constexpr std::size_t kCrashSiteCount = 13;
+inline constexpr std::size_t kCrashSiteCount = 15;
 inline constexpr CrashSite kAllCrashSites[kCrashSiteCount] = {
     CrashSite::kAfterLog,        CrashSite::kAfterInsert,   CrashSite::kDuringMajorGc,
     CrashSite::kDuringGcPass2,   CrashSite::kAfterGcPersist, CrashSite::kDuringDemotion,
     CrashSite::kAfterAppend,     CrashSite::kMidExecution,  CrashSite::kAfterExecution,
     CrashSite::kDuringIndexApply, CrashSite::kBeforeEpochPersist,
     CrashSite::kMidParallelCheckpoint, CrashSite::kMidParallelIndexApply,
+    CrashSite::kMidInstantRecoveryOnDemand, CrashSite::kMidBackfill,
 };
 
 constexpr const char* CrashSiteName(CrashSite site) {
@@ -156,6 +179,8 @@ constexpr const char* CrashSiteName(CrashSite site) {
     case CrashSite::kBeforeEpochPersist: return "BeforeEpochPersist";
     case CrashSite::kMidParallelCheckpoint: return "MidParallelCheckpoint";
     case CrashSite::kMidParallelIndexApply: return "MidParallelIndexApply";
+    case CrashSite::kMidInstantRecoveryOnDemand: return "MidInstantRecoveryOnDemand";
+    case CrashSite::kMidBackfill: return "MidBackfill";
   }
   return "?";
 }
@@ -228,7 +253,31 @@ class Database {
   }
 
   // Processes one epoch of transactions (batch = epoch, paper footnote 1).
+  // When an instant recovery is pending, first completes the crashed epoch's
+  // backfill and checkpoint (profiled as Phase::kRecoveryBackfill), so the
+  // new epoch observes fully-replayed state.
   EpochResult ExecuteEpoch(std::vector<std::unique_ptr<txn::Transaction>> txns);
+
+  // ---- Instant recovery (spec.enable_instant_recovery; recovery.cc) ----------
+
+  // True while the crashed epoch is pending-replay (between a fast-phase
+  // Recover() and the completion of backfill + the crashed epoch's
+  // checkpoint).
+  bool instant_recovery_pending() const {
+    return instant_active_.load(std::memory_order_acquire);
+  }
+
+  // Live backfill progress; pending == false once recovery fully retired.
+  BackfillProgress RecoveryProgress() const;
+
+  // Replays up to `max_keys` still-pending keys (background backfill sweep);
+  // returns the number of pending keys remaining. The step that retires the
+  // last key also checkpoints the crashed epoch, after which the fast path
+  // is branch-free again. kAborted when a crash hook fired mid-backfill.
+  StatusOr<std::size_t> RunBackfillStep(std::size_t max_keys);
+
+  // Runs backfill steps to completion. No-op when nothing is pending.
+  Status CompleteBackfill();
 
   // ---- Introspection ---------------------------------------------------------
 
@@ -319,6 +368,7 @@ class Database {
     std::uint64_t superblock = 0;
     std::uint64_t counters = 0;
     std::uint64_t log = 0;
+    std::uint64_t digest = 0;  // replay digest (instant recovery; optional)
     std::vector<ValuePoolArea> value_pools;  // ascending block size
     std::vector<std::uint64_t> row_pools;
     std::vector<std::uint64_t> pindexes;  // persistent index areas (optional)
@@ -424,9 +474,20 @@ class Database {
   void PostExecute(TxnState& st, std::size_t core);
 
   // Checkpoints `data` as the row's version `sid` in NVMM (the epoch's final
-  // write; paper 4.5). Handles minor GC and crash-repair case 3.
+  // write; paper 4.5). Handles minor GC and crash-repair case 3. The
+  // explicit-replay overload lets instant-recovery redo apply case-3 repair
+  // without flipping the shared replaying_ flag under concurrent epochs.
   void PersistFinal(vstore::RowEntry* entry, Sid sid, const void* data, std::uint32_t size,
                     std::size_t core);
+  void PersistFinalImpl(vstore::RowEntry* entry, Sid sid, const void* data,
+                        std::uint32_t size, std::size_t core, bool replay);
+
+  // Collects the per-epoch write-set digest by running the transactions'
+  // insert/append declarations against side-effect-free contexts (epoch.cc).
+  std::vector<DigestEntry> CollectDigest(
+      const std::vector<std::unique_ptr<txn::Transaction>>& txns, Epoch epoch);
+  friend class DigestAppendContext;
+  friend class DigestInsertContext;
 
   // ---- Value pool routing (multi-size classes + cold tier) --------------------
   // Allocates a value block for `size` bytes from the smallest fitting class.
@@ -483,6 +544,69 @@ class Database {
   // Shared per-row crash repair + major-GC list rebuild (paper 4.5 / 5.5).
   void RepairAndCollectGc(vstore::PersistentRow& row, vstore::RowEntry* entry,
                           Epoch crashed_epoch, std::size_t core);
+
+  // ---- Instant recovery internals (recovery.cc; DESIGN.md section 12) --------
+  // Value of a pending key after one of its write slots executed (ascending
+  // slot order). Histories are retained until the whole epoch retires so a
+  // later-redone transaction can still read the value as of its own slot.
+  struct RedoVersion {
+    std::uint32_t slot;
+    bool deleted;
+    bool has_data;  // false only for insert-without-data (no committed value)
+    std::vector<std::uint8_t> data;
+  };
+  struct RedoKey {
+    std::vector<std::uint32_t> slots;  // ascending write slots from the digest
+    std::vector<RedoVersion> history;  // values produced by executed slots
+    std::vector<std::uint8_t> initial; // pre-epoch committed value
+    bool initial_loaded = false;
+    bool existed_pre_epoch = false;    // had a committed value before the epoch
+    bool inserted = false;             // created by the crashed epoch's insert step
+    std::uint32_t next = 0;            // next index into `slots` to execute
+    bool retired = false;              // final state persisted to NVMM
+  };
+  struct InstantState {
+    Epoch crashed_epoch = 0;
+    std::vector<std::unique_ptr<txn::Transaction>> txns;
+    std::vector<std::uint8_t> txn_ran;  // slot executed (at most once, ever)
+    // Inverted digest: slot -> keys it writes (drives write-order redo).
+    std::vector<std::vector<std::pair<TableId, Key>>> slot_writes;
+    std::vector<std::unordered_map<Key, RedoKey>> pending;  // per table
+    std::size_t total_keys = 0;
+    std::size_t retired_keys = 0;
+    std::size_t txns_ran = 0;
+    // Deterministic sweep order for the background backfill.
+    std::vector<std::pair<TableId, Key>> key_order;
+    std::size_t sweep_next = 0;
+  };
+  // Fast-phase setup: load the digest, build the pending-replay state.
+  // Returns false (leaving *txns untouched) when the digest is absent, torn,
+  // or inconsistent, in which case Recover() falls back to full replay.
+  bool SetupInstantRecovery(std::vector<std::unique_ptr<txn::Transaction>>* txns,
+                            Epoch crashed_epoch);
+  // Foreground hook (caller holds instant_mu_ with instant_ live): redo
+  // `key`'s slice of the crashed epoch if still pending. Throws
+  // CrashedException if a crash hook fires.
+  void RedoKeySliceLocked(TableId table, Key key, std::size_t core);
+  StatusOr<std::uint32_t> ReadCommittedImpl(TableId table, Key key, void* out,
+                                            std::uint32_t cap);
+  // Under instant_mu_: execute key's write slots < bound (all of them when
+  // bound == ~0u), retiring the key at full bound.
+  void EnsureKeyRedoneLocked(TableId table, Key key, std::uint32_t bound,
+                             std::size_t core);
+  void RunRedoSlotLocked(std::uint32_t slot, std::size_t core);
+  // Serial-order read for redo execution: key's value as of `reader_slot`.
+  int RedoReadLocked(TableId table, Key key, std::uint32_t reader_slot, void* out,
+                     std::uint32_t cap, std::size_t core);
+  void LoadRedoInitialLocked(TableId table, Key key, RedoKey& rk, std::size_t core);
+  void RetireKeyLocked(TableId table, Key key, RedoKey& rk, std::size_t core);
+  // Backfill-all + leftover slots + crashed-epoch checkpoint; clears the
+  // pending state. Throws CrashedException if a crash hook fires.
+  void FinishInstantRecoveryLocked();
+
+  friend class RedoExecContext;
+  friend class RedoAppendContext;
+  friend class RedoInsertContext;
 
   // Persisted major-GC list (with enable_persistent_index).
   struct GcLogHeader {
@@ -550,6 +674,13 @@ class Database {
 
   bool replaying_ = false;
   std::unordered_set<std::uint64_t> gc_dedup_;  // value offsets already freed by crashed GC
+
+  // Instant recovery: pending-replay state for the crashed epoch. All redo
+  // work (foreground on-demand and background backfill) serializes on
+  // instant_mu_; instant_active_ is the lock-free fast-path gate.
+  std::unique_ptr<InstantState> instant_;
+  mutable std::mutex instant_mu_;
+  std::atomic<bool> instant_active_{false};
 
   // Cold tier: rows whose cache entry aged out (demotion candidates for this
   // epoch) and hot-value blocks to free once the demoting epoch committed.

@@ -132,6 +132,94 @@ class EngineExecContext final : public txn::ExecContext {
   std::size_t core_;
 };
 
+// ---- Replay-digest collection (instant recovery) ------------------------------
+//
+// Runs the insert and append declarations against side-effect-light contexts
+// to enumerate the epoch's (table, key, slot) writes before execution. The
+// counter state is a local snapshot so the real insert step later observes
+// unchanged counters; pre-epoch reads go through the regular read path (cache
+// side effects only, and the cache is not consulted for correctness). Serial
+// slot order keeps the digest slot-ascending per key, which SetupInstantRecovery
+// relies on to invert it.
+
+class DigestInsertContext final : public txn::InsertContext {
+ public:
+  DigestInsertContext(Database* db, std::vector<DigestEntry>* out,
+                      std::vector<std::uint64_t>* running,
+                      const std::vector<std::uint64_t>* start, std::uint32_t slot, Sid sid)
+      : db_(db), out_(out), running_(running), start_(start), slot_(slot), sid_(sid) {}
+
+  void InsertRow(TableId table, Key key, const void*, std::uint32_t) override {
+    out_->push_back(DigestEntry{key, table, slot_});
+  }
+  std::uint64_t CounterFetchAdd(txn::CounterId counter, std::uint64_t delta) override {
+    const std::uint64_t v = (*running_)[counter];
+    (*running_)[counter] += delta;
+    return v;
+  }
+  std::uint64_t CounterEpochStart(txn::CounterId counter) const override {
+    return (*start_)[counter];
+  }
+  std::uint64_t CounterFetchAddIfLess(txn::CounterId counter, std::uint64_t bound) override {
+    std::uint64_t& current = (*running_)[counter];
+    if (current < bound) {
+      return current++;
+    }
+    return ~0ULL;
+  }
+  Sid sid() const override { return sid_; }
+
+ private:
+  Database* db_;
+  std::vector<DigestEntry>* out_;
+  std::vector<std::uint64_t>* running_;
+  const std::vector<std::uint64_t>* start_;
+  std::uint32_t slot_;
+  Sid sid_;
+};
+
+class DigestAppendContext final : public txn::AppendContext {
+ public:
+  DigestAppendContext(Database* db, std::vector<DigestEntry>* out, std::uint32_t slot, Sid sid)
+      : db_(db), out_(out), slot_(slot), sid_(sid) {}
+
+  void DeclareUpdate(TableId table, Key key) override {
+    out_->push_back(DigestEntry{key, table, slot_});
+  }
+  void DeclareDelete(TableId table, Key key) override {
+    out_->push_back(DigestEntry{key, table, slot_});
+  }
+  int ReadPreEpoch(TableId table, Key key, void* out, std::uint32_t cap) override {
+    return db_->ReadPreEpoch(table, key, out, cap, 0);
+  }
+  Sid sid() const override { return sid_; }
+
+ private:
+  Database* db_;
+  std::vector<DigestEntry>* out_;
+  std::uint32_t slot_;
+  Sid sid_;
+};
+
+std::vector<DigestEntry> Database::CollectDigest(
+    const std::vector<std::unique_ptr<txn::Transaction>>& txns, Epoch epoch) {
+  std::vector<DigestEntry> entries;
+  std::vector<std::uint64_t> start(counters_.size());
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    start[i] = counters_[i].load(std::memory_order_relaxed);
+  }
+  std::vector<std::uint64_t> running = start;
+  for (std::size_t i = 0; i < txns.size(); ++i) {
+    const Sid sid(epoch, static_cast<std::uint32_t>(i + 1));
+    const auto slot = static_cast<std::uint32_t>(i);
+    DigestInsertContext ictx(this, &entries, &running, &start, slot, sid);
+    txns[i]->InsertStep(ictx);
+    DigestAppendContext actx(this, &entries, slot, sid);
+    txns[i]->AppendStep(actx);
+  }
+  return entries;
+}
+
 // ---- Epoch driver -------------------------------------------------------------
 
 bool Database::MaybeCrash(CrashSite site) {
@@ -149,6 +237,29 @@ EpochResult Database::ExecuteEpoch(std::vector<std::unique_ptr<txn::Transaction>
     return ExecuteEpochAria(std::move(txns));
   }
   assert(loaded_ && "call Format + FinalizeLoad (or Recover) first");
+
+  // Instant recovery still pending: finish it before admitting a new epoch.
+  // The crashed epoch's checkpoint must precede any new-epoch final write
+  // (rows must never carry a newer SID than the durable epoch number), and
+  // the new epoch must observe fully replayed state.
+  if (instant_active_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(instant_mu_);
+    if (instant_active_.load(std::memory_order_relaxed)) {
+      profiler_.BeginEpoch(instant_->crashed_epoch);
+      try {
+        PhaseProfiler::ScopedPhase phase(profiler_, Phase::kRecoveryBackfill);
+        FinishInstantRecoveryLocked();
+      } catch (const CrashedException&) {
+        profiler_.CancelEpoch();
+        EpochResult result;
+        result.epoch = instant_ != nullptr ? instant_->crashed_epoch : current_epoch_;
+        result.crashed = true;
+        return result;
+      }
+      profiler_.EndEpoch();
+    }
+  }
+
   const auto start = std::chrono::steady_clock::now();
   const Epoch epoch = current_epoch_ + 1;
   epoch_ = epoch;
@@ -179,6 +290,13 @@ EpochResult Database::ExecuteEpoch(std::vector<std::unique_ptr<txn::Transaction>
                             ? log_->LogEpochParallel(epoch, owned_txns_, pool_, profiler_)
                             : log_->LogEpoch(epoch, owned_txns_, 0);
       stats_.log_bytes.Add(0, last_log_bytes_);
+      if (log_->has_digest_area()) {
+        // The write-set digest must be durable alongside the log before
+        // execution so a crash anywhere in this epoch can recover instantly.
+        // An overflowing digest leaves its buffer invalidated and a crash in
+        // this epoch falls back to full replay.
+        log_->LogDigest(epoch, CollectDigest(owned_txns_, epoch), 0);
+      }
     }
     MaybeCrash(CrashSite::kAfterLog);
 
@@ -1073,6 +1191,11 @@ void Database::ResolveIgnoredFinal(vstore::RowEntry* entry, std::size_t core) {
 
 void Database::PersistFinal(vstore::RowEntry* entry, Sid sid, const void* data,
                             std::uint32_t size, std::size_t core) {
+  PersistFinalImpl(entry, sid, data, size, core, replaying_);
+}
+
+void Database::PersistFinalImpl(vstore::RowEntry* entry, Sid sid, const void* data,
+                                std::uint32_t size, std::size_t core, bool replay) {
   // The cached value is created before the persistent write so other
   // transactions in later epochs can read it from DRAM (paper 4.1). Under
   // the selective policy, cold rows (single version this epoch, not already
@@ -1098,7 +1221,7 @@ void Database::PersistFinal(vstore::RowEntry* entry, Sid sid, const void* data,
   vstore::VersionDesc v0 = row.ReadDesc(0);
   vstore::VersionDesc v1 = row.ReadDesc(1);
 
-  if (replaying_ && v1.sid == sid.raw()) {
+  if (replay && v1.sid == sid.raw()) {
     // Crash-repair case 3: this transaction already claimed slot 1 before
     // the crash. Its value-pool allocation was reverted with the allocator
     // offsets, so the recorded location may be handed to another row during

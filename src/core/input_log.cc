@@ -168,6 +168,77 @@ std::size_t InputLog::LogEpochParallel(Epoch epoch,
   return payload_bytes;
 }
 
+void InputLog::AttachDigestArea(std::uint64_t base_offset, std::size_t buffer_bytes) {
+  digest_base_ = base_offset;
+  digest_bytes_ = buffer_bytes;
+}
+
+void InputLog::FormatDigest() {
+  for (int parity = 0; parity < 2; ++parity) {
+    auto* header = device_.As<LogHeader>(digest_base_ + parity * digest_bytes_);
+    std::memset(header, 0, sizeof(LogHeader));
+    device_.Persist(digest_base_ + parity * digest_bytes_, sizeof(LogHeader), 0);
+  }
+  device_.Fence(0);
+}
+
+bool InputLog::LogDigest(Epoch epoch, const std::vector<DigestEntry>& entries,
+                         std::size_t core) {
+  const std::uint64_t buffer = DigestBufferOffset(epoch);
+  const std::size_t payload_bytes = entries.size() * sizeof(DigestEntry);
+
+  // Invalidate first in every case: after an overflow the buffer must not
+  // present a stale complete digest next to the new epoch's log.
+  auto* header = device_.As<LogHeader>(buffer);
+  header->complete = 0;
+  device_.Persist(buffer + offsetof(LogHeader, complete), sizeof(std::uint64_t), core);
+  device_.Fence(core);
+
+  if (sizeof(LogHeader) + payload_bytes > digest_bytes_) {
+    return false;  // falls back to full replay for this epoch
+  }
+
+  device_.WritePersist(buffer + sizeof(LogHeader),
+                       reinterpret_cast<const std::uint8_t*>(entries.data()), payload_bytes,
+                       core);
+  header->epoch = epoch;
+  header->txn_count = static_cast<std::uint32_t>(entries.size());
+  header->payload_bytes = payload_bytes;
+  header->checksum =
+      Checksum(reinterpret_cast<const std::uint8_t*>(entries.data()), payload_bytes);
+  device_.Persist(buffer, sizeof(LogHeader), core);
+  device_.Fence(core);
+
+  header->complete = 1;
+  device_.Persist(buffer + offsetof(LogHeader, complete), sizeof(std::uint64_t), core);
+  device_.Fence(core);
+  return true;
+}
+
+bool InputLog::LoadDigest(Epoch epoch, std::vector<DigestEntry>* out, std::size_t core) const {
+  if (digest_bytes_ == 0) {
+    return false;
+  }
+  const std::uint64_t buffer = DigestBufferOffset(epoch);
+  device_.ChargeRead(buffer, sizeof(LogHeader), core);
+  const auto* header = device_.As<LogHeader>(buffer);
+  if (header->complete != 1 || header->epoch != epoch) {
+    return false;
+  }
+  if (header->payload_bytes > digest_bytes_ - sizeof(LogHeader) ||
+      header->payload_bytes != header->txn_count * sizeof(DigestEntry)) {
+    return false;
+  }
+  const std::uint8_t* payload = device_.At(buffer + sizeof(LogHeader));
+  device_.ChargeRead(buffer + sizeof(LogHeader), header->payload_bytes, core);
+  if (Checksum(payload, header->payload_bytes) != header->checksum) {
+    return false;
+  }
+  out->resize(header->txn_count);
+  std::memcpy(out->data(), payload, header->payload_bytes);
+  return true;
+}
+
 bool InputLog::LoadEpoch(Epoch epoch, const txn::TxnRegistry& registry,
                          std::vector<std::unique_ptr<txn::Transaction>>* out,
                          std::size_t core) const {

@@ -30,6 +30,18 @@ class PhaseProfiler;
 
 namespace nvc::core {
 
+// One record of the per-epoch replay digest: transaction slot `slot` (0-based
+// serial-order index into the epoch's transaction vector) declares a write
+// (update, delete, or insert) of `key` in `table`. Instant recovery inverts
+// this into key -> slot-list to find the crashed-epoch transactions touching
+// any given key without decoding the whole log.
+struct DigestEntry {
+  Key key;
+  std::uint32_t table;
+  std::uint32_t slot;
+};
+static_assert(sizeof(DigestEntry) == 16);
+
 class InputLog {
  public:
   static std::size_t RequiredBytes(std::size_t buffer_bytes) { return 2 * buffer_bytes; }
@@ -67,6 +79,25 @@ class InputLog {
   bool LoadEpoch(Epoch epoch, const txn::TxnRegistry& registry,
                  std::vector<std::unique_ptr<txn::Transaction>>* out, std::size_t core) const;
 
+  // ---- Replay digest (instant recovery) -------------------------------------
+  // The digest lives in its own pair of parity buffers and follows the same
+  // invalidate -> payload -> header -> complete protocol as the log, so a
+  // torn digest is detected and recovery falls back to full replay.
+
+  // Attaches the digest area ([base_offset, base_offset + 2 * buffer_bytes)).
+  void AttachDigestArea(std::uint64_t base_offset, std::size_t buffer_bytes);
+  bool has_digest_area() const { return digest_bytes_ != 0; }
+
+  void FormatDigest();
+
+  // Persists the write-set digest for `epoch`. Returns false (leaving the
+  // buffer invalidated) when the entries do not fit — the epoch is then
+  // recovered by full replay instead of on-demand redo.
+  bool LogDigest(Epoch epoch, const std::vector<DigestEntry>& entries, std::size_t core);
+
+  // Loads the complete digest for `epoch`; false when absent/torn/overflowed.
+  bool LoadDigest(Epoch epoch, std::vector<DigestEntry>* out, std::size_t core) const;
+
  private:
   struct LogHeader {
     Epoch epoch;
@@ -79,10 +110,15 @@ class InputLog {
   std::uint64_t BufferOffset(Epoch epoch) const {
     return base_ + (epoch & 1) * buffer_bytes_;
   }
+  std::uint64_t DigestBufferOffset(Epoch epoch) const {
+    return digest_base_ + (epoch & 1) * digest_bytes_;
+  }
 
   sim::NvmDevice& device_;
   std::uint64_t base_;
   std::size_t buffer_bytes_;
+  std::uint64_t digest_base_ = 0;
+  std::size_t digest_bytes_ = 0;
 };
 
 }  // namespace nvc::core

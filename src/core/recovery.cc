@@ -32,6 +32,7 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 
 StatusOr<RecoveryReport> Database::Recover(const txn::TxnRegistry& registry) {
   RecoveryReport report;
+  const auto recover_start = std::chrono::steady_clock::now();
   device_.ChargeRead(layout_.superblock, sizeof(SuperBlock), 0);
   const auto* sb = device_.As<SuperBlock>(layout_.superblock);
   if (sb->magic != kMagic) {
@@ -103,7 +104,64 @@ StatusOr<RecoveryReport> Database::Recover(const txn::TxnRegistry& registry) {
   }
   report.scan_rebuild_seconds = SecondsSince(scan_start) - report.revert_seconds;
 
-  // Step 3 — deterministic replay through the regular epoch path.
+  // Step 3a — instant recovery (DESIGN.md section 12): when a complete
+  // replay digest exists, return now with the crashed epoch marked
+  // pending-replay instead of replaying it. Accesses to unreplayed keys
+  // trigger targeted redo (RedoKeySlice); the background backfill
+  // (RunBackfillStep) retires the rest and checkpoints the epoch. The
+  // superblock is NOT flipped here, so a second crash before backfill
+  // completes recovers again from the same checkpoint + log + digest.
+  if (has_log && spec_.enable_instant_recovery &&
+      SetupInstantRecovery(&replay_txns, last_checkpointed + 1)) {
+    auto fast_start = std::chrono::steady_clock::now();
+    const Epoch crashed_epoch = last_checkpointed + 1;
+    epoch_ = crashed_epoch;
+    // The crashed epoch's prologue, exactly as replay would run it: pool
+    // epoch boundaries, the counter snapshot, and — crucially — the major GC
+    // pass (gc-dedup'd against the crashed run's non-revertible frees), so a
+    // redo-retire final write never meets an uncollected non-inline stale
+    // version.
+    for (auto& pool : value_pools_) {
+      pool->BeginEpoch();
+    }
+    for (auto& pool : row_pools_) {
+      pool->BeginEpoch();
+    }
+    if (cold_pool_ != nullptr) {
+      cold_pool_->BeginEpoch();
+    }
+    counters_epoch_start_.resize(counters_.size());
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      counters_epoch_start_[i] = counters_[i].load(std::memory_order_relaxed);
+    }
+    gc_dedup_.clear();
+    for (auto& pool : value_pools_) {
+      const auto window = pool->GcWindowEntries();
+      gc_dedup_.insert(window.begin(), window.end());
+    }
+    for (std::size_t w = 0; w < spec_.workers; ++w) {
+      pending_major_gc_[w] = std::move(core_state_[w].major_gc);
+      core_state_[w].major_gc.clear();
+    }
+    replaying_ = true;
+    try {
+      RunMajorGc();
+    } catch (const CrashedException&) {
+      replaying_ = false;
+      return Status::Aborted("Recover: crash hook fired during recovery GC");
+    }
+    replaying_ = false;
+    instant_active_.store(true, std::memory_order_release);
+    report.instant = true;
+    report.replayed = true;  // the crashed epoch will be redone lazily
+    report.replayed_txns = instant_->txns.size();
+    report.backfill_pending_keys = instant_->total_keys;
+    report.replay_seconds = SecondsSince(fast_start);
+    report.time_to_first_commit = SecondsSince(recover_start);
+    return report;
+  }
+
+  // Step 3b — deterministic full replay through the regular epoch path.
   if (has_log) {
     auto replay_start = std::chrono::steady_clock::now();
     gc_dedup_.clear();
@@ -120,6 +178,7 @@ StatusOr<RecoveryReport> Database::Recover(const txn::TxnRegistry& registry) {
     }
     report.replay_seconds = SecondsSince(replay_start);
   }
+  report.time_to_first_commit = report.total_seconds();
   return report;
 }
 
@@ -264,6 +323,508 @@ void Database::FastRebuildFromPersistentIndex(RecoveryReport* report) {
     RepairAndCollectGc(row, entry, crashed_epoch, core);
     core = (core + 1) % spec_.workers;
   }
+}
+
+// ---- Instant recovery: on-demand redo and background backfill ---------------
+//
+// The crashed epoch is replayed lazily, one transaction slot at a time, in
+// strict serial order per key. The digest persisted next to the input log
+// names every (table, key, txn-slot) write of the epoch; inverting it gives
+// the slice of transactions any one key needs. Each slot executes at most
+// once globally (txn_ran): redoing a key first redoes, recursively, every
+// earlier slot of every key those transactions write, so histories stay
+// slot-ascending and reads observe exactly the values the crashed run
+// produced. A key whose slots have all executed is "retired": its final
+// state is persisted through the same PersistFinal/ProcessDelete/InsertRow
+// paths the epoch would have used, so every intermediate crash state is one
+// the existing crash repair already handles — the superblock flips only in
+// FinishInstantRecoveryLocked, after every key retired.
+//
+// All redo work serializes on instant_mu_; instant_active_ is the lock-free
+// acquire-load gate the foreground fast path checks (branch-free once the
+// backfill completes).
+
+namespace {
+constexpr std::uint32_t kRedoAllSlots = ~0u;
+}  // namespace
+
+// Per-slot execution state during redo (mirrors Database::TxnState).
+struct RedoTxnState {
+  std::uint32_t slot = 0;
+  Sid sid;
+  bool aborted = false;
+  std::vector<std::pair<TableId, Key>> inserted;  // keys created by this slot
+};
+
+class RedoInsertContext final : public txn::InsertContext {
+ public:
+  RedoInsertContext(Database* db, RedoTxnState* st, std::size_t core)
+      : db_(db), st_(st), core_(core) {}
+
+  void InsertRow(TableId table, Key key, const void* data, std::uint32_t size) override {
+    auto& pending = db_->instant_->pending[table];
+    auto it = pending.find(key);
+    assert(it != pending.end() && "insert missing from the replay digest");
+    Database::RedoKey& rk = it->second;
+    rk.inserted = true;
+    rk.initial_loaded = true;  // rows inserted this epoch have no pre-epoch state
+    rk.existed_pre_epoch = false;
+    Database::RedoVersion v{st_->slot, false, data != nullptr, {}};
+    if (data != nullptr) {
+      v.data.assign(static_cast<const std::uint8_t*>(data),
+                    static_cast<const std::uint8_t*>(data) + size);
+    }
+    rk.history.push_back(std::move(v));
+    st_->inserted.emplace_back(table, key);
+  }
+
+  std::uint64_t CounterFetchAdd(txn::CounterId counter, std::uint64_t delta) override {
+    return db_->counters_[counter].fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t CounterEpochStart(txn::CounterId counter) const override {
+    return db_->counters_epoch_start_[counter];
+  }
+  std::uint64_t CounterFetchAddIfLess(txn::CounterId counter, std::uint64_t bound) override {
+    std::uint64_t current = db_->counters_[counter].load(std::memory_order_relaxed);
+    while (current < bound) {
+      if (db_->counters_[counter].compare_exchange_weak(current, current + 1,
+                                                        std::memory_order_relaxed)) {
+        return current;
+      }
+    }
+    return ~0ULL;
+  }
+  Sid sid() const override { return st_->sid; }
+
+ private:
+  Database* db_;
+  RedoTxnState* st_;
+  std::size_t core_;
+};
+
+class RedoAppendContext final : public txn::AppendContext {
+ public:
+  RedoAppendContext(Database* db, RedoTxnState* st, std::size_t core)
+      : db_(db), st_(st), core_(core) {}
+
+  // The write set was captured in the digest at log time; nothing to declare.
+  void DeclareUpdate(TableId, Key) override {}
+  void DeclareDelete(TableId, Key) override {}
+
+  int ReadPreEpoch(TableId table, Key key, void* out, std::uint32_t cap) override {
+    // Keys the crashed epoch wrote may already be retired to their
+    // post-epoch state; their pre-epoch value is served from the snapshot
+    // redo keeps. Untouched keys still hold pre-epoch state on NVMM.
+    auto& pending = db_->instant_->pending[table];
+    auto it = pending.find(key);
+    if (it == pending.end()) {
+      return db_->ReadPreEpoch(table, key, out, cap, core_);
+    }
+    Database::RedoKey& rk = it->second;
+    if (!rk.initial_loaded) {
+      db_->LoadRedoInitialLocked(table, key, rk, core_);
+    }
+    if (!rk.existed_pre_epoch) {
+      return -1;
+    }
+    std::memcpy(out, rk.initial.data(), std::min<std::size_t>(cap, rk.initial.size()));
+    return static_cast<int>(rk.initial.size());
+  }
+  Sid sid() const override { return st_->sid; }
+
+ private:
+  Database* db_;
+  RedoTxnState* st_;
+  std::size_t core_;
+};
+
+class RedoExecContext final : public txn::ExecContext {
+ public:
+  RedoExecContext(Database* db, RedoTxnState* st, std::size_t core)
+      : db_(db), st_(st), core_(core) {}
+
+  int Read(TableId table, Key key, void* out, std::uint32_t cap) override {
+    return db_->RedoReadLocked(table, key, st_->slot, out, cap, core_);
+  }
+  void Write(TableId table, Key key, const void* data, std::uint32_t size) override {
+    assert(!st_->aborted && "transaction wrote after aborting");
+    Record(table, key,
+           Database::RedoVersion{st_->slot, false, true,
+                                 {static_cast<const std::uint8_t*>(data),
+                                  static_cast<const std::uint8_t*>(data) + size}});
+  }
+  void Delete(TableId table, Key key) override {
+    assert(!st_->aborted && "transaction deleted after aborting");
+    Record(table, key, Database::RedoVersion{st_->slot, true, false, {}});
+  }
+  void Abort() override { st_->aborted = true; }
+  bool FirstInRange(TableId table, Key lo, Key hi, Key* found) override {
+    // Redo is not range-aware (rows inserted by the crashed epoch
+    // materialize only at retire); DatabaseSpec::Validate rejects instant
+    // recovery together with ordered tables.
+    return db_->tables_[table]->FirstInRange(lo, hi, found);
+  }
+  bool LastInRange(TableId table, Key lo, Key hi, Key* found) override {
+    return db_->tables_[table]->LastInRange(lo, hi, found);
+  }
+  std::uint64_t CounterEpochStart(txn::CounterId counter) const override {
+    return db_->counters_epoch_start_[counter];
+  }
+  Sid sid() const override { return st_->sid; }
+
+ private:
+  void Record(TableId table, Key key, Database::RedoVersion v) {
+    auto& pending = db_->instant_->pending[table];
+    auto it = pending.find(key);
+    assert(it != pending.end() && "write to a key missing from the replay digest");
+    Database::RedoKey& rk = it->second;
+    assert(rk.history.empty() || rk.history.back().slot <= v.slot);
+    // A transaction rewriting its own slot replaces the published value —
+    // except an insert-step version, which execute-phase writes stack above.
+    if (!rk.history.empty() && rk.history.back().slot == v.slot &&
+        !(rk.inserted && rk.history.size() == 1)) {
+      rk.history.back() = std::move(v);
+    } else {
+      rk.history.push_back(std::move(v));
+    }
+  }
+
+  Database* db_;
+  RedoTxnState* st_;
+  std::size_t core_;
+};
+
+bool Database::SetupInstantRecovery(std::vector<std::unique_ptr<txn::Transaction>>* txns,
+                                    Epoch crashed_epoch) {
+  std::vector<DigestEntry> digest;
+  if (!log_->has_digest_area() || !log_->LoadDigest(crashed_epoch, &digest, 0)) {
+    return false;
+  }
+  auto st = std::make_unique<InstantState>();
+  st->crashed_epoch = crashed_epoch;
+  st->txn_ran.assign(txns->size(), 0);
+  st->slot_writes.resize(txns->size());
+  st->pending.resize(tables_.size());
+  for (const DigestEntry& e : digest) {
+    if (e.table >= tables_.size() || e.slot >= txns->size()) {
+      return false;  // digest inconsistent with the log: full replay instead
+    }
+    RedoKey& rk = st->pending[e.table][e.key];
+    if (!rk.slots.empty() && rk.slots.back() == e.slot) {
+      continue;  // duplicate declaration by the same transaction
+    }
+    assert(rk.slots.empty() || rk.slots.back() < e.slot);
+    if (rk.slots.empty()) {
+      st->key_order.emplace_back(e.table, e.key);
+    }
+    rk.slots.push_back(e.slot);
+    st->slot_writes[e.slot].emplace_back(e.table, e.key);
+  }
+  st->total_keys = st->key_order.size();
+  st->txns = std::move(*txns);
+  instant_ = std::move(st);
+  return true;
+}
+
+void Database::RedoKeySliceLocked(TableId table, Key key, std::size_t core) {
+  auto& pending = instant_->pending[table];
+  auto it = pending.find(key);
+  if (it == pending.end() || it->second.retired) {
+    return;
+  }
+  MaybeCrash(CrashSite::kMidInstantRecoveryOnDemand);
+  EnsureKeyRedoneLocked(table, key, kRedoAllSlots, core);
+}
+
+void Database::EnsureKeyRedoneLocked(TableId table, Key key, std::uint32_t bound,
+                                     std::size_t core) {
+  auto& pending = instant_->pending[table];
+  auto it = pending.find(key);
+  if (it == pending.end()) {
+    return;
+  }
+  RedoKey& rk = it->second;
+  while (rk.next < rk.slots.size() && rk.slots[rk.next] < bound) {
+    const std::uint32_t slot = rk.slots[rk.next];
+    if (instant_->txn_ran[slot]) {
+      ++rk.next;  // defensive: RunRedoSlotLocked advances its write targets
+      continue;
+    }
+    RunRedoSlotLocked(slot, core);
+  }
+  if (bound == kRedoAllSlots && !rk.retired) {
+    RetireKeyLocked(table, key, rk, core);
+  }
+}
+
+void Database::RunRedoSlotLocked(std::uint32_t slot, std::size_t core) {
+  InstantState& st = *instant_;
+  assert(!st.txn_ran[slot] && "transaction slot redone twice");
+  // Serial order: every key this slot writes is first brought up to the slot
+  // (the recursion strictly decreases the slot number, so it terminates).
+  for (const auto& [t, k] : st.slot_writes[slot]) {
+    EnsureKeyRedoneLocked(t, k, slot, core);
+  }
+  st.txn_ran[slot] = 1;
+  ++st.txns_ran;
+
+  RedoTxnState rst;
+  rst.slot = slot;
+  rst.sid = Sid(st.crashed_epoch, slot + 1);
+  txn::Transaction* txn = st.txns[slot].get();
+  RedoInsertContext ictx(this, &rst, core);
+  txn->InsertStep(ictx);
+  RedoAppendContext actx(this, &rst, core);
+  txn->AppendStep(actx);
+  RedoExecContext ectx(this, &rst, core);
+  txn->Execute(ectx);
+  if (rst.aborted) {
+    // Aborted transactions discard the rows they inserted (PostExecute).
+    for (const auto& [t, k] : rst.inserted) {
+      RedoKey& rk = st.pending[t].find(k)->second;
+      rk.history.push_back(RedoVersion{slot, true, false, {}});
+    }
+  }
+  for (const auto& [t, k] : st.slot_writes[slot]) {
+    RedoKey& rk = st.pending[t].find(k)->second;
+    while (rk.next < rk.slots.size() && rk.slots[rk.next] <= slot) {
+      ++rk.next;
+    }
+  }
+}
+
+int Database::RedoReadLocked(TableId table, Key key, std::uint32_t reader_slot, void* out,
+                             std::uint32_t cap, std::size_t core) {
+  auto& pending = instant_->pending[table];
+  auto it = pending.find(key);
+  if (it == pending.end()) {
+    // Key untouched by the crashed epoch: its committed NVMM state IS the
+    // pre-epoch state.
+    vstore::RowEntry* entry = tables_[table]->Get(key);
+    if (entry == nullptr || entry->prow == 0) {
+      return -1;
+    }
+    vstore::PersistentRow row = RowAt(entry);
+    device_.ChargeRead(entry->prow, vstore::kRowHeaderSize, core);
+    const Sid bound(Sid(instant_->crashed_epoch, 0).raw() - 1);
+    const int slot = row.LatestSlotAtOrBefore(bound);
+    if (slot < 0) {
+      return -1;
+    }
+    const vstore::VersionDesc desc = row.ReadDesc(slot);
+    const vstore::ValueLoc loc(desc.loc);
+    if (loc.size() <= cap) {
+      ReadVersionValue(row, desc, out, core);
+      return static_cast<int>(loc.size());
+    }
+    std::uint8_t* tmp = ScratchFor(core, loc.size());
+    ReadVersionValue(row, desc, tmp, core);
+    std::memcpy(out, tmp, cap);
+    return static_cast<int>(loc.size());
+  }
+
+  RedoKey& rk = it->second;
+  EnsureKeyRedoneLocked(table, key, reader_slot, core);
+  for (auto h = rk.history.rbegin(); h != rk.history.rend(); ++h) {
+    if (h->slot >= reader_slot) {
+      continue;
+    }
+    if (h->deleted) {
+      return -1;
+    }
+    if (!h->has_data) {
+      continue;  // insert-without-data: no committed value yet (IGNORE)
+    }
+    std::memcpy(out, h->data.data(), std::min<std::size_t>(cap, h->data.size()));
+    return static_cast<int>(h->data.size());
+  }
+  if (!rk.initial_loaded) {
+    LoadRedoInitialLocked(table, key, rk, core);
+  }
+  if (!rk.existed_pre_epoch) {
+    return -1;
+  }
+  std::memcpy(out, rk.initial.data(), std::min<std::size_t>(cap, rk.initial.size()));
+  return static_cast<int>(rk.initial.size());
+}
+
+void Database::LoadRedoInitialLocked(TableId table, Key key, RedoKey& rk, std::size_t core) {
+  rk.initial_loaded = true;
+  rk.existed_pre_epoch = false;
+  vstore::RowEntry* entry = tables_[table]->Get(key);
+  if (entry == nullptr || entry->prow == 0) {
+    return;
+  }
+  vstore::PersistentRow row = RowAt(entry);
+  device_.ChargeRead(entry->prow, vstore::kRowHeaderSize, core);
+  // Versions the crashed epoch already persisted (crash-repair case 3) carry
+  // crashed-epoch SIDs and are skipped by the bound; their locations are
+  // untrusted and rewritten at retire.
+  const Sid bound(Sid(instant_->crashed_epoch, 0).raw() - 1);
+  const int slot = row.LatestSlotAtOrBefore(bound);
+  if (slot < 0) {
+    return;
+  }
+  const vstore::VersionDesc desc = row.ReadDesc(slot);
+  rk.existed_pre_epoch = true;
+  rk.initial.resize(vstore::ValueLoc(desc.loc).size());
+  ReadVersionValue(row, desc, rk.initial.data(), core);
+}
+
+void Database::RetireKeyLocked(TableId table, Key key, RedoKey& rk, std::size_t core) {
+  assert(!rk.retired && rk.next == rk.slots.size() && "retire before all slots ran");
+  const Epoch epoch = instant_->crashed_epoch;
+  vstore::RowEntry* entry = tables_[table]->Get(key);
+  if (rk.inserted) {
+    // Mirror the insert step, then the final execute-phase write or delete
+    // on top — byte- and pool-identical to what full replay produces.
+    assert(entry == nullptr && "insert of an existing key during redo");
+    const RedoVersion& ins = rk.history.front();
+    entry = InsertRowInternal(table, key, ins.has_data ? ins.data.data() : nullptr,
+                              static_cast<std::uint32_t>(ins.data.size()),
+                              Sid(epoch, ins.slot + 1), core);
+    const RedoVersion& fin = rk.history.back();
+    if (&fin != &ins) {
+      if (fin.deleted) {
+        ProcessDelete(entry, core);
+      } else {
+        PersistFinalImpl(entry, Sid(epoch, fin.slot + 1), fin.data.data(),
+                         static_cast<std::uint32_t>(fin.data.size()), core,
+                         /*replay=*/true);
+      }
+    }
+  } else if (!rk.history.empty()) {
+    assert(entry != nullptr && "write redone for a missing row");
+    const RedoVersion& fin = rk.history.back();
+    if (fin.deleted) {
+      ProcessDelete(entry, core);
+    } else {
+      PersistFinalImpl(entry, Sid(epoch, fin.slot + 1), fin.data.data(),
+                       static_cast<std::uint32_t>(fin.data.size()), core,
+                       /*replay=*/true);
+    }
+  }
+  // No published writes at all (declared but ignored): the persistent row
+  // already holds the committed state (paper 4.6's resolve-ignored rule).
+  rk.retired = true;
+  ++instant_->retired_keys;
+}
+
+void Database::FinishInstantRecoveryLocked() {
+  InstantState& st = *instant_;
+  const Epoch epoch = st.crashed_epoch;
+  // 1. Retire every still-pending key, in digest (slot-major) order.
+  while (st.sweep_next < st.key_order.size()) {
+    const auto [table, key] = st.key_order[st.sweep_next];
+    RedoKey& rk = st.pending[table].find(key)->second;
+    if (!rk.retired) {
+      MaybeCrash(CrashSite::kMidBackfill);
+      EnsureKeyRedoneLocked(table, key, kRedoAllSlots, 0);
+    }
+    ++st.sweep_next;
+  }
+  // 2. Slots with no writes (read-only / counter-only transactions) never
+  // ran through key redo; execute them for their counter effects.
+  for (std::uint32_t slot = 0; slot < st.txn_ran.size(); ++slot) {
+    if (!st.txn_ran[slot]) {
+      RunRedoSlotLocked(slot, 0);
+    }
+  }
+  // 3. Deferred index removals for retire-deleted rows (the crashed epoch's
+  // epoch-end behavior).
+  for (CoreEpochState& cs : core_state_) {
+    for (vstore::RowEntry* entry : cs.deleted) {
+      tables_[entry->table]->Remove(entry->key);
+    }
+    cs.deleted.clear();
+  }
+  // 4. The crashed epoch's checkpoint: pool offsets, index deltas, GC log,
+  // counters, and finally the superblock flip — the durability point after
+  // which a further crash recovers from the next epoch instead.
+  CheckpointEpoch(epoch);
+  current_epoch_ = epoch;
+  instant_.reset();
+  gc_dedup_.clear();
+  instant_active_.store(false, std::memory_order_release);
+}
+
+BackfillProgress Database::RecoveryProgress() const {
+  std::lock_guard<std::mutex> lock(instant_mu_);
+  BackfillProgress progress;
+  if (instant_ == nullptr || !instant_active_.load(std::memory_order_relaxed)) {
+    return progress;
+  }
+  const InstantState& st = *instant_;
+  progress.pending = true;
+  progress.crashed_epoch = st.crashed_epoch;
+  progress.total_keys = st.total_keys;
+  progress.pending_keys = st.total_keys - st.retired_keys;
+  progress.replayed_txns = st.txns_ran;
+  progress.total_txns = st.txns.size();
+  return progress;
+}
+
+StatusOr<std::size_t> Database::RunBackfillStep(std::size_t max_keys) {
+  std::lock_guard<std::mutex> lock(instant_mu_);
+  if (instant_ == nullptr || !instant_active_.load(std::memory_order_relaxed)) {
+    return static_cast<std::size_t>(0);
+  }
+  InstantState& st = *instant_;
+  try {
+    // Collect the next batch of pending keys, then prefetch their pre-epoch
+    // values in parallel over the worker pool (read-only row loads on
+    // disjoint keys), so the serial redo below avoids NVM read stalls.
+    std::vector<std::pair<TableId, Key>> batch;
+    for (std::size_t i = st.sweep_next;
+         i < st.key_order.size() && batch.size() < max_keys; ++i) {
+      const auto& [table, key] = st.key_order[i];
+      if (!st.pending[table].find(key)->second.retired) {
+        batch.push_back(st.key_order[i]);
+      }
+    }
+    if (batch.size() > 1 && spec_.workers > 1) {
+      pool_.RunParallel([&, this](std::size_t w) {
+        for (std::size_t i = w; i < batch.size(); i += spec_.workers) {
+          const auto& [table, key] = batch[i];
+          RedoKey& rk = st.pending[table].find(key)->second;
+          if (!rk.initial_loaded) {
+            LoadRedoInitialLocked(table, key, rk, w);
+          }
+        }
+      });
+    }
+    for (const auto& [table, key] : batch) {
+      RedoKey& rk = st.pending[table].find(key)->second;
+      if (rk.retired) {
+        continue;  // retired as a side effect of an earlier key's redo
+      }
+      MaybeCrash(CrashSite::kMidBackfill);
+      EnsureKeyRedoneLocked(table, key, kRedoAllSlots, 0);
+    }
+    while (st.sweep_next < st.key_order.size() &&
+           st.pending[st.key_order[st.sweep_next].first]
+                   .find(st.key_order[st.sweep_next].second)
+                   ->second.retired) {
+      ++st.sweep_next;
+    }
+    if (st.retired_keys < st.total_keys) {
+      return st.total_keys - st.retired_keys;
+    }
+    FinishInstantRecoveryLocked();
+    return static_cast<std::size_t>(0);
+  } catch (const CrashedException&) {
+    return Status::Aborted("crash hook fired during recovery backfill");
+  }
+}
+
+Status Database::CompleteBackfill() {
+  while (instant_recovery_pending()) {
+    StatusOr<std::size_t> remaining = RunBackfillStep(256);
+    if (!remaining.ok()) {
+      return remaining.status();
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace nvc::core

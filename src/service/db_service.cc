@@ -67,6 +67,13 @@ DbService::DbService(std::unique_ptr<core::Database> db, const ServiceSpec& spec
       [this](const core::EpochResult& result, const std::vector<core::TxnOutcome>& outcomes) {
         OnEpochDurable(result, outcomes);
       });
+  if (db_->instant_recovery_pending()) {
+    const core::BackfillProgress progress = db_->RecoveryProgress();
+    backfill_total_ = progress.total_keys;
+    backfill_epoch_ = progress.crashed_epoch;
+    backfill_pending_.store(progress.pending_keys, std::memory_order_relaxed);
+    recovering_.store(progress.pending, std::memory_order_release);
+  }
   pacer_ = std::thread([this] { PacerLoop(); });
 }
 
@@ -75,6 +82,18 @@ DbService::~DbService() { Stop().IgnoreError(); }
 StatusOr<TxnTicket> DbService::Submit(std::unique_ptr<txn::Transaction> txn) {
   if (!txn) {
     return Status::InvalidArgument("DbService::Submit: transaction must not be null");
+  }
+  if (recovering_.load(std::memory_order_acquire)) {
+    // Don't queue behind an epoch that cannot start yet: tell the client how
+    // long the remaining backfill is likely to take so it can back off. The
+    // snapshot is pacer-maintained, so this never blocks on a backfill step.
+    const std::size_t pending = backfill_pending_.load(std::memory_order_relaxed);
+    const std::size_t retry_ms = 1 + pending / 64;
+    return Status::Unavailable(
+        "DbService::Submit: instant-recovery backfill in progress (" +
+        std::to_string(pending) + " of " + std::to_string(backfill_total_) +
+        " keys pending, crashed epoch " + std::to_string(backfill_epoch_) +
+        "); retry after ~" + std::to_string(retry_ms) + " ms");
   }
   std::unique_lock<std::mutex> lk(mu_);
   if (!fail_status_.ok()) {
@@ -106,7 +125,41 @@ StatusOr<TxnTicket> DbService::Submit(std::unique_ptr<txn::Transaction> txn) {
   return TxnTicket(std::move(state));
 }
 
+bool DbService::RunRecoveryBackfill() {
+  if (!recovering_.load(std::memory_order_acquire)) {
+    return true;
+  }
+  while (db_->instant_recovery_pending()) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stopping_ || !fail_status_.ok()) {
+        // Shut down with the window still open; the database is handed back
+        // pending and the next owner finishes (or re-recovers) the backfill.
+        return false;
+      }
+    }
+    const StatusOr<std::size_t> remaining = db_->RunBackfillStep(64);
+    if (!remaining.ok()) {
+      std::lock_guard<std::mutex> lk(mu_);
+      FailAll(Status::DataLoss("DbService: crash during recovery backfill: " +
+                               remaining.status().message()));
+      recovering_.store(false, std::memory_order_release);
+      return false;
+    }
+    backfill_pending_.store(*remaining, std::memory_order_relaxed);
+  }
+  recovering_.store(false, std::memory_order_release);
+  return true;
+}
+
 void DbService::PacerLoop() {
+  if (!RunRecoveryBackfill()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    flush_ = false;  // nothing was admitted, so a concurrent Drain() is done
+    idle_cv_.notify_all();
+    space_cv_.notify_all();
+    return;
+  }
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
     if (deferred_.empty()) {

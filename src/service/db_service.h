@@ -25,8 +25,15 @@
 //     Submit/Drain return the crash status. Recovery happens outside the
 //     service, exactly as for a hand-driven Database (tools/crash_fuzz
 //     exercises this path against the oracle).
+//   - A database handed over mid-instant-recovery (Recover() returned with
+//     the crashed epoch still pending-replay) is admissible: the pacer
+//     drives the backfill to completion before cutting its first epoch,
+//     and Submit during that window returns kUnavailable with a
+//     retry-after hint so clients can back off instead of queueing behind
+//     an epoch that cannot start yet.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -133,7 +140,9 @@ class DbService {
   // Enqueues one transaction. Thread-safe; admission order is resolution
   // order within an epoch. Failure statuses:
   //   kResourceExhausted  queue full under BackpressurePolicy::kReject
-  //   kUnavailable        Stop()/Drain-to-stop already requested
+  //   kUnavailable        Stop()/Drain-to-stop already requested, or the
+  //                       instant-recovery backfill is still running (the
+  //                       message carries a retry-after-milliseconds hint)
   //   <crash status>      the service failed (simulated crash); the original
   //                       crash status is returned verbatim
   StatusOr<TxnTicket> Submit(std::unique_ptr<txn::Transaction> txn);
@@ -163,6 +172,10 @@ class DbService {
   std::size_t epochs_executed() const;
   std::size_t queue_depth() const;
 
+  // True while the pacer is still backfilling an instant recovery; Submit
+  // returns kUnavailable until this flips false.
+  bool recovering() const { return recovering_.load(std::memory_order_acquire); }
+
   // Why the service failed; OK while healthy.
   Status health() const;
 
@@ -173,6 +186,10 @@ class DbService {
   };
 
   void PacerLoop();
+  // Retires a pending instant-recovery backfill in bounded steps before the
+  // pacer cuts its first epoch. Fails the service if a crash hook fires
+  // mid-backfill. Returns false when the pacer should exit.
+  bool RunRecoveryBackfill();
   // Runs one epoch over `batch` (plus any engine-held Aria deferrals).
   // Called with mu_ held; unlocks during ExecuteEpoch. Returns false when
   // the epoch crashed and the service is now failed.
@@ -201,6 +218,15 @@ class DbService {
   bool executing_ = false;  // pacer is inside ExecuteEpoch
   bool flush_ = false;      // Drain(): cut underfull epochs immediately
   bool stopping_ = false;
+  // Instant-recovery window: set at construction when the database still has
+  // a pending-replay epoch, cleared by the pacer once backfill retires it.
+  // The progress snapshot is kept here (updated by the pacer between steps)
+  // so Submit can fail fast with a hint instead of blocking on the engine's
+  // recovery lock while a backfill step holds it.
+  std::atomic<bool> recovering_{false};
+  std::atomic<std::size_t> backfill_pending_{0};
+  std::size_t backfill_total_ = 0;  // written before the pacer starts
+  Epoch backfill_epoch_ = 0;
   Status fail_status_;  // non-OK once a crash hook fired
   std::size_t epochs_ = 0;
 

@@ -1,0 +1,451 @@
+// Instant recovery (DESIGN.md section 12): the database comes up as soon as
+// the checkpoint header and index are rebuilt, serving reads immediately.
+// Reads of keys the crashed epoch wrote trigger targeted on-demand redo of
+// exactly that key's transaction slice; a background backfill retires the
+// rest and finally checkpoints the epoch. Every observable value — during
+// the pending-replay window, after the backfill, and after further epochs —
+// must match a reference database that never crashed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/oracle.h"
+#include "tests/test_util.h"
+
+namespace nvc::test {
+namespace {
+
+using core::BackfillProgress;
+using core::CrashSite;
+using core::Database;
+using core::DatabaseSpec;
+using core::EpochResult;
+using core::RecoveryReport;
+using sim::NvmDevice;
+
+constexpr std::size_t kRows = 48;      // pre-loaded: small values + big values
+constexpr std::size_t kDynBase = 100;  // insert/delete churn range
+constexpr std::size_t kDynRows = 16;
+constexpr std::size_t kEpochs = 4;
+constexpr std::size_t kTxnsPerEpoch = 48;
+
+DatabaseSpec InstantSpec(std::size_t workers = 1) {
+  DatabaseSpec spec = SmallKvSpec(workers);
+  spec.enable_instant_recovery = true;
+  return spec;
+}
+
+// Deterministic per-epoch stream with updates, RMWs, pool-allocated values,
+// user aborts, and insert/delete churn. The two halves of the dynamic range
+// alternate phase, so every epoch — including the crashed one — contains
+// both inserts of fresh rows and deletes of rows from the previous epoch.
+std::vector<std::unique_ptr<txn::Transaction>> EpochTxns(std::size_t e) {
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  Rng rng(7000 + e);
+  for (std::size_t i = 0; i < kTxnsPerEpoch; ++i) {
+    const std::uint64_t pick = rng.NextBounded(100);
+    const Key key = rng.NextBounded(kRows / 2);
+    if (pick < 35) {
+      txns.push_back(std::make_unique<KvRmwTxn>(key, rng.NextBounded(100)));
+    } else if (pick < 60) {
+      txns.push_back(std::make_unique<KvPutTxn>(key, rng.Next()));
+    } else if (pick < 80) {
+      txns.push_back(std::make_unique<KvBigPutTxn>(kRows / 2 + key, rng.Next()));
+    } else if (pick < 90) {
+      txns.push_back(std::make_unique<KvAbortTxn>(key));
+    }  // else: gap — epochs vary in length
+  }
+  const std::size_t half = kDynRows / 2;
+  for (std::size_t d = 0; d < kDynRows; ++d) {
+    const Key key = kDynBase + d;
+    const bool first_half = d < half;
+    const bool insert_phase = first_half == (e % 2 == 0);
+    if (insert_phase) {
+      txns.push_back(std::make_unique<KvInsertTxn>(key, 9000 + e * 100 + d));
+    } else if (e > 0) {
+      txns.push_back(std::make_unique<KvDeleteTxn>(key));
+    }
+  }
+  return txns;
+}
+
+std::vector<Key> AllKeys() {
+  std::vector<Key> keys;
+  for (std::size_t i = 0; i < kRows; ++i) {
+    keys.push_back(i);
+  }
+  for (std::size_t d = 0; d < kDynRows; ++d) {
+    keys.push_back(kDynBase + d);
+  }
+  return keys;
+}
+
+void LoadAll(Database& db) {
+  for (std::size_t i = 0; i < kRows; ++i) {
+    const std::uint64_t value = 5000 + i;
+    db.BulkLoad(0, i, &value, sizeof(value));
+  }
+  db.FinalizeLoad();
+}
+
+// Runs `epochs` epochs without crashing and returns every key's final bytes
+// (empty vector = key absent).
+std::vector<std::vector<std::uint8_t>> ReferenceRun(const DatabaseSpec& spec,
+                                                    std::size_t epochs = kEpochs) {
+  NvmDevice device(ShadowDeviceConfig(spec));
+  Database db(device, spec);
+  db.Format();
+  LoadAll(db);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    db.ExecuteEpoch(EpochTxns(e));
+  }
+  std::vector<std::vector<std::uint8_t>> values;
+  for (const Key key : AllKeys()) {
+    values.push_back(ReadBytes(db, 0, key));
+  }
+  return values;
+}
+
+// Executes the stream and crashes in the last epoch at `site` (after
+// `fire_after` hits), then simulates the power failure on the device.
+void CrashLastEpoch(NvmDevice& device, const DatabaseSpec& spec, CrashSite site,
+                    std::uint64_t chaos_seed = 0, int fire_after = 0) {
+  {
+    Database db(device, spec);
+    db.Format();
+    LoadAll(db);
+    for (std::size_t e = 0; e + 1 < kEpochs; ++e) {
+      ASSERT_FALSE(db.ExecuteEpoch(EpochTxns(e)).crashed);
+    }
+    int count = 0;
+    db.SetCrashHook([&count, site, fire_after](CrashSite s) {
+      return s == site && ++count > fire_after;
+    });
+    ASSERT_TRUE(db.ExecuteEpoch(EpochTxns(kEpochs - 1)).crashed) << "hook did not fire";
+  }
+  if (chaos_seed != 0) {
+    device.CrashChaos(chaos_seed, 0.5);
+  } else {
+    device.Crash();
+  }
+}
+
+void ExpectMatchesReference(Database& db, const std::vector<std::vector<std::uint8_t>>& expected,
+                            const char* when) {
+  const std::vector<Key> keys = AllKeys();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(ReadBytes(db, 0, keys[i]), expected[i]) << when << ": key " << keys[i];
+  }
+}
+
+// The tentpole contract: recovery returns before any replay work, every read
+// during the pending window already observes replayed state, and the
+// background backfill converges to exactly the reference state.
+TEST(InstantRecoveryTest, ServesReadsDuringBackfillWindow) {
+  const DatabaseSpec spec = InstantSpec();
+  const auto expected = ReferenceRun(spec);
+
+  NvmDevice device(ShadowDeviceConfig(spec));
+  CrashLastEpoch(device, spec, CrashSite::kBeforeEpochPersist);
+
+  Database db(device, spec);
+  const RecoveryReport report = db.Recover(KvRegistry()).value();
+  ASSERT_TRUE(report.instant);
+  ASSERT_TRUE(report.replayed);
+  EXPECT_GT(report.backfill_pending_keys, 0u);
+  EXPECT_GT(report.time_to_first_commit, 0.0);
+  ASSERT_TRUE(db.instant_recovery_pending());
+
+  const BackfillProgress before = db.RecoveryProgress();
+  EXPECT_TRUE(before.pending);
+  EXPECT_EQ(before.total_keys, report.backfill_pending_keys);
+  EXPECT_EQ(before.pending_keys, before.total_keys);
+  EXPECT_EQ(before.replayed_txns, 0u);
+  EXPECT_EQ(before.total_txns, report.replayed_txns);
+
+  // Every read during the window triggers on-demand redo and must already
+  // observe the crashed epoch's committed state.
+  ExpectMatchesReference(db, expected, "during window");
+
+  // Reads alone retire every written key; progress reflects that.
+  const BackfillProgress mid = db.RecoveryProgress();
+  EXPECT_TRUE(mid.pending);  // the epoch is not checkpointed until backfill
+  EXPECT_LT(mid.pending_keys, mid.total_keys);
+
+  ASSERT_TRUE(db.CompleteBackfill().ok());
+  EXPECT_FALSE(db.instant_recovery_pending());
+  EXPECT_FALSE(db.RecoveryProgress().pending);
+  ExpectMatchesReference(db, expected, "after backfill");
+}
+
+// Incremental backfill steps retire keys monotonically without foreground
+// help, and report shrinking progress.
+TEST(InstantRecoveryTest, BackfillStepsRetireMonotonically) {
+  const DatabaseSpec spec = InstantSpec();
+  const auto expected = ReferenceRun(spec);
+
+  NvmDevice device(ShadowDeviceConfig(spec));
+  CrashLastEpoch(device, spec, CrashSite::kBeforeEpochPersist, /*chaos_seed=*/21);
+
+  Database db(device, spec);
+  ASSERT_TRUE(db.Recover(KvRegistry()).value().instant);
+  std::size_t last = db.RecoveryProgress().pending_keys;
+  while (db.instant_recovery_pending()) {
+    const StatusOr<std::size_t> remaining = db.RunBackfillStep(4);
+    ASSERT_TRUE(remaining.ok());
+    EXPECT_LE(*remaining, last);
+    last = *remaining;
+  }
+  EXPECT_EQ(last, 0u);
+  ExpectMatchesReference(db, expected, "after stepped backfill");
+}
+
+// Chaos crashes at the sites around the epoch tail: recovered on-demand
+// reads and the final backfilled state must match the reference.
+TEST(InstantRecoveryTest, ChaosCrashesRecoverOnDemand) {
+  const DatabaseSpec spec = InstantSpec();
+  const auto expected = ReferenceRun(spec);
+
+  for (const CrashSite site : {CrashSite::kAfterExecution, CrashSite::kBeforeEpochPersist}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      NvmDevice device(ShadowDeviceConfig(spec));
+      CrashLastEpoch(device, spec, site, seed);
+
+      Database db(device, spec);
+      const RecoveryReport report = db.Recover(KvRegistry()).value();
+      ASSERT_TRUE(report.instant) << "site " << static_cast<int>(site) << " seed " << seed;
+      ExpectMatchesReference(db, expected, "during window");
+      ASSERT_TRUE(db.CompleteBackfill().ok());
+      ExpectMatchesReference(db, expected, "after backfill");
+    }
+  }
+}
+
+// Crash mid-execution: some of the crashed epoch's final writes are already
+// on NVMM (crash-repair case 3 — the redo must clear and rewrite their
+// untrusted value locations). Backfill-only, no foreground reads.
+TEST(InstantRecoveryTest, PartialExecutionRepairsPersistedFinals) {
+  const DatabaseSpec spec = InstantSpec();
+  const auto expected = ReferenceRun(spec);
+
+  for (const int fire_after : {1, 10, 30}) {
+    NvmDevice device(ShadowDeviceConfig(spec));
+    CrashLastEpoch(device, spec, CrashSite::kMidExecution, 33 + fire_after, fire_after);
+
+    Database db(device, spec);
+    ASSERT_TRUE(db.Recover(KvRegistry()).value().instant);
+    ASSERT_TRUE(db.CompleteBackfill().ok());
+    ExpectMatchesReference(db, expected, "after backfill");
+  }
+}
+
+// New epochs are admitted while replay is pending: ExecuteEpoch finishes the
+// backfill first (the crashed epoch checkpoints before any new-epoch write),
+// then runs the new epoch normally.
+TEST(InstantRecoveryTest, NextEpochFinishesPendingBackfill) {
+  const DatabaseSpec spec = InstantSpec();
+  const auto expected = ReferenceRun(spec, kEpochs + 1);
+
+  NvmDevice device(ShadowDeviceConfig(spec));
+  CrashLastEpoch(device, spec, CrashSite::kBeforeEpochPersist, /*chaos_seed=*/5);
+
+  Database db(device, spec);
+  ASSERT_TRUE(db.Recover(KvRegistry()).value().instant);
+  // Submit the next epoch immediately — no CompleteBackfill call.
+  const EpochResult result = db.ExecuteEpoch(EpochTxns(kEpochs));
+  ASSERT_FALSE(result.crashed);
+  EXPECT_FALSE(db.instant_recovery_pending());
+  ExpectMatchesReference(db, expected, "after next epoch");
+}
+
+// Crash during the background backfill, before the crashed epoch
+// checkpointed: the superblock still names the old epoch, so a second
+// recovery starts over from the same checkpoint + log + digest.
+TEST(InstantRecoveryTest, DoubleCrashMidBackfill) {
+  const DatabaseSpec spec = InstantSpec();
+  const auto expected = ReferenceRun(spec);
+
+  NvmDevice device(ShadowDeviceConfig(spec));
+  CrashLastEpoch(device, spec, CrashSite::kBeforeEpochPersist, /*chaos_seed=*/7);
+
+  {
+    Database db(device, spec);
+    ASSERT_TRUE(db.Recover(KvRegistry()).value().instant);
+    int count = 0;
+    db.SetCrashHook([&count](CrashSite s) {
+      return s == CrashSite::kMidBackfill && ++count > 5;
+    });
+    const Status failed = db.CompleteBackfill();
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.code(), StatusCode::kAborted);
+  }
+  device.CrashChaos(11, 0.5);
+
+  Database recovered(device, spec);
+  ASSERT_TRUE(recovered.Recover(KvRegistry()).value().instant);
+  ASSERT_TRUE(recovered.CompleteBackfill().ok());
+  ExpectMatchesReference(recovered, expected, "after double crash");
+}
+
+// Crash while a foreground read drives on-demand redo: the read surfaces
+// kAborted, and a fresh recovery over the re-crashed image still converges.
+TEST(InstantRecoveryTest, DoubleCrashDuringOnDemandRedo) {
+  const DatabaseSpec spec = InstantSpec();
+  const auto expected = ReferenceRun(spec);
+
+  NvmDevice device(ShadowDeviceConfig(spec));
+  CrashLastEpoch(device, spec, CrashSite::kBeforeEpochPersist, /*chaos_seed=*/13);
+
+  {
+    Database db(device, spec);
+    ASSERT_TRUE(db.Recover(KvRegistry()).value().instant);
+    db.SetCrashHook(
+        [](CrashSite s) { return s == CrashSite::kMidInstantRecoveryOnDemand; });
+    // Scan until a read lands on a still-pending key and fires the hook.
+    bool fired = false;
+    std::uint8_t buffer[4096];
+    for (const Key key : AllKeys()) {
+      const StatusOr<std::uint32_t> n = db.ReadCommitted(0, key, buffer, sizeof(buffer));
+      if (!n.ok() && n.status().code() == StatusCode::kAborted) {
+        fired = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(fired) << "no read hit a pending key";
+  }
+  device.CrashChaos(17, 0.5);
+
+  Database recovered(device, spec);
+  ASSERT_TRUE(recovered.Recover(KvRegistry()).value().instant);
+  ExpectMatchesReference(recovered, expected, "during window");
+  ASSERT_TRUE(recovered.CompleteBackfill().ok());
+  ExpectMatchesReference(recovered, expected, "after backfill");
+}
+
+// Instant recovery composes with the persistent-index fast rebuild: both
+// fast phases run, and the redo path keeps the NVMM index consistent.
+TEST(InstantRecoveryTest, PersistentIndexConfig) {
+  DatabaseSpec spec = InstantSpec();
+  spec.enable_persistent_index = true;
+  const auto expected = ReferenceRun(spec);
+
+  NvmDevice device(ShadowDeviceConfig(spec));
+  CrashLastEpoch(device, spec, CrashSite::kBeforeEpochPersist, /*chaos_seed=*/19);
+
+  Database db(device, spec);
+  const RecoveryReport report = db.Recover(KvRegistry()).value();
+  ASSERT_TRUE(report.instant);
+  ExpectMatchesReference(db, expected, "during window");
+  ASSERT_TRUE(db.CompleteBackfill().ok());
+  ExpectMatchesReference(db, expected, "after backfill");
+  std::string diff;
+  EXPECT_EQ(core::ValidatePersistentIndex(db, &diff), 0u) << diff;
+}
+
+// Instant recovery with the cold tier: demoted values are readable during
+// the window and the backfilled state matches the cold-tier reference.
+TEST(InstantRecoveryTest, ColdTierConfig) {
+  DatabaseSpec spec = InstantSpec();
+  spec.enable_cold_tier = true;
+  spec.cache_k = 1;  // short LRU window so demotions happen within the run
+  spec.cold_block_size = 1024;
+  spec.cold_blocks_per_core = 4096;
+  spec.cold_freelist_capacity = 8192;
+
+  const auto cold_config = [&spec] {
+    sim::NvmConfig config;
+    config.size_bytes = Database::RequiredColdDeviceBytes(spec);
+    config.crash_tracking = sim::CrashTracking::kShadow;
+    config.access_granule = 4096;
+    return config;
+  }();
+
+  std::vector<std::vector<std::uint8_t>> expected;
+  {
+    NvmDevice device(ShadowDeviceConfig(spec));
+    NvmDevice cold(cold_config);
+    Database db(device, spec, &cold);
+    db.Format();
+    LoadAll(db);
+    for (std::size_t e = 0; e < kEpochs; ++e) {
+      db.ExecuteEpoch(EpochTxns(e));
+    }
+    for (const Key key : AllKeys()) {
+      expected.push_back(ReadBytes(db, 0, key));
+    }
+  }
+
+  NvmDevice device(ShadowDeviceConfig(spec));
+  NvmDevice cold(cold_config);
+  {
+    Database db(device, spec, &cold);
+    db.Format();
+    LoadAll(db);
+    for (std::size_t e = 0; e + 1 < kEpochs; ++e) {
+      ASSERT_FALSE(db.ExecuteEpoch(EpochTxns(e)).crashed);
+    }
+    db.SetCrashHook([](CrashSite s) { return s == CrashSite::kBeforeEpochPersist; });
+    ASSERT_TRUE(db.ExecuteEpoch(EpochTxns(kEpochs - 1)).crashed);
+  }
+  device.CrashChaos(23, 0.5);
+  cold.CrashChaos(29, 0.5);
+
+  Database db(device, spec, &cold);
+  ASSERT_TRUE(db.Recover(KvRegistry()).value().instant);
+  ExpectMatchesReference(db, expected, "during window");
+  ASSERT_TRUE(db.CompleteBackfill().ok());
+  ExpectMatchesReference(db, expected, "after backfill");
+}
+
+// Foreground reads race the background backfill from separate threads (the
+// TSan shard runs this): every read observes the reference value, whether it
+// was served by on-demand redo, by an already-retired row, or after the
+// window closed.
+TEST(InstantRecoveryRaceTest, ConcurrentReadsDuringBackfill) {
+  const DatabaseSpec spec = InstantSpec(/*workers=*/2);
+  const auto expected = ReferenceRun(spec);
+
+  NvmDevice device(ShadowDeviceConfig(spec));
+  CrashLastEpoch(device, spec, CrashSite::kBeforeEpochPersist, /*chaos_seed=*/31);
+
+  Database db(device, spec);
+  ASSERT_TRUE(db.Recover(KvRegistry()).value().instant);
+
+  const std::vector<Key> keys = AllKeys();
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&db, &keys, &expected, &mismatches, t] {
+      for (int pass = 0; pass < 3; ++pass) {
+        for (std::size_t i = t % 2; i < keys.size(); i += 1 + pass % 2) {
+          std::vector<std::uint8_t> buffer(4096);
+          const StatusOr<std::uint32_t> n =
+              db.ReadCommitted(0, keys[i], buffer.data(), buffer.size());
+          std::vector<std::uint8_t> got;
+          if (n.ok()) {
+            buffer.resize(*n);
+            got = std::move(buffer);
+          }
+          if (got != expected[i]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  while (db.instant_recovery_pending()) {
+    ASSERT_TRUE(db.RunBackfillStep(8).ok());
+  }
+  for (auto& reader : readers) {
+    reader.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0u);
+  ExpectMatchesReference(db, expected, "after race");
+}
+
+}  // namespace
+}  // namespace nvc::test

@@ -380,6 +380,74 @@ TEST(DbServiceTest, ConcurrentSubmitters) {
   }
 }
 
+// A database handed over mid-instant-recovery: Submit during the backfill
+// window returns kUnavailable with a retry-after hint, the pacer retires the
+// backfill on its own, and a client that backs off is eventually admitted.
+TEST(DbServiceTest, InstantRecoveryWindowRefusesSubmitsThenAdmits) {
+  DatabaseSpec spec = SmallKvSpec();
+  spec.enable_instant_recovery = true;
+  NvmDevice device(ShadowDeviceConfig(spec));
+  {
+    auto db = MakeLoadedDb(device, spec);
+    int persists = 0;
+    db->SetCrashHook([&persists](CrashSite site) {
+      return site == CrashSite::kBeforeEpochPersist && ++persists == 2;
+    });
+    for (std::uint64_t e = 1; e <= 2; ++e) {
+      std::vector<std::unique_ptr<txn::Transaction>> batch;
+      for (Key key = 0; key < kLoadedRows; ++key) {
+        batch.push_back(std::make_unique<KvPutTxn>(key, 100 * e + key));
+      }
+      db->ExecuteEpoch(std::move(batch));
+    }
+  }
+  device.Crash();
+
+  auto db = std::make_unique<Database>(device, spec);
+  const auto report = db->Recover(KvRegistry());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->instant);
+
+  // Throttle the pacer's backfill (the hook runs once per pending key) so
+  // the window is reliably open when the first Submit lands.
+  std::atomic<bool> throttle{true};
+  db->SetCrashHook([&throttle](CrashSite site) {
+    if (site == CrashSite::kMidBackfill && throttle.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return false;
+  });
+
+  ServiceSpec sspec;
+  sspec.max_epoch_txns = 4;
+  sspec.max_epoch_delay = std::chrono::microseconds(1000);
+  DbService svc(std::move(db), sspec);
+  EXPECT_TRUE(svc.recovering());
+
+  const auto refused = svc.Submit(std::make_unique<KvPutTxn>(0, 999));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(refused.status().message().find("retry after"), std::string::npos)
+      << refused.status().ToString();
+  throttle.store(false);
+
+  StatusOr<TxnTicket> admitted = svc.Submit(std::make_unique<KvPutTxn>(0, 999));
+  while (!admitted.ok()) {
+    ASSERT_EQ(admitted.status().code(), StatusCode::kUnavailable);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    admitted = svc.Submit(std::make_unique<KvPutTxn>(0, 999));
+  }
+  EXPECT_FALSE(svc.recovering());
+  ASSERT_TRUE(svc.Drain().ok());
+  EXPECT_EQ(admitted->Get().outcome, TicketOutcome::kCommitted);
+
+  auto recovered = svc.TakeDatabase();
+  recovered->SetCrashHook({});
+  EXPECT_FALSE(recovered->instant_recovery_pending());
+  EXPECT_EQ(ReadU64(*recovered, 0, 0), 999u);
+  EXPECT_EQ(ReadU64(*recovered, 0, 1), 201u);  // the crashed epoch's write
+}
+
 TEST(DbServiceTest, StopRefusesFurtherSubmissions) {
   const DatabaseSpec spec = SmallKvSpec();
   NvmDevice device(ShadowDeviceConfig(spec));

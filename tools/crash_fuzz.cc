@@ -208,7 +208,23 @@ std::vector<FuzzConfig> BuildConfigs(bool smoke) {
     spec.cold_freelist_capacity = 8192;
     configs.push_back({"cold-tier", spec, true});
   }
+  {
+    DatabaseSpec spec = nvc::test::SmallKvSpec();
+    spec.enable_instant_recovery = true;
+    configs.push_back({"instant", spec, false});
+  }
   if (!smoke) {
+    {
+      DatabaseSpec spec = nvc::test::SmallKvSpec();
+      spec.enable_instant_recovery = true;
+      spec.enable_persistent_index = true;
+      configs.push_back({"instant-pindex", spec, false});
+    }
+    {
+      DatabaseSpec spec = nvc::test::SmallKvSpec(/*workers=*/4);
+      spec.enable_instant_recovery = true;
+      configs.push_back({"instant-mt", spec, false});
+    }
     {
       DatabaseSpec spec = nvc::test::SmallKvSpec();
       spec.enable_minor_gc = false;
@@ -247,10 +263,20 @@ NvmConfig ColdDeviceConfig(const DatabaseSpec& spec) {
 // How many times a run may let a site pass before firing: dense sites are
 // reached many times per epoch, sparse ones once, so the fire index doubles
 // as a crash-epoch / crash-depth randomizer.
+// The two recovery-window sites are reached once per still-pending key on a
+// recovering database (see RunRecoverySiteCase); a small bound fires them
+// reliably even when chaos shrinks the pending set.
+bool IsRecoverySite(CrashSite site) {
+  return site == CrashSite::kMidInstantRecoveryOnDemand || site == CrashSite::kMidBackfill;
+}
+
 std::uint64_t FireIndexBound(CrashSite site) {
   switch (site) {
     case CrashSite::kMidExecution:
       return kEpochs * kTxnsPerEpoch / 2;
+    case CrashSite::kMidInstantRecoveryOnDemand:
+    case CrashSite::kMidBackfill:
+      return 8;
     case CrashSite::kDuringIndexApply:
       return kEpochs * 8;
     case CrashSite::kMidParallelIndexApply:
@@ -303,9 +329,173 @@ const OracleState& ReferenceState(const FuzzConfig& config, std::size_t config_i
       .first->second;
 }
 
+constexpr double kKeepSweep[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+
+// Simulates the power failure on the hot (and optional cold) device.
+void CrashDevices(NvmDevice& device, NvmDevice* cold, int mode, std::uint64_t crash_seed,
+                  double keep) {
+  switch (mode) {
+    case 0:
+      device.Crash();
+      if (cold) cold->Crash();
+      break;
+    case 1:
+      device.CrashChaos(crash_seed, keep);
+      if (cold) cold->CrashChaos(crash_seed ^ 0x5bd1e995, keep);
+      break;
+    default:
+      device.CrashTorn(crash_seed, keep);
+      if (cold) cold->CrashTorn(crash_seed ^ 0x5bd1e995, keep);
+      break;
+  }
+}
+
+// Full-state diff against the oracle; returns a failure description.
+std::string DiffAgainstOracle(const OracleState& expected, Database& db, SweepStats* stats) {
+  std::string failure;
+  const OracleState actual = nvc::core::CaptureState(db);
+  std::string diff;
+  const std::size_t divergences = nvc::core::DiffStates(expected, actual, &diff);
+  stats->divergences += divergences;
+  if (divergences != 0) {
+    failure += "state diverged (" + std::to_string(divergences) + "):\n" + diff;
+  }
+  std::string index_diff;
+  const std::size_t index_bad = nvc::core::ValidatePersistentIndex(db, &index_diff);
+  stats->index_inconsistencies += index_bad;
+  if (index_bad != 0) {
+    failure += "persistent index inconsistent (" + std::to_string(index_bad) + "):\n" +
+               index_diff;
+  }
+  return failure;
+}
+
+// Double-crash run targeting the instant-recovery window itself: crash the
+// epoch tail, recover instantly, then crash AGAIN while either a foreground
+// read drives on-demand redo (kMidInstantRecoveryOnDemand) or the background
+// backfill is sweeping (kMidBackfill). The third recovery must still reach
+// the oracle state — the proof that no instant-recovery step makes a
+// persistent mutation the next recovery cannot absorb.
+std::string RunRecoverySiteCase(const FuzzConfig& config, std::size_t config_index,
+                                std::uint64_t seed, CrashSite site, SweepStats* stats,
+                                bool verbose) {
+  const StreamSpec stream = GenerateStream(seed);
+  const OracleState& expected = ReferenceState(config, config_index, seed, stream);
+
+  Rng run_rng(seed * 1000003 + static_cast<std::uint64_t>(site) * 101 + config_index * 31 + 7);
+  const std::uint64_t crash_epoch = run_rng.NextBounded(kEpochs);
+  const std::uint64_t fire_index = 1 + run_rng.NextBounded(FireIndexBound(site));
+  const int mode = static_cast<int>(run_rng.NextBounded(3));
+  const double keep = kKeepSweep[run_rng.NextBounded(5)];
+  const std::uint64_t crash_seed = run_rng.Next();
+  const int mode2 = static_cast<int>(run_rng.NextBounded(3));
+  const double keep2 = kKeepSweep[run_rng.NextBounded(5)];
+  const std::uint64_t crash_seed2 = run_rng.Next();
+
+  NvmDevice device(nvc::test::ShadowDeviceConfig(config.spec));
+  std::unique_ptr<NvmDevice> cold;
+  if (config.cold) {
+    cold = std::make_unique<NvmDevice>(ColdDeviceConfig(config.spec));
+  }
+
+  ++stats->runs;
+  ++stats->armed[static_cast<std::size_t>(site)];
+
+  // First crash: at the epoch tail, so the whole epoch is pending-replay.
+  {
+    Database db(device, config.spec, cold.get());
+    db.Format();
+    LoadAll(db);
+    std::atomic<std::uint64_t> reached{0};
+    db.SetCrashHook([&reached, crash_epoch](CrashSite s) {
+      return s == CrashSite::kBeforeEpochPersist && ++reached == crash_epoch + 1;
+    });
+    bool crashed = false;
+    for (std::size_t e = 0; e < stream.size(); ++e) {
+      if (db.ExecuteEpoch(Materialize(stream[e])).crashed) {
+        crashed = true;
+        break;
+      }
+    }
+    stats->coverage.Merge(db.crash_coverage());
+    if (!crashed) {
+      return "kBeforeEpochPersist unexpectedly never reached";
+    }
+  }
+  CrashDevices(device, cold.get(), mode, crash_seed, keep);
+
+  // Recover with the window-site hook armed; a chaos/torn first crash may
+  // have destroyed the digest or the log, in which case the window never
+  // opens and the run counts as a miss.
+  bool fired = false;
+  auto db = std::make_unique<Database>(device, config.spec, cold.get());
+  {
+    std::atomic<std::uint64_t> reached{0};
+    db->SetCrashHook([&reached, site, fire_index](CrashSite s) {
+      return s == site && ++reached == fire_index;
+    });
+    const nvc::core::RecoveryReport report = db->Recover(nvc::test::KvRegistry()).value();
+    if (report.instant) {
+      if (site == CrashSite::kMidInstantRecoveryOnDemand) {
+        // Foreground traffic: read the whole keyspace during the window.
+        std::uint8_t buffer[512];
+        for (Key key = 0; key < kDynBase + kDynRows && !fired; ++key) {
+          const nvc::StatusOr<std::uint32_t> n = db->ReadCommitted(0, key, buffer, sizeof(buffer));
+          if (!n.ok() && n.status().code() == nvc::StatusCode::kAborted) {
+            fired = true;
+          }
+        }
+      }
+      if (!fired && !db->CompleteBackfill().ok()) {
+        fired = true;
+      }
+    } else if (!report.replayed) {
+      db->ExecuteEpoch(Materialize(stream[crash_epoch]));
+    }
+    stats->coverage.Merge(db->crash_coverage());
+  }
+
+  if (fired) {
+    ++stats->crashed_runs;
+    ++stats->armed_fired[static_cast<std::size_t>(site)];
+    db.reset();
+    CrashDevices(device, cold.get(), mode2, crash_seed2, keep2);
+    db = std::make_unique<Database>(device, config.spec, cold.get());
+    const nvc::core::RecoveryReport report = db->Recover(nvc::test::KvRegistry()).value();
+    if (report.instant) {
+      const nvc::Status st = db->CompleteBackfill();
+      if (!st.ok()) {
+        return "CompleteBackfill failed after double crash: " + st.message();
+      }
+    } else if (!report.replayed) {
+      db->ExecuteEpoch(Materialize(stream[crash_epoch]));
+    }
+    stats->coverage.Merge(db->crash_coverage());
+  } else {
+    ++stats->missed_runs;
+  }
+
+  for (std::size_t e = crash_epoch + 1; e < stream.size(); ++e) {
+    db->ExecuteEpoch(Materialize(stream[e]));
+  }
+  const std::string failure = DiffAgainstOracle(expected, *db, stats);
+  if (verbose || !failure.empty()) {
+    static constexpr const char* kModeNames[] = {"crash", "chaos", "torn"};
+    std::printf("[%s seed=%llu site=%s mode=%s/%s keep=%.2f/%.2f fire=%llu] %s\n",
+                config.name.c_str(), static_cast<unsigned long long>(seed),
+                CrashSiteName(site), kModeNames[mode], kModeNames[mode2], keep, keep2,
+                static_cast<unsigned long long>(fire_index),
+                failure.empty() ? (fired ? "ok" : "miss") : "FAIL");
+  }
+  return failure;
+}
+
 // One crash-and-recover run. Returns a failure description, empty on success.
 std::string RunCase(const FuzzConfig& config, std::size_t config_index, std::uint64_t seed,
                     CrashSite site, SweepStats* stats, bool verbose) {
+  if (IsRecoverySite(site)) {
+    return RunRecoverySiteCase(config, config_index, seed, site, stats, verbose);
+  }
   const StreamSpec stream = GenerateStream(seed);
   const OracleState& expected = ReferenceState(config, config_index, seed, stream);
 
@@ -313,7 +503,6 @@ std::string RunCase(const FuzzConfig& config, std::size_t config_index, std::uin
   Rng run_rng(seed * 1000003 + static_cast<std::uint64_t>(site) * 101 + config_index * 31 + 7);
   const std::uint64_t fire_index = 1 + run_rng.NextBounded(FireIndexBound(site));
   const int mode = static_cast<int>(run_rng.NextBounded(3));
-  constexpr double kKeepSweep[] = {0.0, 0.25, 0.5, 0.75, 1.0};
   const double keep = kKeepSweep[run_rng.NextBounded(5)];
   const std::uint64_t crash_seed = run_rng.Next();
   const bool use_service = run_rng.NextBounded(2) == 1;
@@ -401,9 +590,24 @@ std::string RunCase(const FuzzConfig& config, std::size_t config_index, std::uin
       // The crashed epoch's log never became durable, so that epoch never
       // changed persistent state; re-run it through the normal path.
       db->ExecuteEpoch(Materialize(stream[crash_epoch]));
+    } else if (report.instant && run_rng.NextBounded(2) == 1) {
+      // Half the instant runs retire the backfill eagerly; the other half let
+      // the next ExecuteEpoch pre-finish it, covering both admission paths.
+      const nvc::Status st = db->CompleteBackfill();
+      if (!st.ok()) {
+        return "CompleteBackfill failed: " + st.message();
+      }
     }
     for (std::size_t e = crash_epoch + 1; e < stream.size(); ++e) {
       db->ExecuteEpoch(Materialize(stream[e]));
+    }
+    if (db->instant_recovery_pending()) {
+      // CaptureState reads the store directly (no on-demand redo), so a run
+      // that crashed in its final epoch must retire the window first.
+      const nvc::Status st = db->CompleteBackfill();
+      if (!st.ok()) {
+        return "CompleteBackfill failed: " + st.message();
+      }
     }
   } else {
     // The armed site was never reached (e.g. no demotion happened this run).
@@ -413,21 +617,7 @@ std::string RunCase(const FuzzConfig& config, std::size_t config_index, std::uin
     db->Recover(nvc::test::KvRegistry()).value();
   }
 
-  std::string failure;
-  const OracleState actual = nvc::core::CaptureState(*db);
-  std::string diff;
-  const std::size_t divergences = nvc::core::DiffStates(expected, actual, &diff);
-  stats->divergences += divergences;
-  if (divergences != 0) {
-    failure += "state diverged (" + std::to_string(divergences) + "):\n" + diff;
-  }
-  std::string index_diff;
-  const std::size_t index_bad = nvc::core::ValidatePersistentIndex(*db, &index_diff);
-  stats->index_inconsistencies += index_bad;
-  if (index_bad != 0) {
-    failure += "persistent index inconsistent (" + std::to_string(index_bad) + "):\n" +
-               index_diff;
-  }
+  const std::string failure = DiffAgainstOracle(expected, *db, stats);
 
   if (verbose || !failure.empty()) {
     static constexpr const char* kModeNames[] = {"crash", "chaos", "torn"};
@@ -479,6 +669,10 @@ int main(int argc, char** argv) {
     const std::size_t crashed_before = stats.crashed_runs;
     for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
       for (CrashSite site : kAllCrashSites) {
+        // The recovery-window sites only exist when instant recovery is on.
+        if (IsRecoverySite(site) && !configs[c].spec.enable_instant_recovery) {
+          continue;
+        }
         const std::string failure = RunCase(configs[c], c, seed, site, &stats, verbose);
         if (!failure.empty()) {
           ++failures;

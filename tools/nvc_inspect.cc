@@ -30,6 +30,7 @@ core::DatabaseSpec DemoSpec() {
   spec.tables.push_back(core::TableSpec{.name = "accounts", .capacity_rows = 1024});
   spec.value_blocks_per_core = 1024;
   spec.log_bytes = 1u << 20;
+  spec.enable_instant_recovery = true;
   return spec;
 }
 
@@ -46,6 +47,13 @@ struct RawLogHeader {
   std::uint64_t payload_bytes;
   std::uint64_t checksum;
   std::uint64_t complete;
+};
+
+// Mirrors core::DigestEntry (one declared write of the pending epoch).
+struct RawDigestEntry {
+  Key key;
+  std::uint32_t table;
+  std::uint32_t slot;
 };
 
 }  // namespace
@@ -96,9 +104,50 @@ int main(int argc, char** argv) {
       replay_pending = true;
     }
   }
+  // The replay digest decides whether the pending epoch can be recovered
+  // instantly (on-demand redo + background backfill) or needs a full replay.
+  std::uint64_t digest_base = 0;
+  for (const auto& area : areas) {
+    if (area.name.rfind("replay digest", 0) == 0) {
+      digest_base = area.offset;
+    }
+  }
+  bool instant_ready = false;
+  if (digest_base != 0) {
+    for (int parity = 0; parity < 2; ++parity) {
+      const std::uint64_t buffer = digest_base + parity * spec.digest_bytes;
+      const auto* header = device.As<RawLogHeader>(buffer);
+      if (header->complete != 1) {
+        std::printf("replay digest[%d] : incomplete/empty\n", parity);
+        continue;
+      }
+      const std::uint64_t entries = header->payload_bytes / sizeof(RawDigestEntry);
+      std::printf("replay digest[%d] : epoch %u, %" PRIu64 " declared writes, complete\n",
+                  parity, header->epoch, entries);
+      if (replay_pending && header->epoch == sb->epoch + 1) {
+        instant_ready = true;
+        const auto* first =
+            device.As<RawDigestEntry>(buffer + sizeof(RawLogHeader));
+        const std::uint64_t sample = entries < 4 ? entries : 4;
+        for (std::uint64_t i = 0; i < sample; ++i) {
+          std::printf("    entry %" PRIu64 "      : table %u key %" PRIu64 " -> txn slot %u\n",
+                      i, first[i].table, static_cast<std::uint64_t>(first[i].key),
+                      first[i].slot);
+        }
+        if (entries > sample) {
+          std::printf("    ... %" PRIu64 " more entries\n", entries - sample);
+        }
+      }
+    }
+  } else {
+    std::printf("replay digest    : absent (instant recovery disabled in this spec)\n");
+  }
   std::printf("recovery outlook : %s\n",
               replay_pending
-                  ? "epoch in flight at crash; recovery will deterministically replay it"
+                  ? (instant_ready
+                         ? "epoch in flight at crash; digest is complete, so recovery can "
+                           "serve reads instantly and backfill the epoch in the background"
+                         : "epoch in flight at crash; recovery will deterministically replay it")
                   : "clean checkpoint; recovery rebuilds the index only");
 
   std::printf("\non-device area map:\n");
