@@ -1,0 +1,360 @@
+// PR7 epoch-pipelining bench: barrier vs pipelined epoch submission.
+//
+// Runs low-contention TPC-C (~45% NewOrder: every transaction inserts an
+// order, its order lines, and a new-order row, so the persistent-index
+// delta batch and the GC log — the bulk of the work the pipelined tail
+// moves off the submission path — are as large as the engine ever sees)
+// under Optane latency injection, once with the pipelined epoch tail
+// (enable_epoch_pipeline, the default) and once with the synchronous
+// barrier engine, at 1/2/4 workers.
+//
+// The headline metric is submission-path epochs/sec measured in CPU time:
+// for each epoch run against a quiesced engine, the process-CPU cost of
+// ExecuteEpoch plus the WaitIdle drain, minus the tail thread's own CPU
+// (PipelineStats.tail_cpu_ns — zero for the barrier engine, which has no
+// tail thread). That difference is exactly the work left on the submission
+// path: on a machine with a core to spare for the tail thread — the
+// deployment the pipeline targets — it is the submitter-visible epoch
+// latency. CPU time is used instead of wall clock because this container
+// shares its single CPU with a noisy neighborhood: wall-clock windows for
+// identical epochs vary by >2x with scheduler preemption (each sample's
+// wall window is still recorded in the JSON alongside, and hw_concurrency
+// says how believable wall-clock overlap is on the host that produced the
+// file). The barrier engine pays the tail on the submission path by
+// construction, so the pipelined engine must come out strictly faster by
+// about the tail's CPU share; the bench asserts that and records it as
+// "pipelined_strictly_faster".
+//
+// Measurement discipline: the two engines are built side by side on
+// identical transaction streams and sampled in strictly alternating
+// barrier/pipelined pairs; the per-mode median over the samples decides
+// the comparison, and every sample lands in the JSON.
+//
+// The pipelined engine must not change what becomes durable. At 1 worker
+// the two engines' transaction streams are bit-identical and the bench
+// requires device write_bytes / persisted_lines / fences to match exactly
+// (persist_ops is excluded — the tail thread batches clwb ranges
+// differently than the inline tail, which is allowed: same lines, same
+// fences). At >1 workers TPC-C is not bit-deterministic across runs (the
+// per-district order-id counters draw in worker-arrival order), so the
+// ledger is only required to match within 0.1%.
+//
+// Usage: bench_pr7_pipeline [--out=PATH] [--workers-max=N] (default out
+// BENCH_PR7.json, workers 1,2,4 capped by --workers-max)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <ctime>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/workload/tpcc.h"
+
+namespace nvc::bench {
+namespace {
+
+using core::Database;
+using workload::TpccConfig;
+using workload::TpccWorkload;
+
+constexpr std::size_t kWarmupEpochs = 2;  // untimed, before the first sample
+constexpr std::size_t kSamples = 15;      // timed epochs per mode; median wins
+
+double ProcessCpuMs() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) {
+    return 0;
+  }
+  return static_cast<double>(ts.tv_sec) * 1e3 + static_cast<double>(ts.tv_nsec) / 1e6;
+}
+
+struct ModeStats {
+  double epochs_per_sec = 0;   // 1 / median submission-path CPU per epoch
+  double txns_per_sec = 0;
+  double median_submit_cpu_ms = 0;
+  double median_wall_ms = 0;      // ExecuteEpoch wall window (noisy host!)
+  double median_drain_ms = 0;     // WaitIdle wall after each window
+  double tail_cpu_ms = 0;         // summed tail-thread CPU over the run
+  double tail_overlap_fraction = 0;
+  std::vector<double> submit_cpu_ms;  // every sample, for the JSON
+  std::vector<double> wall_ms;
+  std::vector<double> drain_ms;
+  sim::NvmCounters nvm;  // device totals after the final quiesce
+};
+
+struct PairedRun {
+  std::size_t workers = 1;
+  ModeStats barrier;
+  ModeStats pipelined;
+};
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+TpccConfig BenchTpccConfig(std::size_t total_epochs, std::size_t txns_per_epoch) {
+  TpccConfig config;
+  config.warehouses = 8;  // low contention: Table 3's parallelizable mix
+  config.items = static_cast<std::uint32_t>(Scaled(2000));
+  config.customers_per_district = 120;
+  config.initial_orders_per_district = 120;
+  // Every epoch inserts up to txns_per_epoch new orders; size the pools for
+  // the whole run plus slack so allocation never becomes the bottleneck.
+  config.new_order_capacity =
+      static_cast<std::uint32_t>(total_epochs * txns_per_epoch + 10'000);
+  return config;
+}
+
+// One engine under measurement. The two instances run identical streams:
+// TpccWorkload is seeded identically and MakeEpoch draws are consumed in
+// lockstep (one epoch per side per round).
+struct Engine {
+  explicit Engine(std::size_t workers, bool pipelined, std::size_t total_epochs,
+                  std::size_t txns_per_epoch)
+      : workload(BenchTpccConfig(total_epochs, txns_per_epoch)) {
+    core::DatabaseSpec spec = workload.Spec(workers);
+    spec.enable_epoch_pipeline = pipelined;
+    spec.enable_persistent_index = true;  // index deltas apply in the tail
+    spec.gc_log_capacity = 1 << 17;
+
+    sim::NvmConfig hot_config;
+    hot_config.size_bytes = Database::RequiredDeviceBytes(spec);
+    hot_config.latency = sim::LatencyProfile::Optane();
+    device = std::make_unique<sim::NvmDevice>(hot_config);
+    db = std::make_unique<Database>(*device, spec);
+    db->Format();
+    workload.Load(*db);
+    db->FinalizeLoad();
+
+    ProfilerConfig profiler_config;
+    profiler_config.enabled = true;  // PipelineStats accrue only when profiling
+    db->ConfigureProfiler(profiler_config);
+    db->stats().Reset();
+    device->stats().Reset();
+  }
+
+  void RequireIdle() {
+    if (!db->WaitIdle().ok()) {
+      std::fprintf(stderr, "WaitIdle failed (crash hook fired?)\n");
+      std::abort();
+    }
+  }
+
+  double TailCpuMs() {
+    return static_cast<double>(db->ProfileReport().pipeline.tail_cpu_ns) / 1e6;
+  }
+
+  // Runs one epoch against the quiesced engine. The submission-path CPU is
+  // the process CPU consumed from submit to full quiesce, minus whatever
+  // the tail thread burned — work a dedicated tail core would absorb.
+  void Sample(std::size_t txns, ModeStats& stats) {
+    RequireIdle();
+    const double tail_cpu_before = TailCpuMs();
+    const double cpu_start = ProcessCpuMs();
+    const auto start = std::chrono::steady_clock::now();
+    committed += db->ExecuteEpoch(workload.MakeEpoch(txns)).committed;
+    const auto cut = std::chrono::steady_clock::now();
+    RequireIdle();
+    const double cpu_end = ProcessCpuMs();
+    const auto idle = std::chrono::steady_clock::now();
+    const double tail_cpu = TailCpuMs() - tail_cpu_before;
+    stats.submit_cpu_ms.push_back(cpu_end - cpu_start - tail_cpu);
+    stats.wall_ms.push_back(std::chrono::duration<double>(cut - start).count() * 1e3);
+    stats.drain_ms.push_back(std::chrono::duration<double>(idle - cut).count() * 1e3);
+  }
+
+  TpccWorkload workload;
+  std::unique_ptr<sim::NvmDevice> device;
+  std::unique_ptr<Database> db;
+  std::size_t committed = 0;
+};
+
+PairedRun Run(std::size_t workers, std::size_t txns_per_epoch) {
+  const std::size_t total_epochs = kWarmupEpochs + kSamples;
+  Engine barrier(workers, /*pipelined=*/false, total_epochs, txns_per_epoch);
+  Engine pipelined(workers, /*pipelined=*/true, total_epochs, txns_per_epoch);
+
+  PairedRun run;
+  run.workers = workers;
+
+  for (std::size_t e = 0; e < kWarmupEpochs; ++e) {
+    barrier.db->ExecuteEpoch(barrier.workload.MakeEpoch(txns_per_epoch));
+    pipelined.db->ExecuteEpoch(pipelined.workload.MakeEpoch(txns_per_epoch));
+  }
+
+  // Alternate the timed samples so host-load drift hits both modes equally.
+  for (std::size_t s = 0; s < kSamples; ++s) {
+    barrier.Sample(txns_per_epoch, run.barrier);
+    pipelined.Sample(txns_per_epoch, run.pipelined);
+  }
+
+  auto finish = [](Engine& engine, ModeStats& stats) {
+    engine.RequireIdle();
+    stats.median_submit_cpu_ms = Median(stats.submit_cpu_ms);
+    stats.median_wall_ms = Median(stats.wall_ms);
+    stats.median_drain_ms = Median(stats.drain_ms);
+    stats.epochs_per_sec = 1e3 / stats.median_submit_cpu_ms;
+    stats.txns_per_sec = stats.epochs_per_sec *
+                         (static_cast<double>(engine.committed) /
+                          static_cast<double>(kWarmupEpochs + kSamples));
+    const ProfileReport report = engine.db->ProfileReport();
+    stats.tail_cpu_ms = static_cast<double>(report.pipeline.tail_cpu_ns) / 1e6;
+    stats.tail_overlap_fraction = report.pipeline.overlap_fraction();
+    stats.nvm = engine.device->stats().Snapshot();
+  };
+  finish(barrier, run.barrier);
+  finish(pipelined, run.pipelined);
+  return run;
+}
+
+void WriteSamples(std::FILE* f, const char* name, const std::vector<double>& v, bool last) {
+  std::fprintf(f, "        \"%s\": [", name);
+  for (std::size_t j = 0; j < v.size(); ++j) {
+    std::fprintf(f, "%s%.3f", j == 0 ? "" : ", ", v[j]);
+  }
+  std::fprintf(f, "]%s\n", last ? "" : ",");
+}
+
+void WriteModeJson(std::FILE* f, const char* name, const ModeStats& stats, bool last) {
+  std::fprintf(f, "      \"%s\": {\n", name);
+  std::fprintf(f, "        \"epochs_per_sec\": %.3f,\n", stats.epochs_per_sec);
+  std::fprintf(f, "        \"txns_per_sec\": %.1f,\n", stats.txns_per_sec);
+  std::fprintf(f, "        \"median_submit_cpu_ms\": %.3f,\n", stats.median_submit_cpu_ms);
+  std::fprintf(f, "        \"median_wall_ms\": %.3f,\n", stats.median_wall_ms);
+  std::fprintf(f, "        \"median_drain_ms\": %.3f,\n", stats.median_drain_ms);
+  std::fprintf(f, "        \"tail_cpu_ms\": %.3f,\n", stats.tail_cpu_ms);
+  std::fprintf(f, "        \"tail_overlap_fraction\": %.4f,\n", stats.tail_overlap_fraction);
+  WriteSamples(f, "submit_cpu_ms", stats.submit_cpu_ms, /*last=*/false);
+  WriteSamples(f, "wall_ms", stats.wall_ms, /*last=*/false);
+  WriteSamples(f, "drain_ms", stats.drain_ms, /*last=*/false);
+  std::fprintf(f,
+               "        \"nvm\": {\"write_bytes\": %llu, \"persisted_lines\": %llu, "
+               "\"persist_ops\": %llu, \"fences\": %llu}\n",
+               static_cast<unsigned long long>(stats.nvm.write_bytes),
+               static_cast<unsigned long long>(stats.nvm.persisted_lines),
+               static_cast<unsigned long long>(stats.nvm.persist_ops),
+               static_cast<unsigned long long>(stats.nvm.fences));
+  std::fprintf(f, "      }%s\n", last ? "" : ",");
+}
+
+}  // namespace
+}  // namespace nvc::bench
+
+int main(int argc, char** argv) {
+  using namespace nvc::bench;
+
+  std::string out_path = "BENCH_PR7.json";
+  std::size_t workers_max = 4;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+    } else if (std::strncmp(arg, "--workers-max=", 14) == 0) {
+      const long parsed = std::atol(arg + 14);
+      if (parsed <= 0) {
+        std::fprintf(stderr, "--workers-max requires a positive integer\n");
+        return 2;
+      }
+      workers_max = static_cast<std::size_t>(parsed);
+    } else {
+      std::fprintf(stderr, "usage: bench_pr7_pipeline [--out=PATH] [--workers-max=N]\n");
+      return 2;
+    }
+  }
+
+  PrintHeader("PR7", "epoch pipelining: barrier vs pipelined submission path");
+
+  const std::size_t txns = Scaled(2000);
+  std::vector<std::size_t> worker_counts;
+  for (std::size_t w = 1; w <= workers_max; w *= 2) {
+    worker_counts.push_back(w);
+  }
+
+  std::vector<PairedRun> runs;
+  for (std::size_t w : worker_counts) {
+    runs.push_back(Run(w, txns));
+  }
+
+  std::printf("%-8s %-9s %12s %12s %14s %12s %10s %9s\n", "workers", "mode", "epochs/s",
+              "txn/s", "submit cpu ms", "wall ms", "tail ms", "overlap");
+  bool counters_stable = true;
+  bool pipelined_faster = true;
+  bool overlap_positive = true;
+  for (const PairedRun& run : runs) {
+    for (const auto& [name, stats] :
+         {std::pair<const char*, const ModeStats*>{"barrier", &run.barrier},
+          std::pair<const char*, const ModeStats*>{"pipelined", &run.pipelined}}) {
+      std::printf("%-8zu %-9s %12.2f %12.0f %14.2f %12.2f %10.2f %9.3f\n", run.workers, name,
+                  stats->epochs_per_sec, stats->txns_per_sec, stats->median_submit_cpu_ms,
+                  stats->median_wall_ms, stats->tail_cpu_ms, stats->tail_overlap_fraction);
+    }
+    // Same txn stream, same durability protocol -> the durable-write ledger
+    // must be identical (exact at 1 worker; TPC-C's order-id counter draws
+    // are worker-arrival-ordered, so allow 0.1% at >1).
+    const nvc::sim::NvmCounters& b = run.barrier.nvm;
+    const nvc::sim::NvmCounters& p = run.pipelined.nvm;
+    auto close_enough = [&run](std::uint64_t x, std::uint64_t y) {
+      if (run.workers == 1) {
+        return x == y;
+      }
+      const double hi = static_cast<double>(std::max(x, y));
+      const double lo = static_cast<double>(std::min(x, y));
+      return hi - lo <= 0.001 * hi;
+    };
+    if (!close_enough(b.write_bytes, p.write_bytes) ||
+        !close_enough(b.persisted_lines, p.persisted_lines) || b.fences != p.fences) {
+      counters_stable = false;
+      std::printf("  !! NVM counters moved at %zu workers: "
+                  "bytes %llu->%llu lines %llu->%llu fences %llu->%llu\n",
+                  run.workers, static_cast<unsigned long long>(b.write_bytes),
+                  static_cast<unsigned long long>(p.write_bytes),
+                  static_cast<unsigned long long>(b.persisted_lines),
+                  static_cast<unsigned long long>(p.persisted_lines),
+                  static_cast<unsigned long long>(b.fences),
+                  static_cast<unsigned long long>(p.fences));
+    }
+    pipelined_faster =
+        pipelined_faster && run.pipelined.epochs_per_sec > run.barrier.epochs_per_sec;
+    overlap_positive = overlap_positive && run.pipelined.tail_overlap_fraction > 0;
+    std::printf("%-8s speedup %.3fx (barrier submit %.2f ms -> pipelined %.2f ms)\n\n", "",
+                run.pipelined.epochs_per_sec / run.barrier.epochs_per_sec,
+                run.barrier.median_submit_cpu_ms, run.pipelined.median_submit_cpu_ms);
+  }
+  std::printf("NVM write-byte/line/fence ledgers %s between barrier and pipelined runs\n",
+              counters_stable ? "match" : "DIVERGED");
+  std::printf("pipelined submission path %s at every worker count, overlap %s\n",
+              pipelined_faster ? "strictly faster" : "NOT FASTER",
+              overlap_positive ? "> 0" : "== 0");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"pr7_epoch_pipeline\",\n");
+  std::fprintf(f, "  \"workload\": \"tpcc low-contention + persistent index\",\n");
+  std::fprintf(f, "  \"metric\": \"submission-path CPU per epoch (process CPU minus tail-thread CPU)\",\n");
+  std::fprintf(f, "  \"samples_per_mode\": %zu,\n", kSamples);
+  std::fprintf(f, "  \"txns_per_epoch\": %zu,\n", txns);
+  std::fprintf(f, "  \"hw_concurrency\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"nvm_counters_stable\": %s,\n", counters_stable ? "true" : "false");
+  std::fprintf(f, "  \"pipelined_strictly_faster\": %s,\n", pipelined_faster ? "true" : "false");
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const PairedRun& run = runs[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"workers\": %zu,\n", run.workers);
+    WriteModeJson(f, "barrier", run.barrier, /*last=*/false);
+    WriteModeJson(f, "pipelined", run.pipelined, /*last=*/true);
+    std::fprintf(f, "    }%s\n", i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

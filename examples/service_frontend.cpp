@@ -160,7 +160,13 @@ int main() {
   for (Key account = 0; account < kClients; ++account) {
     crashing_epoch.push_back(std::make_unique<DepositTxn>(account, 900));
   }
-  if (!done->ExecuteEpoch(std::move(crashing_epoch)).crashed) {
+  // Under pipelining the hook fires on the asynchronous tail; WaitIdle
+  // surfaces it when ExecuteEpoch itself returned before the tail ran.
+  bool crashed = done->ExecuteEpoch(std::move(crashing_epoch)).crashed;
+  if (!crashed) {
+    crashed = !done->WaitIdle().ok();
+  }
+  if (!crashed) {
     std::fprintf(stderr, "crash hook unexpectedly did not fire\n");
     return 1;
   }

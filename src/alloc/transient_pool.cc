@@ -5,10 +5,14 @@
 namespace nvc::alloc {
 
 TransientPool::TransientPool(std::size_t cores, std::size_t chunk_bytes)
-    : chunk_bytes_(chunk_bytes), arenas_(cores == 0 ? 1 : cores) {}
+    : chunk_bytes_(chunk_bytes) {
+  const std::size_t n = cores == 0 ? 1 : cores;
+  banks_[0].resize(n);
+  banks_[1].resize(n);
+}
 
 void* TransientPool::Alloc(std::size_t core, std::size_t n) {
-  Arena& arena = arenas_[core];
+  Arena& arena = banks_[active_][core];
   n = AlignUp(n, 8);
   while (true) {
     if (arena.current_chunk < arena.chunks.size()) {
@@ -30,21 +34,31 @@ void* TransientPool::Alloc(std::size_t core, std::size_t n) {
   }
 }
 
-void TransientPool::Reset() {
-  std::size_t total = 0;
-  for (Arena& arena : arenas_) {
-    total += arena.allocated;
+void TransientPool::ResetBank(std::size_t bank) {
+  for (Arena& arena : banks_[bank]) {
     arena.current_chunk = 0;
     arena.offset = 0;
     arena.allocated = 0;
   }
-  high_water_ = std::max(high_water_, total);
+}
+
+void TransientPool::Reset() {
+  high_water_ = std::max(high_water_, bytes_allocated());
+  ResetBank(active_);
+}
+
+void TransientPool::FlipBank() {
+  high_water_ = std::max(high_water_, bytes_allocated());
+  active_ ^= 1;
+  ResetBank(active_);
 }
 
 std::size_t TransientPool::bytes_allocated() const {
   std::size_t total = 0;
-  for (const Arena& arena : arenas_) {
-    total += arena.allocated;
+  for (const std::vector<Arena>& bank : banks_) {
+    for (const Arena& arena : bank) {
+      total += arena.allocated;
+    }
   }
   return total;
 }

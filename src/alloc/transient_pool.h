@@ -5,8 +5,15 @@
 // whole pool is discarded at the end of the epoch by resetting the bump
 // offsets. Chunk memory is retained across epochs, so steady-state epochs
 // perform no malloc/free at all.
+//
+// The pool holds two banks of arenas for pipelined epochs (DESIGN.md section
+// 13): epoch N+1 flips to the other bank before its first allocation, so
+// epoch N's transient state stays intact and readable while N's persistence
+// tail is still in flight on the tail thread. Barrier-mode engines never
+// flip; they reset the active bank at epoch end exactly as before.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -25,21 +32,29 @@ class TransientPool {
   TransientPool(const TransientPool&) = delete;
   TransientPool& operator=(const TransientPool&) = delete;
 
-  // Allocates n bytes (8-byte aligned) from core's arena. Never fails except
-  // by std::bad_alloc. Thread-safe across cores, not within one core.
+  // Allocates n bytes (8-byte aligned) from core's arena in the active bank.
+  // Never fails except by std::bad_alloc. Thread-safe across cores, not
+  // within one core.
   void* Alloc(std::size_t core, std::size_t n);
 
-  // Discards every allocation. Chunks are kept for reuse. Caller must
-  // guarantee no allocation is concurrently in flight.
+  // Discards every allocation in the active bank. Chunks are kept for reuse.
+  // Caller must guarantee no allocation is concurrently in flight.
   void Reset();
 
-  // Bytes handed out since the last Reset (DRAM footprint accounting).
+  // Pipelined epochs: makes the other bank active and discards its previous
+  // contents (they belong to the epoch before last, whose tail has joined).
+  // The outgoing bank's allocations stay valid until the next flip. Caller
+  // must guarantee no allocation is concurrently in flight.
+  void FlipBank();
+
+  // Bytes handed out and still live across both banks (DRAM footprint
+  // accounting).
   std::size_t bytes_allocated() const;
 
   // High-water mark across all epochs (figure 8 reports the pool footprint).
   std::size_t high_water_bytes() const { return high_water_; }
 
-  std::size_t cores() const { return arenas_.size(); }
+  std::size_t cores() const { return banks_[0].size(); }
 
  private:
   struct Chunk {
@@ -53,8 +68,11 @@ class TransientPool {
     std::size_t allocated = 0;
   };
 
+  void ResetBank(std::size_t bank);
+
   std::size_t chunk_bytes_;
-  std::vector<Arena> arenas_;
+  std::array<std::vector<Arena>, 2> banks_;
+  std::size_t active_ = 0;
   std::size_t high_water_ = 0;
 };
 

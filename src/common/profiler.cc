@@ -130,6 +130,11 @@ void PhaseProfiler::Reset() {
   }
   epoch_phase_wall_ms_ = {};
   epoch_phase_ops_sum_ = OpCounters{};
+  tail_open_ = false;
+  tail_open_epoch_ = 0;
+  tail_open_start_ns_ = 0;
+  tail_spans_.clear();
+  pipeline_ = PipelineStats{};
 }
 
 void PhaseProfiler::PushSpan(Track& track, const PhaseSpan& span) {
@@ -221,6 +226,48 @@ void PhaseProfiler::EndEpoch() {
   active_ = false;
 }
 
+void PhaseProfiler::BeginTailSpan(Epoch epoch) {
+  if (!config_.enabled) {
+    return;
+  }
+  tail_open_ = true;
+  tail_open_epoch_ = epoch;
+  tail_open_start_ns_ = NowNs();
+}
+
+void PhaseProfiler::EndTailSpan() {
+  if (!config_.enabled || !tail_open_) {
+    return;
+  }
+  tail_open_ = false;
+  const std::uint64_t end_ns = NowNs();
+  const std::uint64_t dur_ns = end_ns - tail_open_start_ns_;
+  const double wall_ms = MsFromNs(dur_ns);
+  // Tail-owned slot: no op attribution (the concurrent foreground would
+  // pollute any device-counter delta taken here).
+  const auto idx = static_cast<std::size_t>(Phase::kTailPersist);
+  agg_[idx].activations += 1;
+  agg_[idx].wall_ms += wall_ms;
+  phase_epoch_wall_[idx].Record(wall_ms);
+  if (tail_spans_.size() < config_.max_spans_per_track) {
+    tail_spans_.push_back(PhaseSpan{Phase::kTailPersist, kDriverTrack, tail_open_epoch_,
+                                    tail_open_start_ns_, dur_ns});
+  } else {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void PhaseProfiler::AddTailOverlap(std::uint64_t tail_ns, std::uint64_t overlapped_ns,
+                                   std::uint64_t tail_cpu_ns) {
+  if (!config_.enabled) {
+    return;
+  }
+  pipeline_.tails += 1;
+  pipeline_.tail_ns += tail_ns;
+  pipeline_.tail_cpu_ns += tail_cpu_ns;
+  pipeline_.overlapped_ns += std::min(overlapped_ns, tail_ns);
+}
+
 void PhaseProfiler::CancelEpoch() {
   phase_open_ = false;
   active_ = false;
@@ -252,6 +299,7 @@ ProfileReport PhaseProfiler::Report() const {
   report.enabled = config_.enabled;
   report.epochs = epochs_;
   report.dropped_spans = dropped_.load(std::memory_order_relaxed);
+  report.pipeline = pipeline_;
   report.phases = agg_;
   for (std::size_t i = 0; i < kPhaseCount; ++i) {
     const LatencyRecorder& recorder = phase_epoch_wall_[i];
@@ -319,6 +367,9 @@ void PhaseProfiler::WriteChromeTrace(std::ostream& os) const {
                      "worker " + std::to_string(w));
     }
   }
+  if (!tail_spans_.empty()) {
+    EmitThreadName(os, first, static_cast<std::uint32_t>(kMaxCores) + 2, "tail");
+  }
   // Epoch track (tid 0): one span per epoch; args carry the op deltas not
   // attributed to any phase (the kOther share).
   for (const EpochOther& eo : epoch_others_) {
@@ -343,6 +394,13 @@ void PhaseProfiler::WriteChromeTrace(std::ostream& os) const {
                         static_cast<double>(span.dur_ns) / 1e3,
                         static_cast<std::uint32_t>(w) + 2, span.epoch, nullptr);
     }
+  }
+  // Tail track: asynchronous persistence tails (pipelined epochs).
+  for (const PhaseSpan& span : tail_spans_) {
+    EmitCompleteEvent(os, first, PhaseName(span.phase),
+                      static_cast<double>(span.start_ns) / 1e3,
+                      static_cast<double>(span.dur_ns) / 1e3,
+                      static_cast<std::uint32_t>(kMaxCores) + 2, span.epoch, nullptr);
   }
   os << "\n]}\n";
 }

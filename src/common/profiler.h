@@ -50,9 +50,12 @@ enum class Phase : std::uint8_t {
   kGcLog,          // persisted major-GC list (persistent-index runs)
   kFinish,         // transient pool reset
   kRecoveryBackfill,  // instant-recovery redo: on-demand + background sweep
+  kTailPersist,    // pipelined epochs: asynchronous persistence tail, timed
+                   // on the tail thread (no op attribution — the concurrent
+                   // foreground would pollute device-counter deltas)
   kOther,          // synthetic: in-epoch work outside any bracketed phase
 };
-inline constexpr std::size_t kPhaseCount = 14;
+inline constexpr std::size_t kPhaseCount = 15;
 
 constexpr const char* PhaseName(Phase phase) {
   switch (phase) {
@@ -69,6 +72,7 @@ constexpr const char* PhaseName(Phase phase) {
     case Phase::kGcLog: return "gc-log";
     case Phase::kFinish: return "finish";
     case Phase::kRecoveryBackfill: return "recovery-backfill";
+    case Phase::kTailPersist: return "tail-persist";
     case Phase::kOther: return "other";
   }
   return "?";
@@ -119,10 +123,25 @@ struct PhaseAggregate {
   double epoch_max_ms = 0;
 };
 
+// Pipelined-epoch overlap accounting (DESIGN.md section 13): how much of the
+// asynchronous persistence tail ran concurrently with foreground execution.
+struct PipelineStats {
+  std::uint64_t tails = 0;          // asynchronous tails joined
+  std::uint64_t tail_ns = 0;        // summed tail wall time
+  std::uint64_t tail_cpu_ns = 0;    // summed tail-thread CPU time (the work a
+                                    // dedicated tail core would absorb; wall
+                                    // minus this is preemption, not work)
+  std::uint64_t overlapped_ns = 0;  // tail time overlapped with the foreground
+  double overlap_fraction() const {
+    return tail_ns == 0 ? 0.0 : static_cast<double>(overlapped_ns) / static_cast<double>(tail_ns);
+  }
+};
+
 struct ProfileReport {
   bool enabled = false;
   std::uint64_t epochs = 0;
   std::uint64_t dropped_spans = 0;
+  PipelineStats pipeline;
   std::array<PhaseAggregate, kPhaseCount> phases{};
   OpCounters total;  // sum across phases == whole-epoch deltas
   double epoch_wall_p50_ms = 0;
@@ -162,6 +181,17 @@ class PhaseProfiler {
   void CancelEpoch();
   void BeginPhase(Phase phase);
   void EndPhase();
+
+  // ---- Pipelined-tail accounting -------------------------------------------
+  // Begin/EndTailSpan run on the tail thread and only touch tail-owned state
+  // (the kTailPersist aggregate slot and a dedicated span track); the driver
+  // never writes either, and Report() readers synchronize via the tail join.
+  // AddTailOverlap runs on the driver thread after joining a tail.
+  void BeginTailSpan(Epoch epoch);
+  void EndTailSpan();
+  void AddTailOverlap(std::uint64_t tail_ns, std::uint64_t overlapped_ns,
+                      std::uint64_t tail_cpu_ns);
+  const std::vector<PhaseSpan>& tail_spans() const { return tail_spans_; }
 
   bool in_epoch() const { return active_; }
 
@@ -256,6 +286,14 @@ class PhaseProfiler {
   std::vector<EpochOther> epoch_others_;
   std::array<Track, kMaxCores> tracks_{};
   std::atomic<std::uint64_t> dropped_{0};  // bumped by concurrent WorkerScopes
+
+  // Pipelined-tail state: the *_open_* fields and tail_spans_ are written
+  // only by the tail thread; pipeline_ only by the driver (AddTailOverlap).
+  bool tail_open_ = false;
+  Epoch tail_open_epoch_ = 0;
+  std::uint64_t tail_open_start_ns_ = 0;
+  std::vector<PhaseSpan> tail_spans_;
+  PipelineStats pipeline_;
 };
 
 }  // namespace nvc

@@ -5,7 +5,6 @@
 // Epoch pipeline (contrast with Algorithm 1's Caracal pipeline):
 //
 //   log_transaction_inputs()        whole batch, deferred txns included
-//   GC_major() / evict / demote     unchanged init-phase work
 //   execute phase                   every transaction runs against the last
 //                                   epoch's snapshot; writes are buffered
 //                                   privately; write keys are reserved with
@@ -15,6 +14,11 @@
 //                                   writer reservation (no RAW, lowest-SID
 //                                   writer wins WAW); losers are deferred
 //                                   deterministically to the next batch
+//   GC_major() / evict / demote     init-phase NVMM work, after the commit
+//                                   phase so the execute+commit half can
+//                                   overlap the previous epoch's persistence
+//                                   tail under pipelining (reads only see the
+//                                   latest versions, which GC never moves)
 //   apply phase                     committed buffered writes are applied —
 //                                   at most one writer per key, so each key
 //                                   is written to NVMM exactly once per
@@ -30,6 +34,8 @@
 #include <cassert>
 #include <chrono>
 #include <cstring>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "src/common/hash.h"
@@ -203,6 +209,18 @@ int Database::AriaSnapshotRead(TableId table, Key key, void* out, std::uint32_t 
 
 EpochResult Database::ExecuteEpochAria(std::vector<std::unique_ptr<txn::Transaction>> txns) {
   assert(loaded_ && "call Format + FinalizeLoad (or Recover) first");
+  // Pipelined epochs: Aria's execute and commit phases only read the
+  // previous epoch's snapshot and buffer writes privately, so they overlap
+  // the previous epoch's persistence tail along with the log encode. The
+  // init-phase NVMM work (major GC, eviction, demotions) runs after the
+  // commit phase in BOTH modes — identical phase order keeps the pipelined
+  // and barrier engines' NVM traffic byte-identical — and waits for the tail
+  // under pipelining, as does everything from the apply phase on.
+  const bool pipelined = spec_.enable_epoch_pipeline && !replaying_;
+  if (pipelined && !tail_thread_.joinable()) {
+    nvm_mirror_snapshot_ = device_.stats().Snapshot();
+    tail_thread_ = std::thread(&Database::TailThreadMain, this);
+  }
   const auto start = std::chrono::steady_clock::now();
   const Epoch epoch = current_epoch_ + 1;
   epoch_ = epoch;
@@ -236,41 +254,15 @@ EpochResult Database::ExecuteEpochAria(std::vector<std::unique_ptr<txn::Transact
       stats_.log_bytes.Add(0, last_log_bytes_);
     }
     MaybeCrash(CrashSite::kAfterLog);
+    MaybeCrash(CrashSite::kMidOverlapExecute);
 
-    for (auto& pool : value_pools_) {
-      pool->BeginEpoch();
-    }
-    for (auto& pool : row_pools_) {
-      pool->BeginEpoch();
-    }
-    if (cold_pool_ != nullptr) {
-      cold_pool_->BeginEpoch();
-    }
+    // Counter epoch-start snapshot before execute (AriaExecContext reads
+    // it). Pure atomic loads — safe while the previous tail persists the
+    // counter area concurrently.
     counters_epoch_start_.resize(counters_.size());
     for (std::size_t i = 0; i < counters_.size(); ++i) {
       counters_epoch_start_[i] = counters_[i].load(std::memory_order_relaxed);
     }
-    for (std::size_t w = 0; w < spec_.workers; ++w) {
-      pending_major_gc_[w] = std::move(core_state_[w].major_gc);
-      core_state_[w].major_gc.clear();
-    }
-    cold_frees_due_ = std::move(cold_frees_next_);
-    cold_frees_next_.clear();
-
-    RunMajorGc();
-    if (spec_.enable_cache) {
-      vstore::VersionCache::EvictCallback on_evict;
-      if (spec_.enable_cold_tier) {
-        on_evict = [this](vstore::RowEntry* entry) {
-          demotion_candidates_.push_back(entry);
-        };
-      }
-      cache_->EvictForEpoch(epoch, &stats_, on_evict);
-    }
-    if (spec_.enable_cold_tier) {
-      RunDemotions();
-    }
-    MaybeCrash(CrashSite::kAfterInsert);
 
     // ---- Execute phase: snapshot reads, buffered writes, reservations ----
     ReservationTable reservations;
@@ -319,6 +311,47 @@ EpochResult Database::ExecuteEpochAria(std::vector<std::unique_ptr<txn::Transact
         st.deferred = defer;
       }
     });
+
+    // Everything below mutates state the previous epoch's tail reads (pool
+    // allocator meta, core_state_ GC lists, index deltas): wait for it.
+    if (pipelined) {
+      if (!JoinTail()) {
+        result.crashed = true;
+        return result;
+      }
+      transient_.FlipBank();
+    }
+
+    for (auto& pool : value_pools_) {
+      pool->BeginEpoch();
+    }
+    for (auto& pool : row_pools_) {
+      pool->BeginEpoch();
+    }
+    if (cold_pool_ != nullptr) {
+      cold_pool_->BeginEpoch();
+    }
+    for (std::size_t w = 0; w < spec_.workers; ++w) {
+      pending_major_gc_[w] = std::move(core_state_[w].major_gc);
+      core_state_[w].major_gc.clear();
+    }
+    cold_frees_due_ = std::move(cold_frees_next_);
+    cold_frees_next_.clear();
+
+    RunMajorGc();
+    if (spec_.enable_cache) {
+      vstore::VersionCache::EvictCallback on_evict;
+      if (spec_.enable_cold_tier) {
+        on_evict = [this](vstore::RowEntry* entry) {
+          demotion_candidates_.push_back(entry);
+        };
+      }
+      cache_->EvictForEpoch(epoch, &stats_, on_evict);
+    }
+    if (spec_.enable_cold_tier) {
+      RunDemotions();
+    }
+    MaybeCrash(CrashSite::kAfterInsert);
 
     // ---- Apply phase: committed writes reach NVMM once per key ----
     // Per-transaction ops are coalesced per key first (only the net effect
@@ -411,18 +444,42 @@ EpochResult Database::ExecuteEpochAria(std::vector<std::unique_ptr<txn::Transact
       cs.deleted.clear();
     }
 
+    if (pipelined) {
+      // Cut point: hand the persistence tail to the tail thread. The
+      // execute phase's lines move to the detached set so the next epoch's
+      // overlapped front cannot retire them with its own fences.
+      device_.DetachPending();
+      aria_deferred_ = std::move(still_deferred);
+      owned_txns_.clear();
+      current_epoch_ = epoch;
+      result.seconds = SecondsSince(start);
+      TailWork work;
+      work.epoch = epoch;
+      work.result = result;
+      work.outcomes = std::move(outcomes);
+      work.has_outcomes = true;
+      SubmitTail(std::move(work));
+      return result;
+    }
+
     CheckpointEpoch(epoch);
     FinishEpoch();
     aria_deferred_ = std::move(still_deferred);
     current_epoch_ = epoch;
   } catch (const CrashedException&) {
+    if (pipelined) {
+      JoinTail();  // quiesce the in-flight tail before the harness crashes us
+    }
     result.crashed = true;
     return result;
   }
 
   result.seconds = SecondsSince(start);
-  if (epoch_callback_) {
-    epoch_callback_(result, outcomes);
+  {
+    std::lock_guard<std::mutex> lock(callback_mu_);
+    if (epoch_callback_) {
+      epoch_callback_(result, outcomes);
+    }
   }
   return result;
 }

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "src/common/hash.h"
+
 namespace nvc::core {
 namespace {
 constexpr std::uint64_t kMagic = 0x4e564341524143ULL;  // "NVCARAC"
@@ -19,6 +21,11 @@ Status DatabaseSpec::Validate() const {
     return Status::InvalidArgument("spec.workers must be in [1, " +
                                    std::to_string(kMaxCores) + "], got " +
                                    std::to_string(workers));
+  }
+  if (enable_epoch_pipeline && workers >= kMaxCores) {
+    return Status::InvalidArgument(
+        "enable_epoch_pipeline requires workers < " + std::to_string(kMaxCores) +
+        ": the tail thread persists at device core index `workers`");
   }
   for (const TableSpec& table : tables) {
     if (table.row_size < vstore::kRowHeaderSize) {
@@ -335,7 +342,39 @@ Database::Database(sim::NvmDevice& device, const DatabaseSpec& spec,
   });
 }
 
-Database::~Database() = default;
+Database::~Database() {
+  // Stop the pipelined tail thread (if it was ever started). A still-running
+  // tail finishes its epoch first, so destruction never tears a flip.
+  {
+    std::unique_lock<std::mutex> lk(tail_mu_);
+    tail_stop_ = true;
+    tail_cv_.notify_all();
+  }
+  if (tail_thread_.joinable()) {
+    tail_thread_.join();
+  }
+}
+
+void Database::SetCrashHook(CrashHook hook) {
+  if (tail_thread_.joinable()) {
+    // Quiesce the in-flight tail so the swap cannot race the tail thread's
+    // MaybeCrash reads and the hook only sees epochs submitted from now on.
+    // A tail that already crashed stays sticky; the next ExecuteEpoch or
+    // WaitIdle surfaces it regardless of the new hook.
+    JoinTail();
+  }
+  crash_hook_ = std::move(hook);
+}
+
+Status Database::WaitIdle() {
+  if (!tail_thread_.joinable()) {
+    return Status::Ok();
+  }
+  if (!JoinTail()) {
+    return Status::Aborted("crash hook fired during the asynchronous epoch tail");
+  }
+  return Status::Ok();
+}
 
 void Database::Format() {
   auto* sb = device_.As<SuperBlock>(layout_.superblock);
@@ -414,7 +453,7 @@ void Database::FinalizeLoad() {
   loaded_ = true;
 }
 
-void Database::PersistCounters(Epoch epoch) {
+void Database::PersistCounters(Epoch epoch, std::size_t core) {
   if (counters_.empty()) {
     return;
   }
@@ -425,7 +464,7 @@ void Database::PersistCounters(Epoch epoch) {
     *device_.As<std::uint64_t>(base + i * sizeof(std::uint64_t)) =
         counters_[i].load(std::memory_order_relaxed);
   }
-  device_.Persist(base, counters_.size() * sizeof(std::uint64_t), 0);
+  device_.Persist(base, counters_.size() * sizeof(std::uint64_t), core);
 }
 
 vstore::ValueLoc Database::AllocValue(std::uint32_t size, std::size_t core) {
@@ -501,25 +540,54 @@ void Database::CheckCounterId(txn::CounterId id) const {
   }
 }
 
+Database::InstantStripe& Database::StripeFor(TableId table, Key key) {
+  return instant_stripes_[HashKey(table, key) % kInstantStripes];
+}
+
+bool Database::InstantKeyPending(TableId table, Key key) {
+  InstantStripe& stripe = StripeFor(table, key);
+  std::lock_guard<std::mutex> lk(stripe.mu);
+  return stripe.pending.find(HashKey(table, key)) != stripe.pending.end();
+}
+
+void Database::InstantStripeInsert(TableId table, Key key) {
+  InstantStripe& stripe = StripeFor(table, key);
+  std::lock_guard<std::mutex> lk(stripe.mu);
+  ++stripe.pending[HashKey(table, key)];
+}
+
+void Database::InstantStripeErase(TableId table, Key key) {
+  InstantStripe& stripe = StripeFor(table, key);
+  std::lock_guard<std::mutex> lk(stripe.mu);
+  auto it = stripe.pending.find(HashKey(table, key));
+  if (it != stripe.pending.end() && --it->second == 0) {
+    stripe.pending.erase(it);
+  }
+}
+
 StatusOr<std::uint32_t> Database::ReadCommitted(TableId table, Key key, void* out,
                                                 std::uint32_t cap) {
   CheckTableId(table);
   // Instant recovery: a read of an unreplayed key first redoes that key's
-  // slice of the crashed epoch (DESIGN.md section 12). While the window is
-  // open, reads serialize on the recovery mutex — both the redo and the row
-  // read itself, so a read never overlaps the backfill's final checkpoint.
-  // Once the backfill retires the window, the gate is a single acquire load
-  // and the path below runs branch-free and lock-free.
+  // slice of the crashed epoch (DESIGN.md section 12). The gate is striped
+  // by key bucket: only a key still pending redo takes the global recovery
+  // mutex (redo execution stays execute-once under instant_mu_); readers of
+  // retired or never-pending keys proceed concurrently — a stripe erase
+  // happens only after RetireKeyLocked persisted the key's final state, so
+  // the lock-free read below observes it. Once the backfill retires the
+  // window, the gate is a single acquire load again.
   if (instant_active_.load(std::memory_order_acquire)) {
-    std::unique_lock<std::mutex> lock(instant_mu_);
-    if (instant_ != nullptr && instant_active_.load(std::memory_order_relaxed)) {
-      try {
-        RedoKeySliceLocked(table, key, 0);
-      } catch (const CrashedException&) {
-        return Status::Aborted("crash hook fired during on-demand replay of key " +
-                               std::to_string(key));
+    if (InstantKeyPending(table, key)) {
+      std::unique_lock<std::mutex> lock(instant_mu_);
+      if (instant_ != nullptr && instant_active_.load(std::memory_order_relaxed)) {
+        try {
+          RedoKeySliceLocked(table, key, 0);
+        } catch (const CrashedException&) {
+          return Status::Aborted("crash hook fired during on-demand replay of key " +
+                                 std::to_string(key));
+        }
+        return ReadCommittedImpl(table, key, out, cap);
       }
-      return ReadCommittedImpl(table, key, out, cap);
     }
   }
   return ReadCommittedImpl(table, key, out, cap);
@@ -550,9 +618,12 @@ StatusOr<std::uint32_t> Database::ReadCommittedImpl(TableId table, Key key, void
   }
   const vstore::ValueLoc loc(desc.loc);
   if (cap < loc.size()) {
-    std::uint8_t* tmp = ScratchFor(0, loc.size());
-    ReadVersionValue(row, desc, tmp, 0);
-    std::memcpy(out, tmp, cap);
+    // Local bounce buffer: ReadCommitted calls may now run concurrently
+    // (striped instant-recovery gate), so the shared core-0 scratch is off
+    // limits on this path.
+    std::vector<std::uint8_t> tmp(loc.size());
+    ReadVersionValue(row, desc, tmp.data(), 0);
+    std::memcpy(out, tmp.data(), cap);
     return cap;
   }
   ReadVersionValue(row, desc, out, 0);

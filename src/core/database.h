@@ -24,11 +24,13 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
 #include <string>
 #include <memory>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -70,13 +72,17 @@ enum class TxnOutcome : std::uint8_t {
                   // next batch (the Database retains the transaction)
 };
 
-// Durable-notify hook for epoch completion. Invoked synchronously on the
-// ExecuteEpoch caller's thread *after* the epoch number is persisted (the
-// group-commit durability point) and never for a crashed epoch. `outcomes`
-// is indexed by executed-batch slot: under Aria the batch is [previously
-// deferred transactions in order, then the new ones]; under Caracal it is
-// exactly the input vector. The service front-end (src/service/) uses this
-// to resolve per-transaction tickets and measure submit->durable latency.
+// Durable-notify hook for epoch completion. Invoked *after* the epoch number
+// is persisted (the group-commit durability point) and never for a crashed
+// epoch. With enable_epoch_pipeline off it runs synchronously on the
+// ExecuteEpoch caller's thread; with pipelining on it runs on the internal
+// tail thread, strictly in epoch order, possibly concurrent with the next
+// epoch's ExecuteEpoch — the callback must be thread-safe against the
+// submitting thread. `outcomes` is indexed by executed-batch slot: under
+// Aria the batch is [previously deferred transactions in order, then the new
+// ones]; under Caracal it is exactly the input vector. The service front-end
+// (src/service/) uses this to resolve per-transaction tickets and measure
+// submit->durable latency.
 using EpochCallback =
     std::function<void(const EpochResult& result, const std::vector<TxnOutcome>& outcomes)>;
 
@@ -153,8 +159,13 @@ enum class CrashSite {
                                 // redo triggered by a foreground access
   kMidBackfill,                 // instant recovery: between backfill keys
                                 // (crash while recovering from a crash)
+  kMidOverlapExecute,      // pipelined: inside epoch N+1's overlapped front
+                           // (after the log/digest encode) while epoch N's
+                           // tail may still be persisting
+  kMidOverlapTailPersist,  // pipelined: on the tail thread, between the
+                           // checkpoint shards and the index-delta apply
 };
-inline constexpr std::size_t kCrashSiteCount = 15;
+inline constexpr std::size_t kCrashSiteCount = 17;
 inline constexpr CrashSite kAllCrashSites[kCrashSiteCount] = {
     CrashSite::kAfterLog,        CrashSite::kAfterInsert,   CrashSite::kDuringMajorGc,
     CrashSite::kDuringGcPass2,   CrashSite::kAfterGcPersist, CrashSite::kDuringDemotion,
@@ -162,6 +173,7 @@ inline constexpr CrashSite kAllCrashSites[kCrashSiteCount] = {
     CrashSite::kDuringIndexApply, CrashSite::kBeforeEpochPersist,
     CrashSite::kMidParallelCheckpoint, CrashSite::kMidParallelIndexApply,
     CrashSite::kMidInstantRecoveryOnDemand, CrashSite::kMidBackfill,
+    CrashSite::kMidOverlapExecute, CrashSite::kMidOverlapTailPersist,
 };
 
 constexpr const char* CrashSiteName(CrashSite site) {
@@ -181,6 +193,8 @@ constexpr const char* CrashSiteName(CrashSite site) {
     case CrashSite::kMidParallelIndexApply: return "MidParallelIndexApply";
     case CrashSite::kMidInstantRecoveryOnDemand: return "MidInstantRecoveryOnDemand";
     case CrashSite::kMidBackfill: return "MidBackfill";
+    case CrashSite::kMidOverlapExecute: return "MidOverlapExecute";
+    case CrashSite::kMidOverlapTailPersist: return "MidOverlapTailPersist";
   }
   return "?";
 }
@@ -258,6 +272,13 @@ class Database {
   // new epoch observes fully-replayed state.
   EpochResult ExecuteEpoch(std::vector<std::unique_ptr<txn::Transaction>> txns);
 
+  // Pipelined mode: blocks until the asynchronous persistence tail of the
+  // last executed epoch (if any) has completed, so device state, stats and
+  // the shadow image are quiescent. No-op with enable_epoch_pipeline off.
+  // Returns kAborted when a crash hook fired on the tail thread — the
+  // Database must then be discarded and recovered like any other crash.
+  Status WaitIdle();
+
   // ---- Instant recovery (spec.enable_instant_recovery; recovery.cc) ----------
 
   // True while the crashed epoch is pending-replay (between a fast-phase
@@ -321,10 +342,20 @@ class Database {
 
   MemoryBreakdown GetMemoryBreakdown() const;
 
-  void SetCrashHook(CrashHook hook) { crash_hook_ = std::move(hook); }
+  // Installing a hook quiesces any in-flight asynchronous epoch tail first,
+  // so the hook only observes sites of epochs submitted after this call
+  // (and the swap never races the tail thread's reads). Declared out of
+  // line: quiescing needs the tail machinery.
+  void SetCrashHook(CrashHook hook);
 
-  // Durable-notify: see EpochCallback above. Pass {} to clear.
-  void SetEpochCallback(EpochCallback callback) { epoch_callback_ = std::move(callback); }
+  // Durable-notify: see EpochCallback above. Pass {} to clear. Safe to call
+  // concurrently with a running epoch or its asynchronous tail: install and
+  // invocation serialize on an internal mutex, so once a clearing call
+  // returns, no in-flight invocation of the old callback remains.
+  void SetEpochCallback(EpochCallback callback) {
+    std::lock_guard<std::mutex> lk(callback_mu_);
+    epoch_callback_ = std::move(callback);
+  }
 
   // Per-site reach/fire counts accumulated over this object's lifetime.
   CrashSiteCoverage crash_coverage() const {
@@ -513,7 +544,7 @@ class Database {
   void FillInitialVersion(vstore::RowEntry* entry, vstore::VersionArray* va, std::size_t core);
 
   void FenceAll();
-  void PersistCounters(Epoch epoch);
+  void PersistCounters(Epoch epoch, std::size_t core = 0);
 
   // Reusable per-core bounce buffer for tiered value reads (grows
   // geometrically, never shrinks); replaces per-call std::vector allocation
@@ -530,8 +561,27 @@ class Database {
   // Each fans the serial tail loop out over pool_, preserving the serial
   // path's fence ordering (one FenceAll where the serial code fenced once).
   void ApplyIndexDeltasParallel(Epoch epoch);
-  void ApplyIndexDeltasSerial(Epoch epoch);
+  void ApplyIndexDeltasSerial(Epoch epoch, std::size_t core = 0);
   void WriteGcLogParallel(Epoch epoch);
+
+  // ---- Pipelined epoch tail (epoch.cc; DESIGN.md section 13) ------------------
+  // Work handed from ExecuteEpoch to the tail thread at the cut point.
+  struct TailWork {
+    Epoch epoch = 0;
+    EpochResult result;
+    std::vector<TxnOutcome> outcomes;
+    bool has_outcomes = false;
+  };
+  // Runs epoch N's persistence tail — pool checkpoint shards, index-delta
+  // apply, GC log, counters, the detached-line drain and the epoch-number
+  // flip — at device core `core` (== spec_.workers on the tail thread).
+  // Serial variants only; throws CrashedException when a crash hook fires.
+  void RunTailPersist(Epoch epoch, std::size_t core);
+  void TailThreadMain();
+  // Hands the executed epoch to the tail thread. Requires JoinTail() first.
+  void SubmitTail(TailWork work);
+  // Waits for the in-flight tail, if any. False when the tail crashed.
+  bool JoinTail();
 
   vstore::PersistentRow RowAt(const vstore::RowEntry* entry) {
     return vstore::PersistentRow(device_, entry->prow,
@@ -615,7 +665,7 @@ class Database {
     std::uint32_t overflow;
     std::uint32_t reserved;
   };
-  void WriteGcLog(Epoch epoch);
+  void WriteGcLog(Epoch epoch, std::size_t core = 0);
 
   sim::NvmDevice& device_;
   sim::NvmDevice* cold_device_ = nullptr;
@@ -682,6 +732,23 @@ class Database {
   mutable std::mutex instant_mu_;
   std::atomic<bool> instant_active_{false};
 
+  // Striped pending-key membership for the instant-recovery read gate.
+  // Readers consult their key's stripe before touching instant_mu_, so reads
+  // of retired (or never-pending) keys proceed without contending on the
+  // global redo lock while redo/backfill work holds it. Entries are hash
+  // counts (collision-safe); a key is erased only after RetireKeyLocked
+  // persisted its final state.
+  static constexpr std::size_t kInstantStripes = 64;
+  struct alignas(kCacheLineSize) InstantStripe {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, std::uint32_t> pending;  // hash -> count
+  };
+  std::array<InstantStripe, kInstantStripes> instant_stripes_;
+  InstantStripe& StripeFor(TableId table, Key key);
+  bool InstantKeyPending(TableId table, Key key);
+  void InstantStripeInsert(TableId table, Key key);
+  void InstantStripeErase(TableId table, Key key);
+
   // Cold tier: rows whose cache entry aged out (demotion candidates for this
   // epoch) and hot-value blocks to free once the demoting epoch committed.
   std::vector<vstore::RowEntry*> demotion_candidates_;
@@ -689,10 +756,31 @@ class Database {
   std::vector<vstore::ValueLoc> cold_frees_due_;
 
   CrashHook crash_hook_;
+  // Guards installation AND invocation of epoch_callback_ (the tail thread
+  // invokes it concurrently with client threads calling SetEpochCallback).
+  std::mutex callback_mu_;
   EpochCallback epoch_callback_;
   std::array<std::atomic<std::uint64_t>, kCrashSiteCount> site_reached_{};
   std::array<std::atomic<std::uint64_t>, kCrashSiteCount> site_fired_{};
   std::size_t last_log_bytes_ = 0;
+
+  // Pipelined epoch tail (enable_epoch_pipeline; DESIGN.md section 13). The
+  // tail thread is started lazily by the first pipelined ExecuteEpoch and
+  // joined by the destructor. tail_mu_ guards all tail_* fields below.
+  std::thread tail_thread_;
+  std::mutex tail_mu_;
+  std::condition_variable tail_cv_;
+  TailWork tail_work_;
+  bool tail_inflight_ = false;
+  bool tail_stop_ = false;
+  bool tail_crashed_ = false;  // sticky: a crash hook fired on the tail thread
+  // Stats-mirror cursor for pipelined mode: device-counter snapshot taken at
+  // the end of the previous tail (tail-thread-owned once the thread runs).
+  sim::NvmCounters nvm_mirror_snapshot_;
+  // Wall and thread-CPU time of the last completed tail, consumed (and
+  // zeroed) by the next JoinTail for overlap accounting. Guarded by tail_mu_.
+  std::uint64_t tail_last_dur_ns_ = 0;
+  std::uint64_t tail_last_cpu_ns_ = 0;
 
   // Aria: transactions deferred by conflicts, re-queued at the front of the
   // next batch (deterministic from the batch composition).

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <cstring>
+#include <ctime>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -15,6 +16,18 @@ namespace {
 
 // Sentinel latest_sid for rows deleted in the current epoch.
 constexpr std::uint64_t kDeletedSid = ~0ULL;
+
+// CPU time of the calling thread. The tail thread reports this alongside its
+// wall time so profiler readers can separate tail work from preemption on
+// oversubscribed hosts (wall includes timeslices lost to the foreground).
+std::uint64_t ThreadCpuNs() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) {
+    return 0;
+  }
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
 
 // Spin-then-yield wait for a PENDING version. Yielding matters when workers
 // outnumber cores: the writer thread needs CPU time to publish its value.
@@ -260,6 +273,19 @@ EpochResult Database::ExecuteEpoch(std::vector<std::unique_ptr<txn::Transaction>
     }
   }
 
+  // Pipelined epochs (DESIGN.md section 13): this epoch's front half — the
+  // input-log/digest encode, which only touches the log's parity half that
+  // the epoch before last has long drained — overlaps the previous epoch's
+  // asynchronous persistence tail. Every phase that mutates NVMM or
+  // engine-shared state waits for that tail (JoinTail below). Replay always
+  // runs the synchronous loop: its epoch must be checkpointed before control
+  // returns to recovery.
+  const bool pipelined = spec_.enable_epoch_pipeline && !replaying_;
+  if (pipelined && !tail_thread_.joinable()) {
+    nvm_mirror_snapshot_ = device_.stats().Snapshot();
+    tail_thread_ = std::thread(&Database::TailThreadMain, this);
+  }
+
   const auto start = std::chrono::steady_clock::now();
   const Epoch epoch = current_epoch_ + 1;
   epoch_ = epoch;
@@ -276,10 +302,12 @@ EpochResult Database::ExecuteEpoch(std::vector<std::unique_ptr<txn::Transaction>
 
   EpochResult result;
   result.epoch = epoch;
-  // Captured before FinishEpoch clears txn_states_; delivered to the epoch
+  // Captured before the epoch state is cleared; delivered to the epoch
   // callback only after the epoch number is durable.
   std::vector<TxnOutcome> outcomes;
-  epoch_nvm_start_ = device_.stats().Snapshot();
+  if (!pipelined) {
+    epoch_nvm_start_ = device_.stats().Snapshot();
+  }
   profiler_.BeginEpoch(epoch);
   try {
     // Input logging: all inputs durable before execution starts (4.3). The
@@ -299,6 +327,25 @@ EpochResult Database::ExecuteEpoch(std::vector<std::unique_ptr<txn::Transaction>
       }
     }
     MaybeCrash(CrashSite::kAfterLog);
+    // Pipelined: the previous epoch's tail may still be persisting here.
+    MaybeCrash(CrashSite::kMidOverlapExecute);
+
+    if (pipelined) {
+      // Barrier against the previous epoch's tail: from here on this epoch
+      // mutates pool allocator state, rows and version arrays, all of which
+      // the tail checkpoints. A tail-thread crash surfaces as this epoch
+      // crashing (nothing of this epoch escaped to NVMM yet except its log,
+      // which recovery replays only after the previous epoch's state).
+      if (!JoinTail()) {
+        profiler_.CancelEpoch();
+        result.crashed = true;
+        return result;
+      }
+      // Flip to the other transient bank: the previous epoch's transient
+      // state stayed intact while its tail was in flight; the bank being
+      // reset belonged to the epoch before last.
+      transient_.FlipBank();
+    }
 
     for (auto& pool : value_pools_) {
       pool->BeginEpoch();
@@ -355,11 +402,33 @@ EpochResult Database::ExecuteEpoch(std::vector<std::unique_ptr<txn::Transaction>
       cs.deleted.clear();
     }
 
-    if (epoch_callback_) {
-      outcomes.resize(txn_states_.size());
-      for (std::size_t i = 0; i < txn_states_.size(); ++i) {
-        outcomes[i] = txn_states_[i].aborted ? TxnOutcome::kAborted : TxnOutcome::kCommitted;
-      }
+    // Built unconditionally (cheap: one byte per transaction) so a callback
+    // installed concurrently mid-epoch still receives correct outcomes.
+    outcomes.resize(txn_states_.size());
+    for (std::size_t i = 0; i < txn_states_.size(); ++i) {
+      outcomes[i] = txn_states_[i].aborted ? TxnOutcome::kAborted : TxnOutcome::kCommitted;
+    }
+
+    if (pipelined) {
+      // Cut point: all workers are quiesced, nothing else touches the device
+      // until the next epoch's log encode. Hand the epoch's staged-but-
+      // unfenced lines and its persistence tail to the tail thread and admit
+      // the next epoch immediately.
+      result.committed = epoch_committed_.load(std::memory_order_relaxed);
+      result.aborted = epoch_aborted_.load(std::memory_order_relaxed);
+      device_.DetachPending();
+      owned_txns_.clear();
+      txn_states_.clear();
+      current_epoch_ = epoch;
+      result.seconds = SecondsSince(start);
+      profiler_.EndEpoch();
+      TailWork work;
+      work.epoch = epoch;
+      work.result = result;
+      work.outcomes = std::move(outcomes);
+      work.has_outcomes = true;
+      SubmitTail(std::move(work));
+      return result;
     }
 
     CheckpointEpoch(epoch);
@@ -369,6 +438,9 @@ EpochResult Database::ExecuteEpoch(std::vector<std::unique_ptr<txn::Transaction>
     }
     current_epoch_ = epoch;
   } catch (const CrashedException&) {
+    if (pipelined) {
+      JoinTail();  // quiesce the device so the harness can simulate the crash
+    }
     profiler_.CancelEpoch();
     result.crashed = true;
     return result;
@@ -388,8 +460,11 @@ EpochResult Database::ExecuteEpoch(std::vector<std::unique_ptr<txn::Transaction>
   result.committed = epoch_committed_.load(std::memory_order_relaxed);
   result.aborted = epoch_aborted_.load(std::memory_order_relaxed);
   result.seconds = SecondsSince(start);
-  if (epoch_callback_) {
-    epoch_callback_(result, outcomes);
+  {
+    std::lock_guard<std::mutex> lock(callback_mu_);
+    if (epoch_callback_) {
+      epoch_callback_(result, outcomes);
+    }
   }
   return result;
 }
@@ -641,6 +716,9 @@ void Database::CheckpointEpoch(Epoch epoch) {
         cold_device_->Fence(0);  // cold-pool checkpoint durable with this epoch
       }
     }
+    // Same crash state as the pipelined tail's site: checkpoint shards
+    // part-staged, nothing fenced, header not flipped.
+    MaybeCrash(CrashSite::kMidOverlapTailPersist);
     if (spec_.enable_persistent_index) {
       if (spec_.enable_parallel_tail) {
         ApplyIndexDeltasParallel(epoch);
@@ -667,11 +745,12 @@ void Database::CheckpointEpoch(Epoch epoch) {
   device_.Fence(0);
 }
 
-// Serial index-delta application (enable_parallel_tail off). Applies the
+// Serial index-delta application (enable_parallel_tail off, and the
+// pipelined tail thread, which passes its own device core). Applies the
 // epoch's index deltas in a batch (section-7 extension). The per-slot epoch
 // tags make a torn batch recoverable, and replay re-applies its deltas
 // idempotently.
-void Database::ApplyIndexDeltasSerial(Epoch epoch) {
+void Database::ApplyIndexDeltasSerial(Epoch epoch, std::size_t core) {
   for (CoreEpochState& cs : core_state_) {
     for (const IndexDelta& delta : cs.index_deltas) {
       // Crash with the batch partially applied: the already-written slots
@@ -679,9 +758,9 @@ void Database::ApplyIndexDeltasSerial(Epoch epoch) {
       // ignore them and replay must re-apply the whole batch idempotently.
       MaybeCrash(CrashSite::kDuringIndexApply);
       if (delta.is_delete) {
-        pindexes_[delta.table]->ApplyDelete(delta.key, epoch, 0);
+        pindexes_[delta.table]->ApplyDelete(delta.key, epoch, core);
       } else {
-        pindexes_[delta.table]->ApplyInsert(delta.key, delta.prow, epoch, 0);
+        pindexes_[delta.table]->ApplyInsert(delta.key, delta.prow, epoch, core);
       }
     }
     cs.index_deltas.clear();
@@ -731,7 +810,7 @@ void Database::ApplyIndexDeltasParallel(Epoch epoch) {
 // during that GC can repair exactly the affected rows without a full scan.
 // Entries go to the epoch-parity half and are fenced before the header flips
 // to them, so a torn write never corrupts the half a durable header names.
-void Database::WriteGcLog(Epoch epoch) {
+void Database::WriteGcLog(Epoch epoch, std::size_t core) {
   auto* header = device_.As<GcLogHeader>(layout_.gc_log);
   const std::uint64_t entries_base =
       layout_.gc_log + sizeof(GcLogHeader) +
@@ -751,13 +830,13 @@ void Database::WriteGcLog(Epoch epoch) {
     }
   }
   if (count > 0) {
-    device_.Persist(entries_base, count * sizeof(std::uint64_t), 0);
+    device_.Persist(entries_base, count * sizeof(std::uint64_t), core);
   }
-  device_.Fence(0);
+  device_.Fence(core);
   header->epoch = epoch;
   header->count = count;
   header->overflow = overflow ? 1 : 0;
-  device_.Persist(layout_.gc_log, sizeof(GcLogHeader), 0);
+  device_.Persist(layout_.gc_log, sizeof(GcLogHeader), core);
 }
 
 // Parallel-tail GC-log assembly. Prefix-sums the per-core contributions
@@ -833,6 +912,138 @@ void Database::FinishEpoch() {
   transient_.Reset();
   owned_txns_.clear();
   txn_states_.clear();
+}
+
+// ---- Pipelined epoch tail (DESIGN.md section 13) -------------------------------
+
+// The serial persistence tail relocated onto the tail thread: identical NVM
+// writes and the same fence ledger as the barrier serial tail — cold fence
+// (if cold tier), the GC log's interior fence (if persistent index), one
+// fence per worker for the execute phase's detached lines, and the fence
+// after the epoch-number flip. It must not touch the profiler's driver
+// bracketing, the worker pool, or any per-epoch transient state: the next
+// epoch's front half runs concurrently with all of it.
+void Database::RunTailPersist(Epoch epoch, std::size_t core) {
+  for (auto& pool : value_pools_) {
+    pool->Checkpoint(epoch, core);
+  }
+  for (auto& pool : row_pools_) {
+    pool->Checkpoint(epoch, core);
+  }
+  if (cold_pool_ != nullptr) {
+    cold_pool_->Checkpoint(epoch, core);
+    cold_device_->Fence(core);  // cold-pool checkpoint durable with this epoch
+  }
+  // Crash mid-tail: checkpoint shards staged but unfenced, the execute
+  // phase's lines still detached — everything since the last durable header
+  // reverts, while the next epoch's front half may be concurrently encoding
+  // its (parity-disjoint) input log.
+  MaybeCrash(CrashSite::kMidOverlapTailPersist);
+  if (spec_.enable_persistent_index) {
+    ApplyIndexDeltasSerial(epoch, core);
+    WriteGcLog(epoch, core);
+  }
+  PersistCounters(epoch, core);
+  // The execute phase's final writes were detached at the cut point; retire
+  // them with the same per-worker fence count the synchronous tail charges.
+  device_.FenceDetached(spec_.workers, core);
+  MaybeCrash(CrashSite::kBeforeEpochPersist);
+  auto* sb = device_.As<SuperBlock>(layout_.superblock);
+  sb->epoch = epoch;
+  device_.Persist(layout_.superblock + offsetof(SuperBlock, epoch), sizeof(std::uint64_t),
+                  core);
+  device_.Fence(core);
+}
+
+void Database::TailThreadMain() {
+  std::unique_lock<std::mutex> lock(tail_mu_);
+  for (;;) {
+    tail_cv_.wait(lock, [this] { return tail_stop_ || tail_inflight_; });
+    if (!tail_inflight_) {
+      return;  // tail_stop_ with nothing queued
+    }
+    TailWork work = std::move(tail_work_);
+    lock.unlock();
+
+    const auto tail_start = std::chrono::steady_clock::now();
+    const std::uint64_t cpu_start = ThreadCpuNs();
+    profiler_.BeginTailSpan(work.epoch);
+    bool crashed = false;
+    try {
+      // Device core spec_.workers: never used by the foreground, so the
+      // tail's staged persists and fences cannot collide with the next
+      // epoch's log encode on the worker cores.
+      RunTailPersist(work.epoch, spec_.workers);
+    } catch (const CrashedException&) {
+      crashed = true;
+    }
+    profiler_.EndTailSpan();
+    const std::uint64_t cpu_ns = ThreadCpuNs() - cpu_start;
+    const auto dur_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                             tail_start)
+            .count());
+
+    if (!crashed) {
+      // Mirror the device deltas since the previous tail into the engine
+      // counters. The window telescopes across tails, so the cumulative
+      // stats after WaitIdle equal the barrier engine's per-epoch sums; the
+      // per-tail split is approximate (concurrent front-half charges land in
+      // whichever window observes them).
+      const sim::NvmCounters nvm_end = device_.stats().Snapshot();
+      stats_.nvm_read_bytes.Add(0, nvm_end.read_bytes - nvm_mirror_snapshot_.read_bytes);
+      stats_.nvm_read_lines.Add(0, nvm_end.read_granules - nvm_mirror_snapshot_.read_granules);
+      stats_.nvm_write_bytes.Add(0, nvm_end.write_bytes - nvm_mirror_snapshot_.write_bytes);
+      stats_.nvm_write_lines.Add(
+          0, nvm_end.persisted_lines - nvm_mirror_snapshot_.persisted_lines);
+      stats_.nvm_persist_ops.Add(0, nvm_end.persist_ops - nvm_mirror_snapshot_.persist_ops);
+      stats_.nvm_fences.Add(0, nvm_end.fences - nvm_mirror_snapshot_.fences);
+      nvm_mirror_snapshot_ = nvm_end;
+      // Durable-notify before clearing tail_inflight_: a caller returning
+      // from JoinTail/WaitIdle is guaranteed the callback already ran, so
+      // clearing the callback after a join leaves no in-flight invocation.
+      std::lock_guard<std::mutex> cb(callback_mu_);
+      if (epoch_callback_ && work.has_outcomes) {
+        epoch_callback_(work.result, work.outcomes);
+      }
+    }
+
+    lock.lock();
+    tail_last_dur_ns_ = dur_ns == 0 ? 1 : dur_ns;
+    tail_last_cpu_ns_ = cpu_ns;
+    if (crashed) {
+      tail_crashed_ = true;
+    }
+    tail_inflight_ = false;
+    tail_cv_.notify_all();
+  }
+}
+
+void Database::SubmitTail(TailWork work) {
+  std::lock_guard<std::mutex> lock(tail_mu_);
+  assert(!tail_inflight_ && "SubmitTail without a preceding JoinTail");
+  tail_work_ = std::move(work);
+  tail_inflight_ = true;
+  tail_cv_.notify_all();
+}
+
+bool Database::JoinTail() {
+  std::unique_lock<std::mutex> lock(tail_mu_);
+  const auto wait_start = std::chrono::steady_clock::now();
+  tail_cv_.wait(lock, [this] { return !tail_inflight_; });
+  if (tail_last_dur_ns_ != 0) {
+    // Overlap accounting: the share of the tail's wall time this thread did
+    // NOT spend blocked on it was overlapped with foreground work.
+    const auto blocked_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                             wait_start)
+            .count());
+    const std::uint64_t dur = tail_last_dur_ns_;
+    profiler_.AddTailOverlap(dur, dur > blocked_ns ? dur - blocked_ns : 0, tail_last_cpu_ns_);
+    tail_last_dur_ns_ = 0;
+    tail_last_cpu_ns_ = 0;
+  }
+  return !tail_crashed_;
 }
 
 // ---- Row operations ------------------------------------------------------------

@@ -159,8 +159,10 @@ std::size_t InputLog::LogEpochParallel(Epoch epoch,
   device_.Persist(buffer, sizeof(LogHeader), 0);
   // The workers' payload persists are staged on their own cores: one
   // cross-core barrier orders payload + header before the complete flag,
-  // exactly where the serial path fenced once.
-  device_.FenceAll(0);
+  // exactly where the serial path fenced once. Bounded to the worker cores —
+  // under pipelined epochs this runs concurrently with the previous epoch's
+  // tail thread, which owns the device core at index `workers`.
+  device_.FenceWorkers(workers, 0);
 
   header->complete = 1;
   device_.Persist(buffer + offsetof(LogHeader, complete), sizeof(std::uint64_t), 0);

@@ -521,6 +521,14 @@ bool Database::SetupInstantRecovery(std::vector<std::unique_ptr<txn::Transaction
     st->slot_writes[e.slot].emplace_back(e.table, e.key);
   }
   st->total_keys = st->key_order.size();
+  // Publish every pending key into the sharded reader gate before
+  // instant_active_ flips on: ReadCommitted consults the stripes lock-free
+  // of instant_mu_, so a key must never be pending here without its stripe
+  // entry (the reverse — a stale stripe entry for a retired key — only
+  // costs one needless instant_mu_ acquisition).
+  for (const auto& [table, key] : st->key_order) {
+    InstantStripeInsert(table, key);
+  }
   st->txns = std::move(*txns);
   instant_ = std::move(st);
   return true;
@@ -708,6 +716,11 @@ void Database::RetireKeyLocked(TableId table, Key key, RedoKey& rk, std::size_t 
   // already holds the committed state (paper 4.6's resolve-ignored rule).
   rk.retired = true;
   ++instant_->retired_keys;
+  // Retired keys leave the striped reader gate: subsequent readers of this
+  // key no longer serialize on instant_mu_. The final state above is
+  // persisted before the erase, so a reader that misses the stripe entry
+  // observes the retired row.
+  InstantStripeErase(table, key);
 }
 
 void Database::FinishInstantRecoveryLocked() {
@@ -745,6 +758,12 @@ void Database::FinishInstantRecoveryLocked() {
   current_epoch_ = epoch;
   instant_.reset();
   gc_dedup_.clear();
+  // Every retire erased its stripe entry; clear defensively anyway so a
+  // later instant-recovery window starts with an empty reader gate.
+  for (InstantStripe& stripe : instant_stripes_) {
+    std::lock_guard<std::mutex> lk(stripe.mu);
+    stripe.pending.clear();
+  }
   instant_active_.store(false, std::memory_order_release);
 }
 

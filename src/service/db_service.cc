@@ -1,5 +1,6 @@
 #include "src/service/db_service.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -86,9 +87,11 @@ StatusOr<TxnTicket> DbService::Submit(std::unique_ptr<txn::Transaction> txn) {
   if (recovering_.load(std::memory_order_acquire)) {
     // Don't queue behind an epoch that cannot start yet: tell the client how
     // long the remaining backfill is likely to take so it can back off. The
-    // snapshot is pacer-maintained, so this never blocks on a backfill step.
+    // snapshot and the hint are pacer-maintained — the hint extrapolates the
+    // measured retire rate of the steps completed so far — so this never
+    // blocks on a backfill step.
     const std::size_t pending = backfill_pending_.load(std::memory_order_relaxed);
-    const std::size_t retry_ms = 1 + pending / 64;
+    const std::size_t retry_ms = backfill_retry_hint_ms_.load(std::memory_order_relaxed);
     return Status::Unavailable(
         "DbService::Submit: instant-recovery backfill in progress (" +
         std::to_string(pending) + " of " + std::to_string(backfill_total_) +
@@ -129,6 +132,8 @@ bool DbService::RunRecoveryBackfill() {
   if (!recovering_.load(std::memory_order_acquire)) {
     return true;
   }
+  const auto backfill_start = std::chrono::steady_clock::now();
+  const std::size_t initial_pending = backfill_pending_.load(std::memory_order_relaxed);
   while (db_->instant_recovery_pending()) {
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -147,6 +152,23 @@ bool DbService::RunRecoveryBackfill() {
       return false;
     }
     backfill_pending_.store(*remaining, std::memory_order_relaxed);
+    // Refresh the retry-after hint from the measured retire rate: keys
+    // retired since the backfill began over the wall time it took. The
+    // fixed per-key guess this replaces was off by orders of magnitude
+    // whenever redo work per key diverged from the assumed constant.
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                  backfill_start)
+            .count();
+    const std::size_t retired =
+        initial_pending > *remaining ? initial_pending - *remaining : 0;
+    if (retired > 0 && elapsed_ms > 0.0) {
+      const double rate_keys_per_ms = static_cast<double>(retired) / elapsed_ms;
+      const double eta_ms = static_cast<double>(*remaining) / rate_keys_per_ms;
+      const std::size_t hint =
+          std::min<std::size_t>(60000, 1 + static_cast<std::size_t>(eta_ms));
+      backfill_retry_hint_ms_.store(hint, std::memory_order_relaxed);
+    }
   }
   recovering_.store(false, std::memory_order_release);
   return true;
@@ -162,13 +184,14 @@ void DbService::PacerLoop() {
   }
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
-    if (deferred_.empty()) {
+    if (deferred_.empty() && inflight_new_.empty()) {
       work_cv_.wait(lk, [&] {
         return stopping_ || !fail_status_.ok() || !queue_.empty() || flush_;
       });
     } else {
-      // Aria deferrals are in flight: never sleep past the delay bound, so a
-      // deferred ticket resolves even when no new traffic arrives.
+      // Aria deferrals (or an epoch whose durable callback is still in
+      // flight on the tail thread) exist: never sleep past the delay bound,
+      // so a deferred ticket resolves even when no new traffic arrives.
       work_cv_.wait_for(lk, spec_.max_epoch_delay, [&] {
         return stopping_ || !fail_status_.ok() || !queue_.empty() || flush_;
       });
@@ -177,20 +200,42 @@ void DbService::PacerLoop() {
       break;
     }
     if (queue_.empty()) {
+      if ((flush_ || stopping_) && !inflight_new_.empty()) {
+        // Quiesce: the tail thread still owes durable callbacks, which may
+        // reveal deferrals that need further flush epochs. Re-evaluate once
+        // it drains.
+        if (!QuiesceTail(lk)) {
+          break;
+        }
+        continue;
+      }
       if (!deferred_.empty()) {
         // Flush epoch: empty input; the engine re-runs its deferred batch.
         const std::size_t before = deferred_.size();
         if (!RunBatch(lk, {})) {
           break;
         }
-        if (stopping_ && deferred_.size() >= before) {
-          // Defensive: Aria guarantees the batch's first transaction commits,
-          // so a no-progress flush means an engine bug. Fail the stragglers
+        if (stopping_ || flush_) {
+          // Progress must be observable before the next shutdown decision:
+          // drain the flush epoch's own tail (its callback rebuilds
+          // deferred_), then check that it resolved at least one deferral.
+          // Aria guarantees the batch's first transaction commits, so a
+          // no-progress flush means an engine bug — fail the stragglers
           // rather than spinning in shutdown forever.
-          FailAll(Status::Internal(
-              "DbService: flush epoch resolved no deferred transactions"));
-          break;
+          if (!QuiesceTail(lk)) {
+            break;
+          }
+          if (!deferred_.empty() && deferred_.size() >= before) {
+            FailAll(Status::Internal(
+                "DbService: flush epoch resolved no deferred transactions"));
+            break;
+          }
         }
+        continue;
+      }
+      if (!inflight_new_.empty()) {
+        // No deferrals known yet, but a callback is outstanding; it will
+        // notify work_cv_ when it lands. Loop back to the bounded wait.
         continue;
       }
       if (flush_) {
@@ -232,21 +277,19 @@ void DbService::PacerLoop() {
 bool DbService::RunBatch(std::unique_lock<std::mutex>& lk, std::vector<Pending> batch) {
   std::vector<std::unique_ptr<txn::Transaction>> txns;
   txns.reserve(batch.size());
-  slots_.clear();
-  slots_.reserve(deferred_.size() + batch.size());
-  // Executed-batch slot order: engine-held deferrals first, then the new
-  // submissions (matches EpochCallback's contract).
-  for (const auto& state : deferred_) {
-    slots_.push_back(state);
-  }
+  // Register the epoch's new-submission tickets before the engine sees the
+  // batch: when OnEpochDurable later fires (tail thread under pipelining,
+  // synchronously inside ExecuteEpoch otherwise), it prepends the deferred
+  // carryover to the front entry to reconstruct the engine's slot order.
+  std::vector<std::shared_ptr<internal::TicketState>> fresh;
+  fresh.reserve(batch.size());
   for (auto& p : batch) {
     txns.push_back(std::move(p.txn));
-    slots_.push_back(std::move(p.state));
+    fresh.push_back(std::move(p.state));
   }
+  inflight_new_.push_back(std::move(fresh));
   executing_ = true;
   lk.unlock();
-  // OnEpochDurable runs synchronously on this thread inside ExecuteEpoch,
-  // after the epoch number is persisted; it rebuilds deferred_ under mu_.
   const core::EpochResult result = db_->ExecuteEpoch(std::move(txns));
   lk.lock();
   executing_ = false;
@@ -258,7 +301,7 @@ bool DbService::RunBatch(std::unique_lock<std::mutex>& lk, std::vector<Pending> 
     FailAll(why);
     return false;
   }
-  if (queue_.empty() && deferred_.empty()) {
+  if (queue_.empty() && deferred_.empty() && inflight_new_.empty()) {
     if (flush_) {
       flush_ = false;
     }
@@ -267,18 +310,52 @@ bool DbService::RunBatch(std::unique_lock<std::mutex>& lk, std::vector<Pending> 
   return true;
 }
 
+bool DbService::QuiesceTail(std::unique_lock<std::mutex>& lk) {
+  lk.unlock();  // the durable callback takes mu_; don't hold it across the wait
+  const Status idle = db_->WaitIdle();
+  lk.lock();
+  if (!idle.ok()) {
+    FailAll(Status::DataLoss("DbService: " + idle.message() +
+                             "; recover the database from the device"));
+    return false;
+  }
+  if (!fail_status_.ok()) {
+    return false;
+  }
+  return true;
+}
+
 void DbService::OnEpochDurable(const core::EpochResult& result,
                                const std::vector<core::TxnOutcome>& outcomes) {
   const auto now = std::chrono::steady_clock::now();
-  std::deque<std::shared_ptr<internal::TicketState>> still_deferred;
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!fail_status_.ok()) {
+    return;  // FailAll already resolved every outstanding ticket
+  }
+  // Engine slot order: deferred carryover first, then the epoch's new
+  // submissions. Callbacks arrive in strict epoch order (one tail at a
+  // time), so the front of inflight_new_ is always this epoch's entry.
+  std::vector<std::shared_ptr<internal::TicketState>> slots;
+  slots.reserve(deferred_.size() +
+                (inflight_new_.empty() ? 0 : inflight_new_.front().size()));
+  for (auto& state : deferred_) {
+    slots.push_back(std::move(state));
+  }
+  deferred_.clear();
+  if (!inflight_new_.empty()) {
+    for (auto& state : inflight_new_.front()) {
+      slots.push_back(std::move(state));
+    }
+    inflight_new_.pop_front();
+  }
   {
     std::lock_guard<std::mutex> stats_lk(stats_mu_);
-    for (std::size_t i = 0; i < outcomes.size() && i < slots_.size(); ++i) {
-      const std::shared_ptr<internal::TicketState>& state = slots_[i];
+    for (std::size_t i = 0; i < outcomes.size() && i < slots.size(); ++i) {
+      const std::shared_ptr<internal::TicketState>& state = slots[i];
       switch (outcomes[i]) {
         case core::TxnOutcome::kDeferred:
           ++state->deferrals;
-          still_deferred.push_back(state);
+          deferred_.push_back(state);
           break;
         case core::TxnOutcome::kAborted:
         case core::TxnOutcome::kCommitted: {
@@ -292,9 +369,15 @@ void DbService::OnEpochDurable(const core::EpochResult& result,
       }
     }
   }
-  slots_.clear();  // pacer-thread-only; every slot is resolved or re-deferred
-  std::lock_guard<std::mutex> lk(mu_);
-  deferred_ = std::move(still_deferred);
+  const bool idle =
+      queue_.empty() && deferred_.empty() && inflight_new_.empty() && !executing_;
+  lk.unlock();
+  // The pacer may be sleeping on the delay-bounded wait for exactly this
+  // callback (deferred tickets to flush, or drain progress).
+  work_cv_.notify_all();
+  if (idle) {
+    idle_cv_.notify_all();
+  }
 }
 
 void DbService::Resolve(const std::shared_ptr<internal::TicketState>& state,
@@ -317,10 +400,12 @@ void DbService::Resolve(const std::shared_ptr<internal::TicketState>& state,
 
 void DbService::FailAll(const Status& why) {
   fail_status_ = why;
-  for (const auto& state : slots_) {
-    Resolve(state, TicketOutcome::kFailed, 0, why);
+  for (const auto& batch : inflight_new_) {
+    for (const auto& state : batch) {
+      Resolve(state, TicketOutcome::kFailed, 0, why);
+    }
   }
-  slots_.clear();
+  inflight_new_.clear();
   for (const auto& state : deferred_) {
     Resolve(state, TicketOutcome::kFailed, 0, why);
   }
@@ -343,7 +428,8 @@ Status DbService::Drain() {
   work_cv_.notify_all();
   idle_cv_.wait(lk, [&] {
     return !fail_status_.ok() ||
-           (queue_.empty() && deferred_.empty() && !executing_ && !flush_);
+           (queue_.empty() && deferred_.empty() && inflight_new_.empty() &&
+            !executing_ && !flush_);
   });
   return fail_status_;
 }

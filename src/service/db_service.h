@@ -16,7 +16,11 @@
 //     composition — a DbService run and a hand-batched ExecuteEpoch run
 //     over the same sequence with the same cuts produce identical state.
 //   - Tickets resolve only after the durable point; the reported latency is
-//     submit -> durable, never submit -> executed.
+//     submit -> durable, never submit -> executed. Under pipelined epochs
+//     (CoreSpec::enable_epoch_pipeline) the durable notification arrives on
+//     the engine's tail thread while the pacer already executes the next
+//     batch; the pacer does not wait for epoch N's tail before cutting
+//     epoch N+1.
 //   - Under Aria, conflict-deferred transactions stay in flight (the engine
 //     re-runs them at the front of the next batch); their tickets resolve on
 //     the epoch that finally commits or aborts them, with the deferral count.
@@ -194,6 +198,14 @@ class DbService {
   // Called with mu_ held; unlocks during ExecuteEpoch. Returns false when
   // the epoch crashed and the service is now failed.
   bool RunBatch(std::unique_lock<std::mutex>& lk, std::vector<Pending> batch);
+  // Blocks until the engine's asynchronous persistence tail (and therefore
+  // every outstanding durable callback) has drained. Drops mu_ while
+  // waiting — the callback needs it. Returns false (service failed) when
+  // a crash hook fired inside the tail.
+  bool QuiesceTail(std::unique_lock<std::mutex>& lk);
+  // Durable-notify from the engine. Under pipelined epochs this runs on the
+  // engine's tail thread, concurrent with the pacer preparing the next
+  // batch; callbacks arrive in strict epoch order.
   void OnEpochDurable(const core::EpochResult& result,
                       const std::vector<core::TxnOutcome>& outcomes);
   void Resolve(const std::shared_ptr<internal::TicketState>& state,
@@ -210,11 +222,15 @@ class DbService {
   std::condition_variable idle_cv_;   // Drain(): everything resolved
   std::deque<Pending> queue_;  // FIFO; front's submit_time bounds the epoch delay
   // Tickets of Aria-deferred transactions still held by the engine, in
-  // batch order (pacer-owned; guarded by mu_ for Drain's emptiness check).
+  // batch order. Rebuilt by OnEpochDurable as each epoch's outcomes arrive
+  // (guarded by mu_).
   std::deque<std::shared_ptr<internal::TicketState>> deferred_;
-  // Slot -> ticket map for the batch currently inside ExecuteEpoch
-  // ([carried-over deferred..., new submissions...]); pacer-only.
-  std::vector<std::shared_ptr<internal::TicketState>> slots_;
+  // New-submission tickets of epochs handed to the engine whose durable
+  // callback has not arrived yet, in cut order. The callback pops the
+  // front and prepends the deferred carryover to reconstruct the engine's
+  // slot order — the pacer never waits for the tail before cutting the
+  // next batch (guarded by mu_).
+  std::deque<std::vector<std::shared_ptr<internal::TicketState>>> inflight_new_;
   bool executing_ = false;  // pacer is inside ExecuteEpoch
   bool flush_ = false;      // Drain(): cut underfull epochs immediately
   bool stopping_ = false;
@@ -225,6 +241,10 @@ class DbService {
   // recovery lock while a backfill step holds it.
   std::atomic<bool> recovering_{false};
   std::atomic<std::size_t> backfill_pending_{0};
+  // Retry-after hint for Submit during the backfill window, derived from
+  // the measured retire rate (keys per millisecond) of completed backfill
+  // steps rather than a fixed constant.
+  std::atomic<std::size_t> backfill_retry_hint_ms_{1};
   std::size_t backfill_total_ = 0;  // written before the pacer starts
   Epoch backfill_epoch_ = 0;
   Status fail_status_;  // non-OK once a crash hook fired

@@ -222,6 +222,54 @@ void NvmDevice::FenceAll(std::size_t core_for_stats) {
   }
 }
 
+void NvmDevice::FenceWorkers(std::size_t limit, std::size_t core_for_stats) {
+  assert(core_for_stats < kMaxCores && "core index out of range");
+  stats_.fences.Add(core_for_stats, 1);
+  if (config_.latency.fence_ns != 0) {
+    SpinDelayNs(config_.latency.fence_ns);
+  }
+  if (shadow_ != nullptr) {
+    for (std::size_t core = 0; core < limit && core < kMaxCores; ++core) {
+      auto& pending = pending_[core];
+      for (const PendingRange& range : pending.ranges) {
+        ApplyToShadow(range);
+      }
+      pending.ranges.clear();
+    }
+  }
+}
+
+void NvmDevice::DetachPending() {
+  if (shadow_ == nullptr) {
+    return;
+  }
+  for (auto& pending : pending_) {
+    detached_.insert(detached_.end(), pending.ranges.begin(), pending.ranges.end());
+    pending.ranges.clear();
+  }
+}
+
+void NvmDevice::FenceDetached(std::size_t count, std::size_t core) {
+  assert(core < kMaxCores && "core index out of range");
+  for (std::size_t i = 0; i < count; ++i) {
+    stats_.fences.Add(core, 1);
+    if (config_.latency.fence_ns != 0) {
+      SpinDelayNs(config_.latency.fence_ns);
+    }
+  }
+  if (shadow_ != nullptr) {
+    for (const PendingRange& range : detached_) {
+      ApplyToShadow(range);
+    }
+    detached_.clear();
+    auto& pending = pending_[core % kMaxCores];
+    for (const PendingRange& range : pending.ranges) {
+      ApplyToShadow(range);
+    }
+    pending.ranges.clear();
+  }
+}
+
 void NvmDevice::ApplyToShadow(const PendingRange& range) {
   // Persistence is line-granular: widen the range to full cache lines, the
   // way clwb writes back whole lines.
@@ -238,10 +286,12 @@ void NvmDevice::Crash() {
   if (shadow_ == nullptr) {
     throw std::logic_error("NvmDevice::Crash requires CrashTracking::kShadow");
   }
-  // Unfenced persists are lost too.
+  // Unfenced persists are lost too (including detached ones awaiting a tail
+  // fence).
   for (auto& pending : pending_) {
     pending.ranges.clear();
   }
+  detached_.clear();
   std::memcpy(base_, shadow_.get(), size_);
 }
 
@@ -256,19 +306,28 @@ void NvmDevice::CrashTorn(std::uint64_t seed, double keep_probability) {
   // was cut. Iterating cores in index order keeps the outcome deterministic
   // from the seed.
   Rng rng(seed);
+  const auto tear_range = [&](const PendingRange& range) {
+    const std::uint64_t first = range.offset / kCacheLineSize * kCacheLineSize;
+    std::uint64_t last = (range.offset + range.length + kCacheLineSize - 1) /
+                         kCacheLineSize * kCacheLineSize;
+    if (last > size_) {
+      last = size_;
+    }
+    for (std::uint64_t line = first; line < last; line += kCacheLineSize) {
+      if (rng.NextDouble() < keep_probability) {
+        ApplyToShadow(PendingRange{line, std::min(kCacheLineSize, size_ - line)});
+      }
+    }
+  };
+  // Detached ranges (a pipelined tail in flight) are torn like any other
+  // staged range; they come first so the outcome stays deterministic.
+  for (const PendingRange& range : detached_) {
+    tear_range(range);
+  }
+  detached_.clear();
   for (auto& pending : pending_) {
     for (const PendingRange& range : pending.ranges) {
-      const std::uint64_t first = range.offset / kCacheLineSize * kCacheLineSize;
-      std::uint64_t last = (range.offset + range.length + kCacheLineSize - 1) /
-                           kCacheLineSize * kCacheLineSize;
-      if (last > size_) {
-        last = size_;
-      }
-      for (std::uint64_t line = first; line < last; line += kCacheLineSize) {
-        if (rng.NextDouble() < keep_probability) {
-          ApplyToShadow(PendingRange{line, std::min(kCacheLineSize, size_ - line)});
-        }
-      }
+      tear_range(range);
     }
     pending.ranges.clear();
   }
@@ -284,6 +343,7 @@ void NvmDevice::CrashChaos(std::uint64_t seed, double keep_probability) {
   for (auto& pending : pending_) {
     pending.ranges.clear();
   }
+  detached_.clear();
   Rng rng(seed);
   for (std::size_t line = 0; line < size_; line += kCacheLineSize) {
     const std::size_t len = std::min(kCacheLineSize, size_ - line);

@@ -172,6 +172,27 @@ class NvmDevice {
   // while the workers are quiesced (after RunParallel returns).
   void FenceAll(std::size_t core_for_stats);
 
+  // FenceAll bounded to cores [0, limit): drains only the worker cores'
+  // staged persists. Foreground code that can run concurrently with the
+  // pipelined tail thread must use this instead of FenceAll — the tail owns
+  // the device core at index `limit` (== spec workers) and the detached set,
+  // and draining them from another thread would race.
+  void FenceWorkers(std::size_t limit, std::size_t core_for_stats);
+
+  // Pipelined epoch tail support (DESIGN.md section 13). DetachPending moves
+  // every core's staged-but-unfenced ranges into an internal detached set, so
+  // a tail thread can later drain exactly those lines while foreground cores
+  // stage new persists. Detached ranges are still "in flight" for crash
+  // simulation: Crash() loses them, CrashTorn() tears them line-by-line like
+  // any other staged range. Call from the execution thread while all workers
+  // are quiesced (the cut point between epochs).
+  void DetachPending();
+
+  // Drains the detached set plus `core`'s own staged ranges, charging `count`
+  // fences (stats + latency) to `core` — replicates the serial tail's
+  // per-worker fence loop without touching the other cores' pending state.
+  void FenceDetached(std::size_t count, std::size_t core);
+
   // Accounting-only charges for data that has no concrete location in the
   // region — used by the all-NVMM baseline, where version arrays and
   // intermediate values notionally live in NVMM. Charges latency + stats as
@@ -218,6 +239,10 @@ class NvmDevice {
   bool recovered_existing_file_ = false;
   std::unique_ptr<std::uint8_t[]> shadow_;
   std::array<CorePending, kMaxCores> pending_{};
+  // Staged ranges handed off by DetachPending, awaiting FenceDetached (owned
+  // by the tail thread between those two calls; crash entry points run
+  // quiesced and may also clear/tear it).
+  std::vector<PendingRange> detached_;
   NvmStats stats_;
 };
 

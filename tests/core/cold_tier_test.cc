@@ -214,7 +214,11 @@ TEST(ColdTierTest, MixedSoakWithCrashes) {
     if (crash) {
       db->SetCrashHook(
           [](CrashSite site) { return site == CrashSite::kBeforeEpochPersist; });
-      ASSERT_TRUE(db->ExecuteEpoch(std::move(txns)).crashed);
+      bool crashed = db->ExecuteEpoch(std::move(txns)).crashed;
+      if (!crashed) {
+        crashed = !db->WaitIdle().ok();  // tail-thread site under pipelining
+      }
+      ASSERT_TRUE(crashed);
       db.reset();
       f.hot.CrashChaos(8000 + epoch, 0.5);
       f.cold.CrashChaos(9000 + epoch, 0.5);

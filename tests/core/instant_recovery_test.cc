@@ -125,7 +125,13 @@ void CrashLastEpoch(NvmDevice& device, const DatabaseSpec& spec, CrashSite site,
     db.SetCrashHook([&count, site, fire_after](CrashSite s) {
       return s == site && ++count > fire_after;
     });
-    ASSERT_TRUE(db.ExecuteEpoch(EpochTxns(kEpochs - 1)).crashed) << "hook did not fire";
+    bool crashed = db.ExecuteEpoch(EpochTxns(kEpochs - 1)).crashed;
+    if (!crashed) {
+      // Pipelined epochs: a tail-side site fires on the tail thread after
+      // ExecuteEpoch returned; quiescing surfaces it.
+      crashed = !db.WaitIdle().ok();
+    }
+    ASSERT_TRUE(crashed) << "hook did not fire";
   }
   if (chaos_seed != 0) {
     device.CrashChaos(chaos_seed, 0.5);
@@ -389,7 +395,11 @@ TEST(InstantRecoveryTest, ColdTierConfig) {
       ASSERT_FALSE(db.ExecuteEpoch(EpochTxns(e)).crashed);
     }
     db.SetCrashHook([](CrashSite s) { return s == CrashSite::kBeforeEpochPersist; });
-    ASSERT_TRUE(db.ExecuteEpoch(EpochTxns(kEpochs - 1)).crashed);
+    bool crashed = db.ExecuteEpoch(EpochTxns(kEpochs - 1)).crashed;
+    if (!crashed) {
+      crashed = !db.WaitIdle().ok();  // tail-thread site under pipelining
+    }
+    ASSERT_TRUE(crashed);
   }
   device.CrashChaos(23, 0.5);
   cold.CrashChaos(29, 0.5);
@@ -445,6 +455,78 @@ TEST(InstantRecoveryRaceTest, ConcurrentReadsDuringBackfill) {
   }
   EXPECT_EQ(mismatches.load(), 0u);
   ExpectMatchesReference(db, expected, "after race");
+}
+
+// Regression for the window-contention fix: reads during the pending window
+// used to serialize on one mutex, so a single slow on-demand redo stalled
+// every reader. With the striped per-key gate, a reader stuck inside one
+// key's redo (simulated by a crash hook that blocks while the redo holds the
+// window mutex) must not stall readers of keys that are already retired or
+// were never pending — they bypass the mutex via their stripe.
+TEST(InstantRecoveryRaceTest, RetiredKeyReadsProgressWhileRedoBlocked) {
+  const DatabaseSpec spec = InstantSpec();
+  const auto expected = ReferenceRun(spec);
+
+  NvmDevice device(ShadowDeviceConfig(spec));
+  CrashLastEpoch(device, spec, CrashSite::kBeforeEpochPersist);
+
+  Database db(device, spec);
+  ASSERT_TRUE(db.Recover(KvRegistry()).value().instant);
+  ASSERT_TRUE(db.instant_recovery_pending());
+
+  // The crashed epoch (odd index) deterministically re-inserts the second
+  // half of the dynamic range, so kDynBase + kDynRows/2 is pending-replay.
+  const Key pending_key = kDynBase + kDynRows / 2;
+  // Retire one key up front by reading it; its later reads must bypass the
+  // window mutex entirely.
+  const Key retired_key = 0;
+  (void)ReadBytes(db, 0, retired_key);
+
+  std::atomic<bool> redo_blocked{false};
+  std::atomic<bool> release{false};
+  db.SetCrashHook([&redo_blocked, &release](CrashSite s) {
+    if (s == CrashSite::kMidInstantRecoveryOnDemand) {
+      redo_blocked.store(true, std::memory_order_release);
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    }
+    return false;
+  });
+
+  std::thread blocked_reader([&db, pending_key] {
+    std::uint8_t buffer[512];
+    (void)db.ReadCommitted(0, pending_key, buffer, sizeof(buffer));
+  });
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!redo_blocked.load(std::memory_order_acquire)) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "redo never reached the hook";
+    std::this_thread::yield();
+  }
+
+  // While the redo is wedged inside the window mutex, a retired-key read
+  // must still complete.
+  std::atomic<bool> retired_read_done{false};
+  std::thread parallel_reader([&db, &retired_read_done, retired_key] {
+    std::uint8_t buffer[512];
+    (void)db.ReadCommitted(0, retired_key, buffer, sizeof(buffer));
+    retired_read_done.store(true, std::memory_order_release);
+  });
+  while (!retired_read_done.load(std::memory_order_acquire)) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "retired-key read stalled behind the blocked on-demand redo";
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(release.load());  // the redo was still blocked when it finished
+
+  release.store(true, std::memory_order_release);
+  blocked_reader.join();
+  parallel_reader.join();
+
+  db.SetCrashHook({});
+  ASSERT_TRUE(db.CompleteBackfill().ok());
+  ExpectMatchesReference(db, expected, "after backfill");
 }
 
 }  // namespace

@@ -78,6 +78,11 @@ enum class Variant { kDefault, kPersistentIndex, kColdTier };
 DatabaseSpec SpecFor(Variant variant, std::size_t workers, bool parallel_tail) {
   DatabaseSpec spec = SmallKvSpec(workers);
   spec.enable_parallel_tail = parallel_tail;
+  // This file validates the synchronous (barrier) parallel tail against the
+  // barrier serial tail; under pipelining both would collapse onto the tail
+  // thread's serial path and the comparison would be vacuous. The pipelined
+  // engine's equivalence has its own suite (pipeline_test).
+  spec.enable_epoch_pipeline = false;
   if (variant == Variant::kPersistentIndex) {
     spec.enable_persistent_index = true;
   } else if (variant == Variant::kColdTier) {

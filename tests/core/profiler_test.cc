@@ -179,7 +179,13 @@ class JsonParser {
 class ProfilerTest : public ::testing::Test {
  protected:
   explicit ProfilerTest(std::size_t workers = 2)
-      : spec_(SmallKvSpec(workers)), device_(ShadowDeviceConfig(spec_)) {}
+      : spec_(SmallKvSpec(workers)), device_(ShadowDeviceConfig(spec_)) {
+    // This suite validates the barrier engine's per-phase bracketing and the
+    // synchronous per-epoch NVM attribution. Under pipelining the persistence
+    // tail runs on the tail thread outside the driver's phase brackets (its
+    // coverage lives in pipeline_test and the tail-overlap report fields).
+    spec_.enable_epoch_pipeline = false;
+  }
 
   void SetUp() override {
     db_ = std::make_unique<Database>(device_, spec_);

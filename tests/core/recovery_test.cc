@@ -82,7 +82,12 @@ void RunCrashAt(CrashSite site, bool chaos, std::uint64_t chaos_seed = 0) {
       ASSERT_FALSE(db.ExecuteEpoch(EpochTxns(e)).crashed);
     }
     db.SetCrashHook([site](CrashSite s) { return s == site; });
-    const EpochResult result = db.ExecuteEpoch(EpochTxns(kEpochs - 1));
+    EpochResult result = db.ExecuteEpoch(EpochTxns(kEpochs - 1));
+    if (!result.crashed) {
+      // Pipelined epochs: a site inside the persistence tail fires on the
+      // tail thread after ExecuteEpoch returned; quiescing surfaces it.
+      result.crashed = !db.WaitIdle().ok();
+    }
     ASSERT_TRUE(result.crashed) << "crash hook did not fire";
   }
   if (chaos) {
@@ -239,7 +244,11 @@ TEST_P(MultiWorkerCrashTest, CoordinatorSiteCrashRecovers) {
         ASSERT_FALSE(db.ExecuteEpoch(EpochTxns(e)).crashed);
       }
       db.SetCrashHook([site](CrashSite s) { return s == site; });
-      ASSERT_TRUE(db.ExecuteEpoch(EpochTxns(kEpochs - 1)).crashed);
+      bool crashed = db.ExecuteEpoch(EpochTxns(kEpochs - 1)).crashed;
+      if (!crashed) {
+        crashed = !db.WaitIdle().ok();  // tail-thread site under pipelining
+      }
+      ASSERT_TRUE(crashed);
     }
     device.CrashChaos(600 + static_cast<int>(site), 0.5);
 

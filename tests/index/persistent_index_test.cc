@@ -212,7 +212,11 @@ TEST(PersistentIndexTest, RevertPolicyFallsBackToScan) {
         [](CrashSite site) { return site == CrashSite::kBeforeEpochPersist; });
     std::vector<std::unique_ptr<txn::Transaction>> txns2;
     txns2.push_back(std::make_unique<KvPutTxn>(3, 999));
-    ASSERT_TRUE(db.ExecuteEpoch(std::move(txns2)).crashed);
+    bool crashed = db.ExecuteEpoch(std::move(txns2)).crashed;
+    if (!crashed) {
+      crashed = !db.WaitIdle().ok();  // tail-thread site under pipelining
+    }
+    ASSERT_TRUE(crashed);
   }
   device.CrashChaos(12, 0.8);
 
@@ -251,7 +255,11 @@ TEST(PersistentIndexTest, FastRecoveryHandlesDeletesAndInserts) {
     for (Key key = 8; key < 16; ++key) {
       txns2.push_back(std::make_unique<KvPutTxn>(key, 800 + key));
     }
-    ASSERT_TRUE(db.ExecuteEpoch(std::move(txns2)).crashed);
+    bool crashed = db.ExecuteEpoch(std::move(txns2)).crashed;
+    if (!crashed) {
+      crashed = !db.WaitIdle().ok();  // tail-thread site under pipelining
+    }
+    ASSERT_TRUE(crashed);
   }
   device.CrashChaos(3, 0.6);
   Database recovered(device, spec);

@@ -142,6 +142,9 @@ TEST(DbServiceTest, DeterminismMatchesHandBatchedRun) {
     }
     ASSERT_FALSE(ref->ExecuteEpoch(std::move(batch)).crashed);
   }
+  // Quiesce the pipelined tail before reading the NVM counters: the last
+  // epoch's persistence (and its stats mirror) completes asynchronously.
+  ASSERT_TRUE(ref->WaitIdle().ok());
   const OracleState ref_state = CaptureState(*ref);
 
   std::string diff;

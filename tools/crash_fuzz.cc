@@ -19,6 +19,14 @@
 // or recovery repair logic. The tool reports per-site reach/fire counts so a
 // sweep that silently stopped exercising a recovery branch is visible.
 //
+// Epoch pipelining (on by default) moves the persistence tail onto an
+// asynchronous tail thread, so a tail-site crash surfaces on the NEXT
+// ExecuteEpoch (or at WaitIdle for the final epoch) while that epoch's front
+// half has already run and been cancelled. The harness therefore derives the
+// resume point from the recovered header instead of loop bookkeeping, and a
+// pair of barrier (pipeline-off) configurations keeps the synchronous serial
+// and parallel tails — and their parallel-only crash sites — exercised.
+//
 // Half of the runs (deterministically chosen from the run seed) drive the
 // crashing execution through the DbService group-commit front-end instead of
 // hand-batched ExecuteEpoch calls: transactions are submitted one by one,
@@ -213,6 +221,22 @@ std::vector<FuzzConfig> BuildConfigs(bool smoke) {
     spec.enable_instant_recovery = true;
     configs.push_back({"instant", spec, false});
   }
+  // Epoch pipelining is on by default, which routes the persistence tail
+  // through the tail thread; the barrier rows keep the synchronous serial and
+  // parallel tails recoverable (and are the only rows that can reach the
+  // parallel-only crash sites, just as the pipelined rows are the only ones
+  // reaching the two overlap sites).
+  {
+    DatabaseSpec spec = nvc::test::SmallKvSpec();
+    spec.enable_epoch_pipeline = false;
+    configs.push_back({"barrier", spec, false});
+  }
+  {
+    DatabaseSpec spec = nvc::test::SmallKvSpec();
+    spec.enable_epoch_pipeline = false;
+    spec.enable_persistent_index = true;
+    configs.push_back({"barrier-pindex", spec, false});
+  }
   if (!smoke) {
     {
       DatabaseSpec spec = nvc::test::SmallKvSpec();
@@ -288,6 +312,9 @@ std::uint64_t FireIndexBound(CrashSite site) {
       return kEpochs * 4;
     case CrashSite::kDuringDemotion:
       return 3;
+    case CrashSite::kMidOverlapExecute:
+    case CrashSite::kMidOverlapTailPersist:
+      return kEpochs;  // once per pipelined epoch (front half / async tail)
     default:
       return kEpochs;  // reached at most once per epoch: picks the epoch
   }
@@ -417,6 +444,9 @@ std::string RunRecoverySiteCase(const FuzzConfig& config, std::size_t config_ind
         break;
       }
     }
+    if (!crashed && !db.WaitIdle().ok()) {
+      crashed = true;  // tail-site crash in the final epoch (pipelined)
+    }
     stats->coverage.Merge(db.crash_coverage());
     if (!crashed) {
       return "kBeforeEpochPersist unexpectedly never reached";
@@ -517,7 +547,6 @@ std::string RunCase(const FuzzConfig& config, std::size_t config_index, std::uin
   ++stats->armed[static_cast<std::size_t>(site)];
 
   bool crashed = false;
-  std::size_t crash_epoch = 0;
   {
     auto dbp = std::make_unique<Database>(device, config.spec, cold.get());
     dbp->Format();
@@ -548,19 +577,18 @@ std::string RunCase(const FuzzConfig& config, std::size_t config_index, std::uin
         }
       }
       crashed = !svc.Drain().ok();
-      if (crashed) {
-        // RunBatch counts the crashed epoch too, so the last executed
-        // epoch index is exactly the stream epoch that crashed.
-        crash_epoch = svc.epochs_executed() - 1;
-      }
       dbp = svc.TakeDatabase();
     } else {
       for (std::size_t e = 0; e < stream.size(); ++e) {
         if (dbp->ExecuteEpoch(Materialize(stream[e])).crashed) {
           crashed = true;
-          crash_epoch = e;
           break;
         }
+      }
+      if (!crashed && !dbp->WaitIdle().ok()) {
+        // Under pipelining a tail-site crash in the final epoch surfaces
+        // only when the asynchronous tail is joined.
+        crashed = true;
       }
     }
     stats->coverage.Merge(dbp->crash_coverage());
@@ -586,11 +614,15 @@ std::string RunCase(const FuzzConfig& config, std::size_t config_index, std::uin
     }
     db = std::make_unique<Database>(device, config.spec, cold.get());
     const nvc::core::RecoveryReport report = db->Recover(nvc::test::KvRegistry()).value();
-    if (!report.replayed) {
-      // The crashed epoch's log never became durable, so that epoch never
-      // changed persistent state; re-run it through the normal path.
-      db->ExecuteEpoch(Materialize(stream[crash_epoch]));
-    } else if (report.instant && run_rng.NextBounded(2) == 1) {
+    // The resume point is derived from the durable image, not from loop
+    // bookkeeping: under pipelining a tail crash of epoch N surfaces while
+    // epoch N+1's (cancelled) front half is running, so the crashing loop's
+    // index can overshoot the epoch that actually lost its tail. stream[e]
+    // ran as engine epoch e+2 (FinalizeLoad leaves the engine at epoch 1),
+    // and a replay advances the recovered header by one.
+    const std::size_t resume = static_cast<std::size_t>(report.recovered_epoch) +
+                               (report.replayed ? 1 : 0) - 1;
+    if (report.replayed && report.instant && run_rng.NextBounded(2) == 1) {
       // Half the instant runs retire the backfill eagerly; the other half let
       // the next ExecuteEpoch pre-finish it, covering both admission paths.
       const nvc::Status st = db->CompleteBackfill();
@@ -598,7 +630,7 @@ std::string RunCase(const FuzzConfig& config, std::size_t config_index, std::uin
         return "CompleteBackfill failed: " + st.message();
       }
     }
-    for (std::size_t e = crash_epoch + 1; e < stream.size(); ++e) {
+    for (std::size_t e = resume; e < stream.size(); ++e) {
       db->ExecuteEpoch(Materialize(stream[e]));
     }
     if (db->instant_recovery_pending()) {
