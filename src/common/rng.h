@@ -5,6 +5,7 @@
 // its distributions are not guaranteed identical across standard libraries.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 namespace nvc {
@@ -51,6 +52,62 @@ class Rng {
 
  private:
   std::uint64_t state_;
+};
+
+// Zipfian distribution over [0, n) with exponent theta, using the
+// Gray/Jim-Gray "quick" inversion (the YCSB generator's method): draw u in
+// [0,1) and invert the analytic approximation of the zeta CDF. Ranks are
+// scattered with SplitMix64 so that rank 0 (the hottest key) is not always
+// key 0 — pass scatter=false to keep the raw rank (hot keys contiguous at the
+// low end, which adversarial skew suites want for range scans).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta, bool scatter = true)
+      : n_(n), theta_(theta), scatter_(scatter) {
+    zetan_ = Zeta(n_, theta_);
+    const double zeta2 = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - Pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  std::uint64_t Next(Rng& rng) {
+    const double u = rng.NextDouble();
+    const double uz = u * zetan_;
+    std::uint64_t rank;
+    if (uz < 1.0) {
+      rank = 0;
+    } else if (uz < 1.0 + Pow(0.5, theta_)) {
+      rank = 1;
+    } else {
+      rank = static_cast<std::uint64_t>(
+          static_cast<double>(n_) * Pow(eta_ * u - eta_ + 1.0, alpha_));
+      if (rank >= n_) {
+        rank = n_ - 1;
+      }
+    }
+    return scatter_ ? SplitMix64(rank) % n_ : rank;
+  }
+
+ private:
+  // std::pow is deterministic within one binary, which is the property the
+  // determinism tests assert (cross-libm bit-identity is not required: the
+  // skew shape, not the exact key sequence, is the contract across builds).
+  static double Pow(double x, double y) { return std::pow(x, y); }
+  static double Zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / Pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  bool scatter_;
+  double zetan_;
+  double alpha_;
+  double eta_;
 };
 
 // TPC-C NURand non-uniform distribution (clause 2.1.6).

@@ -34,6 +34,7 @@
 #include <cassert>
 #include <chrono>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -51,17 +52,33 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 // Sharded reservation table: (table, key) -> minimum writer SID. Reservation
 // keys are hashed; a collision only merges reservations, which can defer a
 // transaction unnecessarily but never misses a conflict (conservative and
-// still deterministic).
+// still deterministic). Ordered tables additionally keep exact per-key
+// reservations in a sorted map so scan validation can ask for the minimum
+// writer inside a key interval (the phantom check).
 class ReservationTable {
  public:
-  explicit ReservationTable(std::size_t shards = 16) : shards_(shards) {}
+  // `ordered_tables[t]` marks tables whose reservations also feed the
+  // range-queryable side structure.
+  explicit ReservationTable(std::vector<bool> ordered_tables, std::size_t shards = 16)
+      : shards_(shards), ordered_tables_(std::move(ordered_tables)) {
+    range_min_.resize(ordered_tables_.size());
+  }
 
   void ReserveWrite(TableId table, Key key, Sid sid) {
     Shard& shard = ShardFor(table, key);
-    SpinLatchGuard guard(shard.latch);
-    auto [it, inserted] = shard.min_writer.try_emplace(HashKey(table, key), sid.raw());
-    if (!inserted && sid.raw() < it->second) {
-      it->second = sid.raw();
+    {
+      SpinLatchGuard guard(shard.latch);
+      auto [it, inserted] = shard.min_writer.try_emplace(HashKey(table, key), sid.raw());
+      if (!inserted && sid.raw() < it->second) {
+        it->second = sid.raw();
+      }
+    }
+    if (table < ordered_tables_.size() && ordered_tables_[table]) {
+      SpinLatchGuard guard(range_latch_);
+      auto [it, inserted] = range_min_[table].try_emplace(key, sid.raw());
+      if (!inserted && sid.raw() < it->second) {
+        it->second = sid.raw();
+      }
     }
   }
 
@@ -73,9 +90,27 @@ class ReservationTable {
     return it == shard.min_writer.end() ? 0 : it->second;
   }
 
+  // The smallest writer SID reserved on any key in [lo, hi] of an ordered
+  // table, or 0 when none (exact keys — no hash collisions here, so a scan
+  // only defers on a genuine interval overlap).
+  std::uint64_t MinWriterInRange(TableId table, Key lo, Key hi) {
+    SpinLatchGuard guard(range_latch_);
+    std::uint64_t min_sid = 0;
+    const auto& m = range_min_[table];
+    for (auto it = m.lower_bound(lo); it != m.end() && it->first <= hi; ++it) {
+      if (min_sid == 0 || it->second < min_sid) {
+        min_sid = it->second;
+      }
+    }
+    return min_sid;
+  }
+
   void Clear() {
     for (Shard& shard : shards_) {
       shard.min_writer.clear();
+    }
+    for (auto& m : range_min_) {
+      m.clear();
     }
   }
 
@@ -88,6 +123,9 @@ class ReservationTable {
     return shards_[HashKey(table, key) % shards_.size()];
   }
   std::vector<Shard> shards_;
+  std::vector<bool> ordered_tables_;
+  SpinLatch range_latch_;
+  std::vector<std::map<Key, std::uint64_t>> range_min_;  // per ordered table
 };
 
 struct BufferedOp {
@@ -104,6 +142,10 @@ struct AriaTxnState {
   bool deferred = false;
   std::vector<std::pair<TableId, Key>> reads;
   std::vector<BufferedOp> writes;
+  // Observed scan intervals ([lo, hi] clamped to the last delivered key when
+  // the scan stopped early); validated against the reservation table's
+  // ordered side in the commit phase (phantom check).
+  std::vector<txn::ScanSpec> scans;
 };
 
 }  // namespace
@@ -154,6 +196,84 @@ class AriaExecContext final : public txn::ExecContext {
   }
   bool LastInRange(TableId table, Key lo, Key hi, Key* found) override {
     return db_->tables_[table]->LastInRange(lo, hi, found);
+  }
+
+  // Snapshot range scan merged with this transaction's own buffered writes
+  // (read-your-own-writes; buffered deletes hide the key). The observed
+  // interval — [lo, hi], clamped to the last delivered key when the scan
+  // stopped early — is recorded for the commit phase's phantom check: any
+  // smaller-SID write reservation inside it defers this transaction, because
+  // in serial order that write would have changed what the scan returned.
+  std::uint32_t Scan(const txn::ScanSpec& spec, const txn::ScanRowFn& fn) override {
+    if (!db_->tables_[spec.table]->schema().ordered) {
+      throw std::logic_error("Scan on table " + std::to_string(spec.table) +
+                             " which is not TableSchema::ordered");
+    }
+    std::map<Key, const BufferedOp*> own;  // latest buffered op per key
+    for (const BufferedOp& op : st_->writes) {
+      if (op.table == spec.table && op.key >= spec.lo && op.key <= spec.hi) {
+        own[op.key] = &op;
+      }
+    }
+    std::vector<Key> snapshot;
+    db_->tables_[spec.table]->ForRangeWhile(
+        spec.lo, spec.hi, [&snapshot](Key key, vstore::RowEntry*) {
+          snapshot.push_back(key);
+          return true;
+        });
+    std::uint32_t delivered = 0;
+    Key observed_hi = spec.hi;
+    std::vector<std::uint8_t> buf(256);
+    std::size_t si = 0;
+    auto oi = own.begin();
+    while (si < snapshot.size() || oi != own.end()) {
+      Key key;
+      const BufferedOp* op = nullptr;
+      if (oi != own.end() && (si >= snapshot.size() || oi->first <= snapshot[si])) {
+        key = oi->first;
+        op = oi->second;
+        if (si < snapshot.size() && snapshot[si] == key) {
+          ++si;  // the buffered op shadows the snapshot version
+        }
+        ++oi;
+      } else {
+        key = snapshot[si++];
+      }
+      const std::uint8_t* data = nullptr;
+      std::uint32_t size = 0;
+      if (op != nullptr) {
+        if (op->kind == BufferedOp::kDelete) {
+          continue;  // deleted by this transaction: invisible
+        }
+        data = op->data.data();
+        size = static_cast<std::uint32_t>(op->data.size());
+      } else {
+        int n = db_->AriaSnapshotRead(spec.table, key, buf.data(),
+                                      static_cast<std::uint32_t>(buf.size()), core_);
+        if (n < 0) {
+          continue;  // no committed pre-epoch version
+        }
+        if (static_cast<std::size_t>(n) > buf.size()) {
+          buf.resize(static_cast<std::size_t>(n));
+          n = db_->AriaSnapshotRead(spec.table, key, buf.data(),
+                                    static_cast<std::uint32_t>(buf.size()), core_);
+        }
+        data = buf.data();
+        size = static_cast<std::uint32_t>(n);
+      }
+      ++delivered;
+      const bool keep_going = fn(key, data, size);
+      if (delivered >= spec.limit || !keep_going) {
+        // Stopped early at `key`: smaller-SID writes beyond it cannot change
+        // the delivered prefix, so the validated interval ends here.
+        observed_hi = key;
+        break;
+      }
+    }
+    txn::ScanSpec observed = spec;
+    observed.hi = observed_hi;
+    st_->scans.push_back(observed);
+    return delivered;
   }
   std::uint64_t CounterEpochStart(txn::CounterId counter) const override {
     return db_->counters_epoch_start_[counter];
@@ -265,7 +385,11 @@ EpochResult Database::ExecuteEpochAria(std::vector<std::unique_ptr<txn::Transact
     }
 
     // ---- Execute phase: snapshot reads, buffered writes, reservations ----
-    ReservationTable reservations;
+    std::vector<bool> ordered_tables(tables_.size());
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      ordered_tables[t] = tables_[t]->schema().ordered;
+    }
+    ReservationTable reservations(std::move(ordered_tables));
     const bool hook_each_txn = static_cast<bool>(crash_hook_) && spec_.workers == 1;
     pool_.RunParallel([&](std::size_t w) {
       for (std::size_t i = w; i < states.size(); i += spec_.workers) {
@@ -304,6 +428,20 @@ EpochResult Database::ExecuteEpochAria(std::vector<std::unique_ptr<txn::Transact
             const std::uint64_t min_writer = reservations.MinWriter(table, key);
             if (min_writer != 0 && min_writer < st.sid.raw()) {
               defer = true;  // RAW: read a key a smaller transaction writes
+              break;
+            }
+          }
+        }
+        if (!defer) {
+          for (const txn::ScanSpec& scan : st.scans) {
+            if (hook_each_txn) {
+              MaybeCrash(CrashSite::kMidScanValidate);
+            }
+            const std::uint64_t min_writer =
+                reservations.MinWriterInRange(scan.table, scan.lo, scan.hi);
+            if (min_writer != 0 && min_writer < st.sid.raw()) {
+              defer = true;  // phantom: a smaller transaction wrote inside
+                             // the observed scan interval
               break;
             }
           }

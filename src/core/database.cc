@@ -630,6 +630,48 @@ StatusOr<std::uint32_t> Database::ReadCommittedImpl(TableId table, Key key, void
   return loc.size();
 }
 
+StatusOr<std::vector<Database::ScanRow>> Database::RangeScan(TableId table, Key begin,
+                                                             Key end, std::size_t limit) {
+  CheckTableId(table);
+  if (!tables_[table]->schema().ordered) {
+    return Status::InvalidArgument("RangeScan on table '" + spec_.tables[table].name +
+                                   "' which is not TableSpec::ordered");
+  }
+  // Key interval first (under the ordered latch), committed reads after —
+  // the same collect-then-read shape as ExecScan. Ordered tables never
+  // coexist with instant recovery (DatabaseSpec::Validate), so there is no
+  // pending-redo window to gate on; ReadCommitted would handle one anyway.
+  std::vector<Key> keys;
+  tables_[table]->ForRangeWhile(begin, end, [&keys](Key key, vstore::RowEntry*) {
+    keys.push_back(key);
+    return true;
+  });
+  std::vector<ScanRow> rows;
+  std::vector<std::uint8_t> buf(1 << 16);
+  for (const Key key : keys) {
+    if (rows.size() >= limit) {
+      break;
+    }
+    StatusOr<std::uint32_t> n =
+        ReadCommitted(table, key, buf.data(), static_cast<std::uint32_t>(buf.size()));
+    if (!n.ok()) {
+      if (n.status().code() == StatusCode::kNotFound) {
+        continue;  // indexed but logically absent (deleted / never committed)
+      }
+      return n.status();
+    }
+    while (*n == buf.size()) {  // possibly truncated: grow and re-read
+      buf.resize(buf.size() * 2);
+      n = ReadCommitted(table, key, buf.data(), static_cast<std::uint32_t>(buf.size()));
+      if (!n.ok()) {
+        return n.status();
+      }
+    }
+    rows.push_back(ScanRow{key, std::vector<std::uint8_t>(buf.begin(), buf.begin() + *n)});
+  }
+  return rows;
+}
+
 MemoryBreakdown Database::GetMemoryBreakdown() const {
   MemoryBreakdown breakdown;
   for (const auto& table : tables_) {

@@ -164,8 +164,15 @@ enum class CrashSite {
                            // tail may still be persisting
   kMidOverlapTailPersist,  // pipelined: on the tail thread, between the
                            // checkpoint shards and the index-delta apply
+  kMidScanValidate,        // range scans: between a scan's key-interval
+                           // collection and its read-back (Caracal execute
+                           // phase) or before its phantom interval check
+                           // (Aria commit phase); single-worker runs
+  kMidOrderedIndexRebuild,  // recovery: while re-inserting an ordered
+                            // table's keys into the skiplist (crash during
+                            // recovery; single-worker runs)
 };
-inline constexpr std::size_t kCrashSiteCount = 17;
+inline constexpr std::size_t kCrashSiteCount = 19;
 inline constexpr CrashSite kAllCrashSites[kCrashSiteCount] = {
     CrashSite::kAfterLog,        CrashSite::kAfterInsert,   CrashSite::kDuringMajorGc,
     CrashSite::kDuringGcPass2,   CrashSite::kAfterGcPersist, CrashSite::kDuringDemotion,
@@ -174,6 +181,7 @@ inline constexpr CrashSite kAllCrashSites[kCrashSiteCount] = {
     CrashSite::kMidParallelCheckpoint, CrashSite::kMidParallelIndexApply,
     CrashSite::kMidInstantRecoveryOnDemand, CrashSite::kMidBackfill,
     CrashSite::kMidOverlapExecute, CrashSite::kMidOverlapTailPersist,
+    CrashSite::kMidScanValidate, CrashSite::kMidOrderedIndexRebuild,
 };
 
 constexpr const char* CrashSiteName(CrashSite site) {
@@ -195,6 +203,8 @@ constexpr const char* CrashSiteName(CrashSite site) {
     case CrashSite::kMidBackfill: return "MidBackfill";
     case CrashSite::kMidOverlapExecute: return "MidOverlapExecute";
     case CrashSite::kMidOverlapTailPersist: return "MidOverlapTailPersist";
+    case CrashSite::kMidScanValidate: return "MidScanValidate";
+    case CrashSite::kMidOrderedIndexRebuild: return "MidOrderedIndexRebuild";
   }
   return "?";
 }
@@ -331,6 +341,17 @@ class Database {
   // examples, tooling). Returns the number of bytes copied into `out`
   // (min(cap, value size)); kNotFound when the row has no committed value.
   StatusOr<std::uint32_t> ReadCommitted(TableId table, Key key, void* out, std::uint32_t cap);
+
+  // One RangeScan result row.
+  struct ScanRow {
+    Key key = 0;
+    std::vector<std::uint8_t> value;
+  };
+  // Committed-state range scan outside any epoch (tests, tooling, read-only
+  // clients): live rows with key in [begin, end] ascending, at most `limit`.
+  // kInvalidArgument when the table is not TableSchema::ordered.
+  StatusOr<std::vector<ScanRow>> RangeScan(TableId table, Key begin, Key end,
+                                           std::size_t limit = ~std::size_t{0});
 
   // Pre-Status shim for the old int convention (bytes copied, or -1 when
   // absent). Unused in-repo; kept for one PR for external callers.
@@ -498,6 +519,9 @@ class Database {
                                       std::uint32_t size, Sid sid, std::size_t core);
   void DeclareWrite(TxnState& st, TableId table, Key key, std::size_t core);
   int ReadRow(TableId table, Key key, Sid sid, void* out, std::uint32_t cap, std::size_t core);
+  // Execution-phase ordered range scan at `sid` (epoch.cc).
+  std::uint32_t ExecScan(const txn::ScanSpec& spec, Sid sid, const txn::ScanRowFn& fn,
+                         std::size_t core);
   int ReadPreEpoch(TableId table, Key key, void* out, std::uint32_t cap, std::size_t core);
   void WriteRow(TxnState& st, TableId table, Key key, const void* data, std::uint32_t size,
                 std::size_t core);

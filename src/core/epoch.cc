@@ -134,6 +134,9 @@ class EngineExecContext final : public txn::ExecContext {
   bool LastInRange(TableId table, Key lo, Key hi, Key* found) override {
     return db_->tables_[table]->LastInRange(lo, hi, found);
   }
+  std::uint32_t Scan(const txn::ScanSpec& spec, const txn::ScanRowFn& fn) override {
+    return db_->ExecScan(spec, st_->sid, fn, core_);
+  }
   std::uint64_t CounterEpochStart(txn::CounterId counter) const override {
     return db_->counters_epoch_start_[counter];
   }
@@ -1254,6 +1257,56 @@ int Database::ReadRow(TableId table, Key key, Sid sid, void* out, std::uint32_t 
   ReadVersionValue(row, desc, tmp, core);
   std::memcpy(out, tmp, cap);
   return static_cast<int>(loc.size());
+}
+
+// Execution-phase ordered range scan at `sid` (Caracal path). The key
+// interval is collected under the ordered latch first; the versioned
+// read-back then runs latch-free — entries stay valid until the epoch ends
+// (removals are deferred) and structural changes only happen outside the
+// execution phase. Per-row visibility (insert SIDs, tombstones, IGNOREd
+// finals) is decided by ReadRow exactly as for point reads, so replaying
+// the logged batch reproduces the identical scan result; Caracal needs no
+// separate phantom validation because the in-epoch key set is fixed before
+// execution starts.
+std::uint32_t Database::ExecScan(const txn::ScanSpec& spec, Sid sid,
+                                 const txn::ScanRowFn& fn, std::size_t core) {
+  CheckTableId(spec.table);
+  if (!tables_[spec.table]->schema().ordered) {
+    throw std::logic_error("Scan on table " + std::to_string(spec.table) +
+                           " which is not TableSchema::ordered");
+  }
+  std::vector<Key> keys;
+  tables_[spec.table]->ForRangeWhile(spec.lo, spec.hi, [&keys](Key key, vstore::RowEntry*) {
+    keys.push_back(key);
+    return true;
+  });
+  // Crash point between the interval collection and the versioned read-back
+  // (the scan equivalent of kMidExecution; single-worker hook runs only).
+  if (crash_hook_ && spec_.workers == 1) {
+    MaybeCrash(CrashSite::kMidScanValidate);
+  }
+  std::uint32_t delivered = 0;
+  std::vector<std::uint8_t> buf(256);
+  for (const Key key : keys) {
+    if (delivered >= spec.limit) {
+      break;
+    }
+    int n = ReadRow(spec.table, key, sid, buf.data(),
+                    static_cast<std::uint32_t>(buf.size()), core);
+    if (n < 0) {
+      continue;  // not visible to this SID (tombstone / born later / absent)
+    }
+    if (static_cast<std::size_t>(n) > buf.size()) {
+      buf.resize(static_cast<std::size_t>(n));
+      n = ReadRow(spec.table, key, sid, buf.data(),
+                  static_cast<std::uint32_t>(buf.size()), core);
+    }
+    ++delivered;
+    if (!fn(key, buf.data(), static_cast<std::uint32_t>(n))) {
+      break;
+    }
+  }
+  return delivered;
 }
 
 int Database::ReadPreEpoch(TableId table, Key key, void* out, std::uint32_t cap,

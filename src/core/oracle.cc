@@ -191,4 +191,50 @@ std::size_t ValidatePersistentIndex(Database& db, std::string* out,
   return inconsistencies;
 }
 
+std::size_t ValidateOrderedIndex(Database& db, std::string* out,
+                                 std::size_t max_reports) {
+  std::size_t inconsistencies = 0;
+  for (std::size_t t = 0; t < db.table_count(); ++t) {
+    auto& index = db.table_index(static_cast<TableId>(t));
+    if (!index.schema().ordered) {
+      continue;
+    }
+    std::unordered_map<Key, vstore::RowEntry*> hashed;
+    index.ForEach([&](Key key, vstore::RowEntry* entry) {
+      hashed.emplace(key, entry);
+    });
+    std::size_t walked = 0;
+    Key prev = 0;
+    bool first = true;
+    index.ForRangeWhile(0, ~Key{0}, [&](Key key, vstore::RowEntry* entry) {
+      ++walked;
+      if (!first && key <= prev) {
+        Report(out, inconsistencies++, max_reports,
+               "ordered table " + std::to_string(t) + " key " + std::to_string(key) +
+                   ": out of order after " + std::to_string(prev));
+      }
+      first = false;
+      prev = key;
+      auto it = hashed.find(key);
+      if (it == hashed.end()) {
+        Report(out, inconsistencies++, max_reports,
+               "ordered table " + std::to_string(t) + " key " + std::to_string(key) +
+                   ": in the ordered index but absent from the hash index");
+      } else if (it->second != entry) {
+        Report(out, inconsistencies++, max_reports,
+               "ordered table " + std::to_string(t) + " key " + std::to_string(key) +
+                   ": ordered and hash indexes name different row entries");
+      }
+      return true;
+    });
+    if (walked != hashed.size()) {
+      Report(out, inconsistencies++, max_reports,
+             "ordered table " + std::to_string(t) + ": ordered index holds " +
+                 std::to_string(walked) + " keys but hash index holds " +
+                 std::to_string(hashed.size()));
+    }
+  }
+  return inconsistencies;
+}
+
 }  // namespace nvc::core

@@ -61,4 +61,11 @@ std::size_t DiffStates(const OracleState& expected, const OracleState& actual,
 std::size_t ValidatePersistentIndex(Database& db, std::string* out,
                                     std::size_t max_reports = 16);
 
+// Self-consistency check of each ordered table's skiplist against its hash
+// index: both key-set directions agree and the ordered traversal is strictly
+// ascending. Returns the number of inconsistencies, described in *out. Zero
+// when no table is declared ordered.
+std::size_t ValidateOrderedIndex(Database& db, std::string* out,
+                                 std::size_t max_reports = 16);
+
 }  // namespace nvc::core

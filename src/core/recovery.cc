@@ -96,11 +96,18 @@ StatusOr<RecoveryReport> Database::Recover(const txn::TxnRegistry& registry) {
       fast_path = false;  // persisted GC list overflowed: fall back to scan
     }
   }
-  if (fast_path) {
-    FastRebuildFromPersistentIndex(&report);
-    report.used_persistent_index = true;
-  } else {
-    ScanAndRebuild(&report);
+  try {
+    if (fast_path) {
+      FastRebuildFromPersistentIndex(&report);
+      report.used_persistent_index = true;
+    } else {
+      ScanAndRebuild(&report);
+    }
+  } catch (const CrashedException&) {
+    // kMidOrderedIndexRebuild: the rebuild only mutated DRAM state plus
+    // idempotent descriptor repairs, so a fresh Recover() over the crashed
+    // device starts from the same checkpoint + log.
+    return Status::Aborted("Recover: crash hook fired during index rebuild");
   }
   report.scan_rebuild_seconds = SecondsSince(scan_start) - report.revert_seconds;
 
@@ -224,6 +231,10 @@ void Database::ScanAndRebuild(RecoveryReport* report) {
         bool created = false;
         vstore::RowEntry* entry = tables_[t]->GetOrCreate(h->key, &created);
         assert(created && "duplicate persistent row key during recovery scan");
+        if (crash_hook_ && spec_.workers == 1 && spec_.tables[t].ordered) {
+          // Crash with the ordered skiplist part-rebuilt (single-worker runs).
+          MaybeCrash(CrashSite::kMidOrderedIndexRebuild);
+        }
         entry->prow = offset;
         RepairAndCollectGc(row, entry, crashed_epoch, w);
         const int latest = row.LatestSlotAtOrBefore(checkpoint_bound);
@@ -293,6 +304,11 @@ void Database::FastRebuildFromPersistentIndex(RecoveryReport* report) {
           bool created = false;
           vstore::RowEntry* entry = tables_[t]->GetOrCreate(key, &created);
           assert(created && "duplicate key in the persistent index");
+          if (crash_hook_ && spec_.workers == 1 && spec_.tables[t].ordered) {
+            // Crash with the ordered skiplist part-rebuilt from the
+            // persistent index (single-worker runs).
+            MaybeCrash(CrashSite::kMidOrderedIndexRebuild);
+          }
           entry->prow = prow;
           entry->latest_sid.store(0, std::memory_order_relaxed);  // lazy
           ++rows;

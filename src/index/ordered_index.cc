@@ -1,0 +1,172 @@
+#include "src/index/ordered_index.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <new>
+
+namespace nvc::index {
+
+OrderedIndex::OrderedIndex(TableId table) : table_(table) {
+  head_ = NewNode(0, nullptr, kMaxHeight);
+  for (int h = 0; h < kMaxHeight; ++h) {
+    head_->next[h] = nullptr;
+  }
+  approx_bytes_ = NodeBytes(kMaxHeight);
+}
+
+OrderedIndex::~OrderedIndex() {
+  Node* node = head_;
+  while (node != nullptr) {
+    Node* next = node->next[0];
+    DeleteNode(node);
+    node = next;
+  }
+}
+
+std::size_t OrderedIndex::NodeBytes(int height) {
+  return sizeof(Node) + (static_cast<std::size_t>(height) - 1) * sizeof(Node*);
+}
+
+OrderedIndex::Node* OrderedIndex::NewNode(Key key, vstore::RowEntry* entry, int height) {
+  void* raw = ::operator new(NodeBytes(height));
+  Node* node = static_cast<Node*>(raw);
+  node->key = key;
+  node->entry = entry;
+  node->height = height;
+  return node;
+}
+
+void OrderedIndex::DeleteNode(Node* node) { ::operator delete(static_cast<void*>(node)); }
+
+OrderedIndex::Node* OrderedIndex::FindGreaterOrEqual(Key target, Node** prev) const {
+  Node* node = head_;
+  for (int h = max_height_ - 1; h >= 0; --h) {
+    while (node->next[h] != nullptr && node->next[h]->key < target) {
+      node = node->next[h];
+    }
+    if (prev != nullptr) {
+      prev[h] = node;
+    }
+  }
+  return node->next[0];
+}
+
+OrderedIndex::Node* OrderedIndex::FindLastLessOrEqual(Key target) const {
+  Node* node = head_;
+  for (int h = max_height_ - 1; h >= 0; --h) {
+    while (node->next[h] != nullptr && node->next[h]->key <= target) {
+      node = node->next[h];
+    }
+  }
+  return node == head_ ? nullptr : node;
+}
+
+bool OrderedIndex::Insert(Key key, vstore::RowEntry* entry) {
+  Node* prev[kMaxHeight];
+  for (int h = max_height_; h < kMaxHeight; ++h) {
+    prev[h] = head_;
+  }
+  Node* existing = FindGreaterOrEqual(key, prev);
+  if (existing != nullptr && existing->key == key) {
+    return false;
+  }
+  const int height = TowerHeight(table_, key);
+  if (height > max_height_) {
+    max_height_ = height;
+  }
+  Node* node = NewNode(key, entry, height);
+  for (int h = 0; h < height; ++h) {
+    node->next[h] = prev[h]->next[h];
+    prev[h]->next[h] = node;
+  }
+  ++size_;
+  approx_bytes_ += NodeBytes(height);
+  return true;
+}
+
+bool OrderedIndex::Erase(Key key) {
+  Node* prev[kMaxHeight];
+  for (int h = max_height_; h < kMaxHeight; ++h) {
+    prev[h] = head_;
+  }
+  Node* node = FindGreaterOrEqual(key, prev);
+  if (node == nullptr || node->key != key) {
+    return false;
+  }
+  for (int h = 0; h < node->height; ++h) {
+    assert(prev[h]->next[h] == node);
+    prev[h]->next[h] = node->next[h];
+  }
+  // max_height_ is left as a high-water mark; searches just walk empty
+  // levels, which stays O(1) per level.
+  --size_;
+  approx_bytes_ -= NodeBytes(node->height);
+  DeleteNode(node);
+  return true;
+}
+
+vstore::RowEntry* OrderedIndex::Find(Key key) const {
+  Node* node = FindGreaterOrEqual(key, nullptr);
+  return node != nullptr && node->key == key ? node->entry : nullptr;
+}
+
+bool OrderedIndex::FirstInRange(Key lo, Key hi, Key* found) const {
+  Node* node = FindGreaterOrEqual(lo, nullptr);
+  if (node == nullptr || node->key > hi) {
+    return false;
+  }
+  *found = node->key;
+  return true;
+}
+
+bool OrderedIndex::LastInRange(Key lo, Key hi, Key* found) const {
+  Node* node = FindLastLessOrEqual(hi);
+  if (node == nullptr || node->key < lo) {
+    return false;
+  }
+  *found = node->key;
+  return true;
+}
+
+bool OrderedIndex::ForRangeWhile(
+    Key lo, Key hi, const std::function<bool(Key, vstore::RowEntry*)>& fn) const {
+  for (Node* node = FindGreaterOrEqual(lo, nullptr);
+       node != nullptr && node->key <= hi; node = node->next[0]) {
+    if (!fn(node->key, node->entry)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void OrderedIndex::Clear() {
+  Node* node = head_->next[0];
+  while (node != nullptr) {
+    Node* next = node->next[0];
+    DeleteNode(node);
+    node = next;
+  }
+  for (int h = 0; h < kMaxHeight; ++h) {
+    head_->next[h] = nullptr;
+  }
+  max_height_ = 1;
+  size_ = 0;
+  approx_bytes_ = NodeBytes(kMaxHeight);
+}
+
+std::uint64_t OrderedIndex::StructureHash() const {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const Node* node = head_->next[0]; node != nullptr; node = node->next[0]) {
+    mix(node->key);
+    mix(static_cast<std::uint64_t>(node->height));
+  }
+  return h;
+}
+
+}  // namespace nvc::index

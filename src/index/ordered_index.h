@@ -1,0 +1,109 @@
+// Deterministic ordered secondary index over the primary key space.
+//
+// A skiplist in transient memory (DRAM): the engine rebuilds it from the
+// checkpointed rows + input log on recovery, exactly like the hash index —
+// both are views over the same persistent rows. Tower heights are a pure
+// function of the key (SplitMix64), not of a per-process RNG, so the
+// structure reached after any insert/erase interleaving depends only on the
+// surviving key set. That makes the index itself replay-deterministic:
+// rebuilding after a crash yields a byte-identical structure, and two
+// engines fed the same stream agree on every level pointer (StructureHash
+// lets tests assert this directly).
+//
+// Concurrency contract: callers serialize all operations externally
+// (TableIndex wraps every call in its ordered latch). Structural changes
+// happen only in the initialization phase, at epoch boundaries, and during
+// recovery rebuild; execution-phase scans only read.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/vstore/row_entry.h"
+
+namespace nvc::index {
+
+class OrderedIndex {
+ public:
+  static constexpr int kMaxHeight = 16;
+
+  explicit OrderedIndex(TableId table);
+  ~OrderedIndex();
+
+  OrderedIndex(const OrderedIndex&) = delete;
+  OrderedIndex& operator=(const OrderedIndex&) = delete;
+
+  // Inserts the key; returns false (and changes nothing) when already
+  // present. The entry pointer is stored verbatim.
+  bool Insert(Key key, vstore::RowEntry* entry);
+
+  // Removes the key; returns false when absent.
+  bool Erase(Key key);
+
+  // Point lookup; nullptr when absent.
+  vstore::RowEntry* Find(Key key) const;
+
+  // Smallest key in [lo, hi]; false when the range is empty.
+  bool FirstInRange(Key lo, Key hi, Key* found) const;
+
+  // Largest key in [lo, hi]; false when the range is empty.
+  bool LastInRange(Key lo, Key hi, Key* found) const;
+
+  // Invokes fn for each entry with key in [lo, hi] ascending until fn
+  // returns false. Returns false iff fn stopped the walk early.
+  bool ForRangeWhile(Key lo, Key hi,
+                     const std::function<bool(Key, vstore::RowEntry*)>& fn) const;
+
+  void Clear();
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Approximate DRAM footprint (figure 8 accounting).
+  std::size_t ApproxBytes() const { return approx_bytes_; }
+
+  // FNV-1a over (key, tower height) in ascending order: two indexes holding
+  // the same key set hash identically regardless of operation history.
+  std::uint64_t StructureHash() const;
+
+  // The deterministic tower height for a key (1..kMaxHeight, p = 1/4 per
+  // additional level). Exposed for the property tests.
+  static int TowerHeight(TableId table, Key key) {
+    std::uint64_t bits = SplitMix64(key ^ (0x9e3779b97f4a7c15ULL * (table + 1)));
+    int height = 1;
+    while (height < kMaxHeight && (bits & 3) == 0) {
+      ++height;
+      bits >>= 2;
+    }
+    return height;
+  }
+
+ private:
+  struct Node {
+    Key key;
+    vstore::RowEntry* entry;
+    std::int32_t height;
+    Node* next[1];  // over-allocated to `height` slots
+  };
+
+  Node* NewNode(Key key, vstore::RowEntry* entry, int height);
+  static void DeleteNode(Node* node);
+  static std::size_t NodeBytes(int height);
+
+  // First node with key >= target; prev[h] (when non-null) receives the
+  // last node before it on each level.
+  Node* FindGreaterOrEqual(Key target, Node** prev) const;
+
+  // Last node with key <= target, or nullptr when none.
+  Node* FindLastLessOrEqual(Key target) const;
+
+  TableId table_;
+  Node* head_;
+  int max_height_ = 1;
+  std::size_t size_ = 0;
+  std::size_t approx_bytes_ = 0;
+};
+
+}  // namespace nvc::index

@@ -2,7 +2,8 @@
 
 namespace nvc::index {
 
-TableIndex::TableIndex(const TableSchema& schema, std::size_t shards) : schema_(schema) {
+TableIndex::TableIndex(const TableSchema& schema, std::size_t shards)
+    : schema_(schema), ordered_(schema.id) {
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -35,7 +36,7 @@ vstore::RowEntry* TableIndex::GetOrCreate(Key key, bool* created) {
   }
   if (schema_.ordered) {
     SpinLatchGuard guard(ordered_latch_);
-    ordered_.emplace(key, entry);
+    ordered_.Insert(key, entry);
   }
   return entry;
 }
@@ -50,40 +51,41 @@ void TableIndex::Remove(Key key) {
   }
   if (schema_.ordered) {
     SpinLatchGuard guard(ordered_latch_);
-    ordered_.erase(key);
+    ordered_.Erase(key);
   }
 }
 
 bool TableIndex::FirstInRange(Key lo, Key hi, Key* found) {
   SpinLatchGuard guard(ordered_latch_);
-  auto it = ordered_.lower_bound(lo);
-  if (it == ordered_.end() || it->first > hi) {
-    return false;
-  }
-  *found = it->first;
-  return true;
+  return ordered_.FirstInRange(lo, hi, found);
 }
 
 bool TableIndex::LastInRange(Key lo, Key hi, Key* found) {
   SpinLatchGuard guard(ordered_latch_);
-  auto it = ordered_.upper_bound(hi);
-  if (it == ordered_.begin()) {
-    return false;
-  }
-  --it;
-  if (it->first < lo) {
-    return false;
-  }
-  *found = it->first;
-  return true;
+  return ordered_.LastInRange(lo, hi, found);
 }
 
 void TableIndex::ForRange(Key lo, Key hi,
                           const std::function<void(Key, vstore::RowEntry*)>& fn) {
   SpinLatchGuard guard(ordered_latch_);
-  for (auto it = ordered_.lower_bound(lo); it != ordered_.end() && it->first <= hi; ++it) {
-    fn(it->first, it->second);
+  ordered_.ForRangeWhile(lo, hi, [&fn](Key key, vstore::RowEntry* entry) {
+    fn(key, entry);
+    return true;
+  });
+}
+
+bool TableIndex::ForRangeWhile(Key lo, Key hi,
+                               const std::function<bool(Key, vstore::RowEntry*)>& fn) {
+  SpinLatchGuard guard(ordered_latch_);
+  return ordered_.ForRangeWhile(lo, hi, fn);
+}
+
+std::uint64_t TableIndex::OrderedStructureHash() {
+  if (!schema_.ordered) {
+    return 0;
   }
+  SpinLatchGuard guard(ordered_latch_);
+  return ordered_.StructureHash();
 }
 
 void TableIndex::ForEach(const std::function<void(Key, vstore::RowEntry*)>& fn) {
@@ -105,12 +107,13 @@ std::size_t TableIndex::entries() const {
 
 std::size_t TableIndex::ApproxBytes() const {
   // Hash node (~56 B with bucket overhead) + RowEntry slab storage, plus the
-  // ordered map node (~72 B) when present.
-  std::size_t per_entry = 56 + sizeof(vstore::RowEntry);
+  // skiplist nodes when present.
+  const std::size_t per_entry = 56 + sizeof(vstore::RowEntry);
+  std::size_t total = entries() * per_entry;
   if (schema_.ordered) {
-    per_entry += 72;
+    total += ordered_.ApproxBytes();
   }
-  return entries() * per_entry;
+  return total;
 }
 
 void TableIndex::Clear() {
@@ -121,7 +124,7 @@ void TableIndex::Clear() {
   }
   if (schema_.ordered) {
     SpinLatchGuard guard(ordered_latch_);
-    ordered_.clear();
+    ordered_.Clear();
   }
 }
 

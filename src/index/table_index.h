@@ -10,7 +10,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -19,6 +18,7 @@
 #include "src/common/hash.h"
 #include "src/common/latch.h"
 #include "src/common/types.h"
+#include "src/index/ordered_index.h"
 #include "src/vstore/row_entry.h"
 
 namespace nvc::index {
@@ -60,6 +60,14 @@ class TableIndex {
   // Invokes fn for every entry with key in [lo, hi], ascending.
   void ForRange(Key lo, Key hi, const std::function<void(Key, vstore::RowEntry*)>& fn);
 
+  // Like ForRange but fn returns false to stop early (range scans with a
+  // row limit). Returns false iff the walk was stopped.
+  bool ForRangeWhile(Key lo, Key hi, const std::function<bool(Key, vstore::RowEntry*)>& fn);
+
+  // Structural fingerprint of the ordered index (determinism tests); 0 for
+  // unordered tables.
+  std::uint64_t OrderedStructureHash();
+
   // Invokes fn for every entry in the table, in unspecified order, holding
   // the owning shard latch (works for unordered tables too; state capture /
   // validation outside the execution phase).
@@ -88,8 +96,10 @@ class TableIndex {
   TableSchema schema_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
+  // Deterministic skiplist (see ordered_index.h); every access below takes
+  // ordered_latch_, which is the index's entire concurrency story.
   SpinLatch ordered_latch_;
-  std::map<Key, vstore::RowEntry*> ordered_;
+  OrderedIndex ordered_;
 };
 
 }  // namespace nvc::index

@@ -68,6 +68,18 @@ class AppendContext {
   virtual Sid sid() const = 0;
 };
 
+// Declarative range scan over an ordered table (TableSchema::ordered).
+// Delivers live rows with key in [lo, hi] ascending, at most `limit`.
+struct ScanSpec {
+  TableId table = 0;
+  Key lo = 0;
+  Key hi = 0;                 // inclusive upper bound
+  std::uint32_t limit = ~0u;  // max live rows delivered
+};
+
+// Receives one live row per call; return false to stop the scan early.
+using ScanRowFn = std::function<bool(Key key, const void* data, std::uint32_t size)>;
+
 // Execution-phase context.
 class ExecContext {
  public:
@@ -102,6 +114,19 @@ class ExecContext {
   // Ordered-table queries (see TableSchema::ordered).
   virtual bool FirstInRange(TableId table, Key lo, Key hi, Key* found) = 0;
   virtual bool LastInRange(TableId table, Key lo, Key hi, Key* found) = 0;
+
+  // Ordered range scan: every live row in [spec.lo, spec.hi] visible to this
+  // transaction, ascending, at most spec.limit rows; returns the number
+  // delivered. Under Aria the scan's observed key interval joins the read
+  // set, so a smaller-SID write inside it deterministically defers this
+  // transaction (phantom-safe); under Caracal visibility is decided per row
+  // by the version machinery, which replay reproduces exactly. Contexts
+  // without range support (e.g. instant-recovery redo) keep this default.
+  virtual std::uint32_t Scan(const ScanSpec& spec, const ScanRowFn& fn) {
+    (void)spec;
+    (void)fn;
+    throw std::logic_error("Scan requires an ordered table and a scan-capable engine");
+  }
 
   // Epoch-start value of a deterministic counter (read-only; stable and
   // replay-identical). TPC-C StockLevel derives "the last 20 orders" from it.

@@ -13,7 +13,7 @@ core::DatabaseSpec YcsbWorkload::Spec(std::size_t workers) const {
   spec.tables.push_back(core::TableSpec{
       .name = "ycsb",
       .row_size = config_.row_size,
-      .ordered = false,
+      .ordered = config_.ordered,
       .capacity_rows = config_.rows + 16,
       .freelist_capacity = 1 << 10,
   });
@@ -52,6 +52,13 @@ std::vector<std::unique_ptr<txn::Transaction>> YcsbWorkload::MakeEpoch(std::size
   std::vector<std::unique_ptr<txn::Transaction>> txns;
   txns.reserve(count);
   for (std::size_t t = 0; t < count; ++t) {
+    if (config_.scan_pct != 0 && rng_.NextPercent(config_.scan_pct)) {
+      const Key start = zipf_ != nullptr ? zipf_->Next(rng_) : rng_.NextBounded(config_.rows);
+      const auto span =
+          static_cast<std::uint32_t>(1 + rng_.NextBounded(config_.scan_span_max));
+      txns.push_back(std::make_unique<YcsbScanTxn>(start, span, &scan_digest_));
+      continue;
+    }
     std::vector<Key> keys;
     keys.reserve(config_.ops_per_txn);
     for (std::uint32_t op = 0; op < config_.ops_per_txn; ++op) {
@@ -73,6 +80,10 @@ txn::TxnRegistry YcsbWorkload::Registry() const {
   const YcsbConfig* config = &config_;
   registry.Register(kYcsbRmwType,
                     [config](BinaryReader& reader) { return YcsbRmwTxn::Decode(config, reader); });
+  std::atomic<std::uint64_t>* digest = &scan_digest_;
+  registry.Register(kYcsbScanType, [digest](BinaryReader& reader) {
+    return YcsbScanTxn::Decode(digest, reader);
+  });
   return registry;
 }
 
@@ -117,6 +128,42 @@ void YcsbRmwTxn::Execute(txn::ExecContext& ctx) {
       value[i] = static_cast<std::uint8_t>(state >> ((i % 8) * 8));
     }
     ctx.Write(kYcsbTable, key, value.data(), config_->value_size);
+  }
+}
+
+void YcsbScanTxn::EncodeInputs(BinaryWriter& writer) const {
+  writer.Put(start_);
+  writer.Put(span_);
+}
+
+std::unique_ptr<txn::Transaction> YcsbScanTxn::Decode(std::atomic<std::uint64_t>* digest,
+                                                      BinaryReader& reader) {
+  const auto start = reader.Get<Key>();
+  const auto span = reader.Get<std::uint32_t>();
+  return std::make_unique<YcsbScanTxn>(start, span, digest);
+}
+
+void YcsbScanTxn::Execute(txn::ExecContext& ctx) {
+  std::uint64_t digest = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto mix = [&digest](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      digest ^= (v >> (i * 8)) & 0xFF;
+      digest *= 1099511628211ULL;
+    }
+  };
+  ctx.Scan(txn::ScanSpec{kYcsbTable, start_, start_ + span_ - 1, span_},
+           [&](Key key, const void* data, std::uint32_t size) {
+             mix(key);
+             mix(size);
+             const auto* bytes = static_cast<const std::uint8_t*>(data);
+             for (std::uint32_t i = 0; i < size; ++i) {
+               digest ^= bytes[i];
+               digest *= 1099511628211ULL;
+             }
+             return true;
+           });
+  if (digest_ != nullptr) {
+    digest_->fetch_xor(digest, std::memory_order_relaxed);
   }
 }
 

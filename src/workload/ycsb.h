@@ -6,8 +6,17 @@
 // updated entirely. Contention is controlled by directing h of the 10
 // operations to a set of 256 hot rows (h = 0 / 4 / 7 for low / medium /
 // high contention).
+// The YCSB-E variant mixes in range scans (kYcsbScanType): each scan walks
+// up to scan_span_max consecutive keys from a start drawn uniformly or — when
+// zipf_theta > 0 — zipfian over the unscattered rank space, so hot scan
+// starts cluster at the low end of the keyspace. Scans require
+// config.ordered = true (the table grows the skiplist secondary index) and
+// fold every observed row into a shared XOR digest, which commutes across
+// workers and engines: two runs over the same stream must produce the same
+// digest no matter how execution interleaves.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -20,6 +29,7 @@
 namespace nvc::workload {
 
 inline constexpr txn::TxnType kYcsbRmwType = 10;
+inline constexpr txn::TxnType kYcsbScanType = 11;
 inline constexpr TableId kYcsbTable = 0;
 
 struct YcsbConfig {
@@ -35,6 +45,12 @@ struct YcsbConfig {
   // 4's 2304 inlines both 1 KB versions (figures 5/6 comparison with Zen).
   std::size_t row_size = 2304;
 
+  // YCSB-E knobs. scan_pct > 0 requires ordered = true.
+  bool ordered = false;        // table 0 carries the skiplist secondary index
+  std::uint32_t scan_pct = 0;  // percent of transactions that are range scans
+  std::uint32_t scan_span_max = 100;  // max keys walked per scan
+  double zipf_theta = 0.0;     // > 0: zipfian scan-start skew (unscattered)
+
   static YcsbConfig SmallRow() {
     YcsbConfig config;
     config.value_size = 64;
@@ -42,13 +58,33 @@ struct YcsbConfig {
     config.row_size = 256;
     return config;
   }
+
+  // YCSB-E: 95% scans / 5% RMW over an ordered table (small rows keep the
+  // dataset cheap for tests and the stress suite).
+  static YcsbConfig ScanHeavy() {
+    YcsbConfig config = SmallRow();
+    config.ordered = true;
+    config.scan_pct = 95;
+    config.scan_span_max = 100;
+    return config;
+  }
 };
 
 class YcsbWorkload {
  public:
-  explicit YcsbWorkload(const YcsbConfig& config) : config_(config), rng_(config.seed) {}
+  explicit YcsbWorkload(const YcsbConfig& config) : config_(config), rng_(config.seed) {
+    if (config_.zipf_theta > 0.0) {
+      zipf_ = std::make_unique<ZipfGenerator>(config_.rows, config_.zipf_theta,
+                                              /*scatter=*/false);
+    }
+  }
 
   const YcsbConfig& config() const { return config_; }
+
+  // XOR fold of every row observed by every scan since the last reset.
+  // Order-insensitive, so it is comparable across engines and worker counts.
+  std::uint64_t scan_digest() const { return scan_digest_.load(std::memory_order_relaxed); }
+  void ResetScanDigest() { scan_digest_.store(0, std::memory_order_relaxed); }
 
   // DatabaseSpec for this workload (caller may adjust mode/cache settings).
   core::DatabaseSpec Spec(std::size_t workers) const;
@@ -67,6 +103,8 @@ class YcsbWorkload {
  private:
   YcsbConfig config_;
   Rng rng_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+  mutable std::atomic<std::uint64_t> scan_digest_{0};
 };
 
 // One transaction: ops_per_txn read-modify-writes to unique keys.
@@ -89,6 +127,30 @@ class YcsbRmwTxn final : public txn::Transaction {
   const YcsbConfig* config_;
   std::vector<Key> keys_;
   std::uint64_t mod_seed_;
+};
+
+// YCSB-E range scan: reads up to `span` consecutive live keys starting at
+// `start`, folds (key, bytes) into an FNV digest, and XORs that into the
+// workload's shared accumulator. Read-only: declares no writes, so it commits
+// under Caracal without touching any version array and never defers under
+// Aria (no write reservations to collide with).
+class YcsbScanTxn final : public txn::Transaction {
+ public:
+  YcsbScanTxn(Key start, std::uint32_t span, std::atomic<std::uint64_t>* digest)
+      : start_(start), span_(span), digest_(digest) {}
+
+  txn::TxnType type() const override { return kYcsbScanType; }
+  void EncodeInputs(BinaryWriter& writer) const override;
+  static std::unique_ptr<txn::Transaction> Decode(std::atomic<std::uint64_t>* digest,
+                                                  BinaryReader& reader);
+
+  void AppendStep(txn::AppendContext&) override {}
+  void Execute(txn::ExecContext& ctx) override;
+
+ private:
+  Key start_;
+  std::uint32_t span_;
+  std::atomic<std::uint64_t>* digest_;
 };
 
 }  // namespace nvc::workload

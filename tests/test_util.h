@@ -209,6 +209,64 @@ class KvVarPutTxn final : public txn::Transaction {
   std::uint64_t seed_;
 };
 
+inline constexpr txn::TxnType kKvScanSumType = 8;
+
+// Range scan over [lo, hi] with a row limit, folding an order-sensitive
+// digest over every delivered (key, bytes) pair, then writing
+// {digest, count} (16 bytes) to out_key. Makes scan results part of the
+// committed state, so the crash oracle and cross-engine diffs catch any
+// divergence in scan contents, order, or phantom handling.
+class KvScanSumTxn final : public txn::Transaction {
+ public:
+  KvScanSumTxn(Key lo, Key hi, std::uint32_t limit, Key out_key)
+      : lo_(lo), hi_(hi), limit_(limit), out_key_(out_key) {}
+  txn::TxnType type() const override { return kKvScanSumType; }
+  void EncodeInputs(BinaryWriter& w) const override {
+    w.Put(lo_);
+    w.Put(hi_);
+    w.Put(limit_);
+    w.Put(out_key_);
+  }
+  static std::unique_ptr<txn::Transaction> Decode(BinaryReader& r) {
+    const auto lo = r.Get<Key>();
+    const auto hi = r.Get<Key>();
+    const auto limit = r.Get<std::uint32_t>();
+    const auto out_key = r.Get<Key>();
+    return std::make_unique<KvScanSumTxn>(lo, hi, limit, out_key);
+  }
+  void AppendStep(txn::AppendContext& ctx) override { ctx.DeclareUpdate(0, out_key_); }
+  void Execute(txn::ExecContext& ctx) override {
+    std::uint64_t digest = 1469598103934665603ULL;  // FNV-1a offset basis
+    const auto mix = [&digest](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        digest ^= (v >> (i * 8)) & 0xFF;
+        digest *= 1099511628211ULL;
+      }
+    };
+    std::uint64_t count = 0;
+    ctx.Scan(txn::ScanSpec{0, lo_, hi_, limit_},
+             [&](Key key, const void* data, std::uint32_t size) {
+               mix(key);
+               mix(size);
+               const auto* bytes = static_cast<const std::uint8_t*>(data);
+               for (std::uint32_t i = 0; i < size; ++i) {
+                 digest ^= bytes[i];
+                 digest *= 1099511628211ULL;
+               }
+               ++count;
+               return true;
+             });
+    std::uint64_t out[2] = {digest, count};
+    ctx.Write(0, out_key_, out, sizeof(out));
+  }
+
+ private:
+  Key lo_;
+  Key hi_;
+  std::uint32_t limit_;
+  Key out_key_;
+};
+
 inline txn::TxnRegistry KvRegistry() {
   txn::TxnRegistry registry;
   registry.Register(kKvPutType, KvPutTxn::Decode);
@@ -218,15 +276,16 @@ inline txn::TxnRegistry KvRegistry() {
   registry.Register(kKvDeleteType, KvDeleteTxn::Decode);
   registry.Register(kKvAbortType, KvAbortTxn::Decode);
   registry.Register(kKvVarPutType, KvVarPutTxn::Decode);
+  registry.Register(kKvScanSumType, KvScanSumTxn::Decode);
   return registry;
 }
 
-inline core::DatabaseSpec SmallKvSpec(std::size_t workers = 1) {
+inline core::DatabaseSpec SmallKvSpec(std::size_t workers = 1, bool ordered = false) {
   core::DatabaseSpec spec;
   spec.workers = workers;
   spec.tables.push_back(core::TableSpec{.name = "kv",
                                         .row_size = 256,
-                                        .ordered = false,
+                                        .ordered = ordered,
                                         .capacity_rows = 4096,
                                         .freelist_capacity = 4096});
   spec.value_blocks_per_core = 4096;

@@ -92,19 +92,24 @@ constexpr std::size_t kDynRows = 24;
 constexpr std::size_t kEpochs = 5;
 constexpr std::size_t kTxnsPerEpoch = 24;
 
-enum class Kind { kPut, kRmw, kBigPut, kVarPut, kInsert, kDelete, kAbort };
+enum class Kind { kPut, kRmw, kBigPut, kVarPut, kInsert, kDelete, kAbort, kScan };
 
 struct TxnSpec {
   Kind kind;
-  Key key;
-  std::uint64_t arg;
+  Key key;  // lo for kScan
+  std::uint64_t arg;  // out_key for kScan
   std::uint32_t size;
+  Key hi = 0;              // kScan only
+  std::uint32_t limit = 0; // kScan only
 };
 using StreamSpec = std::vector<std::vector<TxnSpec>>;
 
 // Deterministic from the seed alone, so the crash run, any re-execution after
-// recovery, and the oracle run all see byte-identical inputs.
-StreamSpec GenerateStream(std::uint64_t seed) {
+// recovery, and the oracle run all see byte-identical inputs. Ordered configs
+// (with_scans) mix in range-scan-digest transactions whose observed rows are
+// folded into a committed output key — so a scan that sees a phantom, a stale
+// row, or a wrong ordering after recovery diverges the oracle diff.
+StreamSpec GenerateStream(std::uint64_t seed, bool with_scans) {
   Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
   std::set<Key> dyn_live;
   StreamSpec stream(kEpochs);
@@ -112,6 +117,17 @@ StreamSpec GenerateStream(std::uint64_t seed) {
     std::set<Key> dyn_touched;  // at most one insert/delete per key per epoch
     for (std::size_t i = 0; i < kTxnsPerEpoch; ++i) {
       const std::uint64_t pick = rng.NextBounded(100);
+      if (with_scans && pick >= 86 && pick < 96) {
+        // Scans cover the whole keyspace: base rows (mutated by Put/Rmw and by
+        // other scans' output keys), big rows, and the insert/delete churn
+        // band, so rebuild and phantom bugs in any band are observable.
+        const Key lo = rng.NextBounded(kDynBase + kDynRows);
+        const Key hi = lo + 1 + rng.NextBounded(32);
+        const auto limit = static_cast<std::uint32_t>(1 + rng.NextBounded(16));
+        const Key out_key = rng.NextBounded(kBaseRows);
+        epoch.push_back({Kind::kScan, lo, out_key, 0, hi, limit});
+        continue;
+      }
       if (pick < 25) {
         epoch.push_back({Kind::kPut, rng.NextBounded(kBaseRows), rng.Next(), 0});
       } else if (pick < 45) {
@@ -167,6 +183,10 @@ std::vector<std::unique_ptr<nvc::txn::Transaction>> Materialize(
       case Kind::kAbort:
         txns.push_back(std::make_unique<nvc::test::KvAbortTxn>(s.key));
         break;
+      case Kind::kScan:
+        txns.push_back(
+            std::make_unique<nvc::test::KvScanSumTxn>(s.key, s.hi, s.limit, s.arg));
+        break;
     }
   }
   return txns;
@@ -186,6 +206,7 @@ struct FuzzConfig {
   std::string name;
   DatabaseSpec spec;
   bool cold = false;
+  bool ordered = false;  // table 0 ordered: stream gains scan transactions
 };
 
 std::vector<FuzzConfig> BuildConfigs(bool smoke) {
@@ -220,6 +241,20 @@ std::vector<FuzzConfig> BuildConfigs(bool smoke) {
     DatabaseSpec spec = nvc::test::SmallKvSpec();
     spec.enable_instant_recovery = true;
     configs.push_back({"instant", spec, false});
+  }
+  // Ordered-table configs: table 0 carries the skiplist secondary index, the
+  // stream mixes in scan-digest transactions, and recovery must rebuild the
+  // ordered index identically (kMidOrderedIndexRebuild crashes the rebuild
+  // itself). Instant recovery rejects ordered tables by design, so these rows
+  // and the instant rows stay disjoint.
+  {
+    DatabaseSpec spec = nvc::test::SmallKvSpec(/*workers=*/1, /*ordered=*/true);
+    configs.push_back({"ordered", spec, false, true});
+  }
+  {
+    DatabaseSpec spec = nvc::test::SmallKvSpec(/*workers=*/1, /*ordered=*/true);
+    spec.enable_persistent_index = true;
+    configs.push_back({"ordered-pindex", spec, false, true});
   }
   // Epoch pipelining is on by default, which routes the persistence tail
   // through the tail thread; the barrier rows keep the synchronous serial and
@@ -271,6 +306,20 @@ std::vector<FuzzConfig> BuildConfigs(bool smoke) {
       spec.enable_parallel_tail = false;
       spec.enable_persistent_index = true;
       configs.push_back({"serial-tail-pindex", spec, false});
+    }
+    {
+      DatabaseSpec spec = nvc::test::SmallKvSpec(/*workers=*/4, /*ordered=*/true);
+      configs.push_back({"ordered-mt", spec, false, true});
+    }
+    {
+      DatabaseSpec spec = nvc::test::SmallKvSpec(/*workers=*/1, /*ordered=*/true);
+      spec.enable_parallel_tail = false;
+      configs.push_back({"ordered-serial-tail", spec, false, true});
+    }
+    {
+      DatabaseSpec spec = nvc::test::SmallKvSpec(/*workers=*/1, /*ordered=*/true);
+      spec.enable_epoch_pipeline = false;
+      configs.push_back({"ordered-barrier", spec, false, true});
     }
   }
   return configs;
@@ -329,6 +378,7 @@ struct SweepStats {
   std::size_t service_runs = 0;  // driven through the DbService front-end
   std::size_t divergences = 0;
   std::size_t index_inconsistencies = 0;
+  std::size_t ordered_inconsistencies = 0;
   CrashSiteCoverage coverage;
   std::array<std::uint64_t, kCrashSiteCount> armed{};
   std::array<std::uint64_t, kCrashSiteCount> armed_fired{};
@@ -394,6 +444,13 @@ std::string DiffAgainstOracle(const OracleState& expected, Database& db, SweepSt
     failure += "persistent index inconsistent (" + std::to_string(index_bad) + "):\n" +
                index_diff;
   }
+  std::string ordered_diff;
+  const std::size_t ordered_bad = nvc::core::ValidateOrderedIndex(db, &ordered_diff);
+  stats->ordered_inconsistencies += ordered_bad;
+  if (ordered_bad != 0) {
+    failure += "ordered index inconsistent (" + std::to_string(ordered_bad) + "):\n" +
+               ordered_diff;
+  }
   return failure;
 }
 
@@ -406,7 +463,7 @@ std::string DiffAgainstOracle(const OracleState& expected, Database& db, SweepSt
 std::string RunRecoverySiteCase(const FuzzConfig& config, std::size_t config_index,
                                 std::uint64_t seed, CrashSite site, SweepStats* stats,
                                 bool verbose) {
-  const StreamSpec stream = GenerateStream(seed);
+  const StreamSpec stream = GenerateStream(seed, config.ordered);
   const OracleState& expected = ReferenceState(config, config_index, seed, stream);
 
   Rng run_rng(seed * 1000003 + static_cast<std::uint64_t>(site) * 101 + config_index * 31 + 7);
@@ -520,13 +577,124 @@ std::string RunRecoverySiteCase(const FuzzConfig& config, std::size_t config_ind
   return failure;
 }
 
+// Double-crash run targeting the ordered-index rebuild inside Recover(): crash
+// the epoch tail, then crash AGAIN while the recovery scan (or the fast
+// persistent-index path) is re-inserting keys into the skiplist. Recover()
+// surfaces that as kAborted — a power failure mid-recovery — and the NEXT
+// recovery over the re-crashed image must still reach the oracle state,
+// proving the rebuild makes no persistent mutation recovery cannot absorb.
+std::string RunRebuildSiteCase(const FuzzConfig& config, std::size_t config_index,
+                               std::uint64_t seed, SweepStats* stats, bool verbose) {
+  constexpr CrashSite site = CrashSite::kMidOrderedIndexRebuild;
+  const StreamSpec stream = GenerateStream(seed, config.ordered);
+  const OracleState& expected = ReferenceState(config, config_index, seed, stream);
+
+  Rng run_rng(seed * 1000003 + static_cast<std::uint64_t>(site) * 101 + config_index * 31 + 7);
+  const std::uint64_t crash_epoch = run_rng.NextBounded(kEpochs);
+  // The site is reached once per live ordered row; the bulk-loaded base and
+  // big bands alone keep ~80 rows live through any crash, so a small bound
+  // fires reliably while still varying the rebuild depth.
+  const std::uint64_t fire_index = 1 + run_rng.NextBounded(30);
+  const int mode = static_cast<int>(run_rng.NextBounded(3));
+  const double keep = kKeepSweep[run_rng.NextBounded(5)];
+  const std::uint64_t crash_seed = run_rng.Next();
+  const int mode2 = static_cast<int>(run_rng.NextBounded(3));
+  const double keep2 = kKeepSweep[run_rng.NextBounded(5)];
+  const std::uint64_t crash_seed2 = run_rng.Next();
+
+  NvmDevice device(nvc::test::ShadowDeviceConfig(config.spec));
+  std::unique_ptr<NvmDevice> cold;
+  if (config.cold) {
+    cold = std::make_unique<NvmDevice>(ColdDeviceConfig(config.spec));
+  }
+
+  ++stats->runs;
+  ++stats->armed[static_cast<std::size_t>(site)];
+
+  // First crash: at the epoch tail, so recovery has an epoch to repair.
+  {
+    Database db(device, config.spec, cold.get());
+    db.Format();
+    LoadAll(db);
+    std::atomic<std::uint64_t> reached{0};
+    db.SetCrashHook([&reached, crash_epoch](CrashSite s) {
+      return s == CrashSite::kBeforeEpochPersist && ++reached == crash_epoch + 1;
+    });
+    bool crashed = false;
+    for (std::size_t e = 0; e < stream.size(); ++e) {
+      if (db.ExecuteEpoch(Materialize(stream[e])).crashed) {
+        crashed = true;
+        break;
+      }
+    }
+    if (!crashed && !db.WaitIdle().ok()) {
+      crashed = true;  // tail-site crash in the final epoch (pipelined)
+    }
+    stats->coverage.Merge(db.crash_coverage());
+    if (!crashed) {
+      return "kBeforeEpochPersist unexpectedly never reached";
+    }
+  }
+  CrashDevices(device, cold.get(), mode, crash_seed, keep);
+
+  // Recover with the rebuild site armed: a fire aborts Recover() exactly as a
+  // real power failure mid-recovery would leave the process dead.
+  bool fired = false;
+  auto db = std::make_unique<Database>(device, config.spec, cold.get());
+  bool replayed = false;
+  {
+    std::atomic<std::uint64_t> reached{0};
+    db->SetCrashHook([&reached, fire_index](CrashSite s) {
+      return s == site && ++reached == fire_index;
+    });
+    const nvc::StatusOr<nvc::core::RecoveryReport> report =
+        db->Recover(nvc::test::KvRegistry());
+    stats->coverage.Merge(db->crash_coverage());
+    if (!report.ok()) {
+      fired = true;
+    } else {
+      replayed = report->replayed;
+    }
+  }
+
+  if (fired) {
+    ++stats->crashed_runs;
+    ++stats->armed_fired[static_cast<std::size_t>(site)];
+    db.reset();
+    CrashDevices(device, cold.get(), mode2, crash_seed2, keep2);
+    db = std::make_unique<Database>(device, config.spec, cold.get());
+    replayed = db->Recover(nvc::test::KvRegistry()).value().replayed;
+  } else {
+    ++stats->missed_runs;
+  }
+  if (!replayed) {
+    db->ExecuteEpoch(Materialize(stream[crash_epoch]));
+  }
+  for (std::size_t e = crash_epoch + 1; e < stream.size(); ++e) {
+    db->ExecuteEpoch(Materialize(stream[e]));
+  }
+  const std::string failure = DiffAgainstOracle(expected, *db, stats);
+  if (verbose || !failure.empty()) {
+    static constexpr const char* kModeNames[] = {"crash", "chaos", "torn"};
+    std::printf("[%s seed=%llu site=%s mode=%s/%s keep=%.2f/%.2f fire=%llu] %s\n",
+                config.name.c_str(), static_cast<unsigned long long>(seed),
+                CrashSiteName(site), kModeNames[mode], kModeNames[mode2], keep, keep2,
+                static_cast<unsigned long long>(fire_index),
+                failure.empty() ? (fired ? "ok" : "miss") : "FAIL");
+  }
+  return failure;
+}
+
 // One crash-and-recover run. Returns a failure description, empty on success.
 std::string RunCase(const FuzzConfig& config, std::size_t config_index, std::uint64_t seed,
                     CrashSite site, SweepStats* stats, bool verbose) {
   if (IsRecoverySite(site)) {
     return RunRecoverySiteCase(config, config_index, seed, site, stats, verbose);
   }
-  const StreamSpec stream = GenerateStream(seed);
+  if (site == CrashSite::kMidOrderedIndexRebuild) {
+    return RunRebuildSiteCase(config, config_index, seed, stats, verbose);
+  }
+  const StreamSpec stream = GenerateStream(seed, config.ordered);
   const OracleState& expected = ReferenceState(config, config_index, seed, stream);
 
   // Per-run deterministic choices: crash mode, keep-probability, fire index.
@@ -705,6 +873,12 @@ int main(int argc, char** argv) {
         if (IsRecoverySite(site) && !configs[c].spec.enable_instant_recovery) {
           continue;
         }
+        // The scan/rebuild sites only exist on ordered-table configs.
+        if ((site == CrashSite::kMidScanValidate ||
+             site == CrashSite::kMidOrderedIndexRebuild) &&
+            !configs[c].ordered) {
+          continue;
+        }
         const std::string failure = RunCase(configs[c], c, seed, site, &stats, verbose);
         if (!failure.empty()) {
           ++failures;
@@ -732,9 +906,10 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\ntotal: %zu runs (%zu via service), %zu crashed+recovered, %zu missed, "
-              "%zu divergences, %zu index inconsistencies\n",
+              "%zu divergences, %zu index inconsistencies, %zu ordered inconsistencies\n",
               stats.runs, stats.service_runs, stats.crashed_runs, stats.missed_runs,
-              stats.divergences, stats.index_inconsistencies);
+              stats.divergences, stats.index_inconsistencies,
+              stats.ordered_inconsistencies);
   if (failures != 0 || !all_sites_fired) {
     std::printf("FAIL\n");
     return 1;
