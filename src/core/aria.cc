@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "src/common/hash.h"
+#include "src/common/partition.h"
 #include "src/core/database.h"
 
 namespace nvc::core {
@@ -120,7 +121,7 @@ class ReservationTable {
     std::unordered_map<std::uint64_t, std::uint64_t> min_writer;
   };
   Shard& ShardFor(TableId table, Key key) {
-    return shards_[HashKey(table, key) % shards_.size()];
+    return shards_[PartitionOf(table, key, shards_.size())];
   }
   std::vector<Shard> shards_;
   std::vector<bool> ordered_tables_;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "src/common/hash.h"
+#include "src/common/partition.h"
 
 namespace nvc::core {
 namespace {
@@ -366,6 +367,13 @@ void Database::SetCrashHook(CrashHook hook) {
   crash_hook_ = std::move(hook);
 }
 
+void Database::SetPostLogHook(PostLogHook hook) {
+  if (tail_thread_.joinable()) {
+    JoinTail();  // same quiesce rationale as SetCrashHook
+  }
+  post_log_hook_ = std::move(hook);
+}
+
 Status Database::WaitIdle() {
   if (!tail_thread_.joinable()) {
     return Status::Ok();
@@ -541,7 +549,7 @@ void Database::CheckCounterId(txn::CounterId id) const {
 }
 
 Database::InstantStripe& Database::StripeFor(TableId table, Key key) {
-  return instant_stripes_[HashKey(table, key) % kInstantStripes];
+  return instant_stripes_[PartitionOf(table, key, kInstantStripes)];
 }
 
 bool Database::InstantKeyPending(TableId table, Key key) {

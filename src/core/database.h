@@ -171,8 +171,14 @@ enum class CrashSite {
   kMidOrderedIndexRebuild,  // recovery: while re-inserting an ordered
                             // table's keys into the skiplist (crash during
                             // recovery; single-worker runs)
+  kMidShardExchange,        // multi-shard (src/shard): after a shard published
+                            // its exchange slots, before the fixed-point
+                            // barrier; never fired by the engine itself
+  kMidShardEpochBarrier,    // multi-shard: inside the post-log durability
+                            // hook, before the cross-shard barrier; never
+                            // fired by the engine itself
 };
-inline constexpr std::size_t kCrashSiteCount = 19;
+inline constexpr std::size_t kCrashSiteCount = 21;
 inline constexpr CrashSite kAllCrashSites[kCrashSiteCount] = {
     CrashSite::kAfterLog,        CrashSite::kAfterInsert,   CrashSite::kDuringMajorGc,
     CrashSite::kDuringGcPass2,   CrashSite::kAfterGcPersist, CrashSite::kDuringDemotion,
@@ -182,6 +188,7 @@ inline constexpr CrashSite kAllCrashSites[kCrashSiteCount] = {
     CrashSite::kMidInstantRecoveryOnDemand, CrashSite::kMidBackfill,
     CrashSite::kMidOverlapExecute, CrashSite::kMidOverlapTailPersist,
     CrashSite::kMidScanValidate, CrashSite::kMidOrderedIndexRebuild,
+    CrashSite::kMidShardExchange, CrashSite::kMidShardEpochBarrier,
 };
 
 constexpr const char* CrashSiteName(CrashSite site) {
@@ -205,6 +212,8 @@ constexpr const char* CrashSiteName(CrashSite site) {
     case CrashSite::kMidOverlapTailPersist: return "MidOverlapTailPersist";
     case CrashSite::kMidScanValidate: return "MidScanValidate";
     case CrashSite::kMidOrderedIndexRebuild: return "MidOrderedIndexRebuild";
+    case CrashSite::kMidShardExchange: return "MidShardExchange";
+    case CrashSite::kMidShardEpochBarrier: return "MidShardEpochBarrier";
   }
   return "?";
 }
@@ -269,6 +278,29 @@ class Database {
   //   kFailedPrecondition the on-device table count disagrees with the spec
   //   kAborted            a crash hook fired during the replay
   StatusOr<RecoveryReport> Recover(const txn::TxnRegistry& registry);
+
+  // Multi-shard recovery coordination (src/shard). `allow_replay=false`
+  // restores the last checkpointed epoch but never replays a complete input
+  // log for the next epoch — the sharded recovery decision may require a
+  // shard that crashed *after* logging to hold the epoch back because a peer
+  // shard never logged it.
+  struct RecoverOptions {
+    bool allow_replay = true;
+  };
+  StatusOr<RecoveryReport> Recover(const txn::TxnRegistry& registry,
+                                   const RecoverOptions& options);
+
+  // Non-destructive look at the device before recovery: the last
+  // checkpointed epoch in the superblock and whether a complete input log
+  // for the following epoch exists. The sharded recovery coordinator peeks
+  // every shard first to decide the global replay policy.
+  //   kDataLoss           no NVCaracal superblock on the device
+  //   kFailedPrecondition on-device table count disagrees with the spec
+  struct RecoveryPeek {
+    Epoch checkpointed = 0;
+    bool has_next_log = false;  // complete log for epoch checkpointed+1
+  };
+  StatusOr<RecoveryPeek> PeekRecovery();
 
   // Pre-Status shim; identical to Recover(registry).value().
   [[deprecated("use Recover(), which returns StatusOr<RecoveryReport>")]]
@@ -368,6 +400,15 @@ class Database {
   // (and the swap never races the tail thread's reads). Declared out of
   // line: quiescing needs the tail machinery.
   void SetCrashHook(CrashHook hook);
+
+  // Multi-shard durability barrier (src/shard). Invoked by ExecuteEpoch once
+  // the epoch's input log (and digest) are durable, before any NVMM state of
+  // the epoch is mutated; skipped during replay. Returning false makes the
+  // epoch fail exactly as if a crash hook fired at that point (the epoch's
+  // log stays durable; the Database must be discarded and recovered).
+  // Installation quiesces the tail like SetCrashHook.
+  using PostLogHook = std::function<bool(Epoch)>;
+  void SetPostLogHook(PostLogHook hook);
 
   // Durable-notify: see EpochCallback above. Pass {} to clear. Safe to call
   // concurrently with a running epoch or its asynchronous tail: install and
@@ -780,6 +821,7 @@ class Database {
   std::vector<vstore::ValueLoc> cold_frees_due_;
 
   CrashHook crash_hook_;
+  PostLogHook post_log_hook_;
   // Guards installation AND invocation of epoch_callback_ (the tail thread
   // invokes it concurrently with client threads calling SetEpochCallback).
   std::mutex callback_mu_;

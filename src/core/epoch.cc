@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/partition.h"
 #include "src/core/database.h"
 
 namespace nvc::core {
@@ -332,6 +333,16 @@ EpochResult Database::ExecuteEpoch(std::vector<std::unique_ptr<txn::Transaction>
     MaybeCrash(CrashSite::kAfterLog);
     // Pipelined: the previous epoch's tail may still be persisting here.
     MaybeCrash(CrashSite::kMidOverlapExecute);
+
+    // Multi-shard durability barrier (src/shard): no shard may start mutating
+    // NVMM state for this epoch until every shard's input log is durable,
+    // otherwise a crash could leave one shard executed and another without a
+    // log to replay. The hook returning false means a peer shard crashed
+    // before logging; surface it as this engine crashing here — the epoch is
+    // logged but unexecuted, which global recovery resolves deterministically.
+    if (post_log_hook_ && !replaying_ && !post_log_hook_(epoch)) {
+      throw CrashedException{};
+    }
 
     if (pipelined) {
       // Barrier against the previous epoch's tail: from here on this epoch
@@ -783,7 +794,7 @@ void Database::ApplyIndexDeltasParallel(Epoch epoch) {
     PhaseProfiler::WorkerScope span(profiler_, w);
     for (CoreEpochState& cs : core_state_) {
       for (const IndexDelta& delta : cs.index_deltas) {
-        if (HashKey(delta.table, delta.key) % spec_.workers != w) {
+        if (PartitionOf(delta.table, delta.key, spec_.workers) != w) {
           continue;
         }
         if (hook_tail) {
@@ -1098,7 +1109,7 @@ void Database::DeclareWrite(TxnState& st, TableId table, Key key, std::size_t co
       return;  // duplicate declaration by the same transaction
     }
     st.writes.push_back(entry);
-    const std::size_t owner = HashKey(table, key) % spec_.workers;
+    const std::size_t owner = PartitionOf(table, key, spec_.workers);
     append_intents_[owner][core].push_back(BatchIntent{entry, st.sid.raw()});
     return;
   }

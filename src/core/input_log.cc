@@ -270,4 +270,19 @@ bool InputLog::LoadEpoch(Epoch epoch, const txn::TxnRegistry& registry,
   return true;
 }
 
+bool InputLog::HasCompleteEpoch(Epoch epoch, std::size_t core) const {
+  const std::uint64_t buffer = BufferOffset(epoch);
+  device_.ChargeRead(buffer, sizeof(LogHeader), core);
+  const auto* header = device_.As<LogHeader>(buffer);
+  if (header->complete != 1 || header->epoch != epoch) {
+    return false;
+  }
+  if (header->payload_bytes > buffer_bytes_ - sizeof(LogHeader)) {
+    return false;
+  }
+  const std::uint8_t* payload = device_.At(buffer + sizeof(LogHeader));
+  device_.ChargeRead(buffer + sizeof(LogHeader), header->payload_bytes, core);
+  return Checksum(payload, header->payload_bytes) == header->checksum;
+}
+
 }  // namespace nvc::core

@@ -79,6 +79,11 @@ class InputLog {
   bool LoadEpoch(Epoch epoch, const txn::TxnRegistry& registry,
                  std::vector<std::unique_ptr<txn::Transaction>>* out, std::size_t core) const;
 
+  // Cheap completeness probe: header + checksum checks of LoadEpoch without
+  // decoding the payload. Used by the sharded recovery coordinator to decide
+  // the global replay policy before any shard recovers.
+  bool HasCompleteEpoch(Epoch epoch, std::size_t core) const;
+
   // ---- Replay digest (instant recovery) -------------------------------------
   // The digest lives in its own pair of parity buffers and follows the same
   // invalidate -> payload -> header -> complete protocol as the log, so a

@@ -74,6 +74,64 @@ std::uint64_t StateHash(const OracleState& state) {
   return h;
 }
 
+std::uint64_t MultiShardStateHash(const std::vector<OracleState>& shards) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(shards.size());
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    mix(s);
+    mix(StateHash(shards[s]));
+  }
+  return h;
+}
+
+std::size_t DiffShardedStates(const std::vector<OracleState>& expected,
+                              const std::vector<OracleState>& actual, std::string* out,
+                              std::size_t max_reports) {
+  std::size_t divergences = 0;
+  if (expected.size() != actual.size()) {
+    Report(out, divergences++, max_reports,
+           "shard count: expected " + std::to_string(expected.size()) + ", got " +
+               std::to_string(actual.size()));
+    return divergences;
+  }
+  // All shards of one deployment must agree on the global epoch; a stray
+  // shard that checkpointed ahead or behind is itself a divergence even when
+  // its row contents match the expectation.
+  for (std::size_t s = 1; s < actual.size(); ++s) {
+    if (actual[s].epoch != actual[0].epoch) {
+      Report(out, divergences++, max_reports,
+             "shard " + std::to_string(s) + ": epoch " + std::to_string(actual[s].epoch) +
+                 " disagrees with shard 0's epoch " + std::to_string(actual[0].epoch));
+    }
+  }
+  for (std::size_t s = 0; s < expected.size(); ++s) {
+    std::string shard_out;
+    const std::size_t n = DiffStates(expected[s], actual[s],
+                                     out != nullptr ? &shard_out : nullptr, max_reports);
+    if (n > 0 && out != nullptr) {
+      std::size_t line_start = 0;
+      for (std::size_t i = 0; i <= shard_out.size(); ++i) {
+        if (i == shard_out.size() || shard_out[i] == '\n') {
+          if (i > line_start && divergences < max_reports) {
+            out->append("shard " + std::to_string(s) + ": " +
+                        shard_out.substr(line_start, i - line_start));
+            out->push_back('\n');
+          }
+          line_start = i + 1;
+        }
+      }
+    }
+    divergences += n;
+  }
+  return divergences;
+}
+
 std::size_t DiffStates(const OracleState& expected, const OracleState& actual,
                        std::string* out, std::size_t max_reports) {
   std::size_t divergences = 0;

@@ -54,6 +54,23 @@ std::uint64_t StateHash(const OracleState& state);
 std::size_t DiffStates(const OracleState& expected, const OracleState& actual,
                        std::string* out, std::size_t max_reports = 16);
 
+// ---- Multi-shard oracle (src/shard) -----------------------------------------
+// A sharded database's logical state is the ordered vector of its shards'
+// states. These are pure functions over OracleState vectors so the core
+// oracle stays independent of the shard layer.
+
+// Global digest across all shards: mixes each shard's index and StateHash so
+// the hash pins both shard contents and shard placement. Two sharded
+// deployments hash equal iff every shard pair diffs clean.
+std::uint64_t MultiShardStateHash(const std::vector<OracleState>& shards);
+
+// Compares two sharded snapshots shard by shard (including the global-epoch
+// agreement across shards). Returns total divergences; descriptions of the
+// first `max_reports` are appended to *out with a "shard N" prefix.
+std::size_t DiffShardedStates(const std::vector<OracleState>& expected,
+                              const std::vector<OracleState>& actual, std::string* out,
+                              std::size_t max_reports = 16);
+
 // Self-consistency check of the persistent NVMM index against the DRAM
 // index (both key-set directions plus row-header key agreement). Returns the
 // number of inconsistencies, described in *out. Zero when the database runs

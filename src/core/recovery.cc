@@ -31,6 +31,29 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 StatusOr<RecoveryReport> Database::Recover(const txn::TxnRegistry& registry) {
+  return Recover(registry, RecoverOptions{});
+}
+
+StatusOr<Database::RecoveryPeek> Database::PeekRecovery() {
+  device_.ChargeRead(layout_.superblock, sizeof(SuperBlock), 0);
+  const auto* sb = device_.As<SuperBlock>(layout_.superblock);
+  if (sb->magic != kMagic) {
+    return Status::DataLoss("PeekRecovery: device is not a formatted NVCaracal database");
+  }
+  if (sb->table_count != spec_.tables.size()) {
+    return Status::FailedPrecondition(
+        "PeekRecovery: on-device layout has " + std::to_string(sb->table_count) +
+        " tables but the spec has " + std::to_string(spec_.tables.size()));
+  }
+  RecoveryPeek peek;
+  peek.checkpointed = static_cast<Epoch>(sb->epoch);
+  peek.has_next_log =
+      ModeLogsInputs(spec_.mode) && log_->HasCompleteEpoch(peek.checkpointed + 1, 0);
+  return peek;
+}
+
+StatusOr<RecoveryReport> Database::Recover(const txn::TxnRegistry& registry,
+                                           const RecoverOptions& options) {
   RecoveryReport report;
   const auto recover_start = std::chrono::steady_clock::now();
   device_.ChargeRead(layout_.superblock, sizeof(SuperBlock), 0);
@@ -77,7 +100,7 @@ StatusOr<RecoveryReport> Database::Recover(const txn::TxnRegistry& registry) {
   // Step 1 — load the crashed epoch's inputs (complete logs only).
   auto load_start = std::chrono::steady_clock::now();
   std::vector<std::unique_ptr<txn::Transaction>> replay_txns;
-  const bool has_log = ModeLogsInputs(spec_.mode) &&
+  const bool has_log = options.allow_replay && ModeLogsInputs(spec_.mode) &&
                        log_->LoadEpoch(last_checkpointed + 1, registry, &replay_txns, 0);
   report.load_txn_seconds = SecondsSince(load_start);
   report.replayed = has_log;

@@ -15,8 +15,8 @@
 #include <unordered_map>
 #include <vector>
 
-#include "src/common/hash.h"
 #include "src/common/latch.h"
+#include "src/common/partition.h"
 #include "src/common/types.h"
 #include "src/index/ordered_index.h"
 #include "src/vstore/row_entry.h"
@@ -90,7 +90,7 @@ class TableIndex {
   };
 
   Shard& ShardFor(Key key) {
-    return *shards_[HashKey(schema_.id, key) % shards_.size()];
+    return *shards_[PartitionOf(schema_.id, key, shards_.size())];
   }
 
   TableSchema schema_;

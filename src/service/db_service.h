@@ -121,6 +121,7 @@ class TxnTicket {
 
  private:
   friend class DbService;
+  friend class ShardedDbService;
   explicit TxnTicket(std::shared_ptr<internal::TicketState> state)
       : state_(std::move(state)) {}
 

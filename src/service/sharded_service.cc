@@ -1,0 +1,289 @@
+#include "src/service/sharded_service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace nvc::service {
+
+namespace {
+
+double MicrosSince(std::chrono::steady_clock::time_point start,
+                   std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+}  // namespace
+
+ShardedDbService::ShardedDbService(std::unique_ptr<shard::ShardedDatabase> db,
+                                   const ServiceSpec& spec)
+    : db_(std::move(db)), spec_(spec) {
+  if (!db_) {
+    throw std::invalid_argument("ShardedDbService: database must not be null");
+  }
+  const Status valid = spec_.Validate();
+  if (!valid.ok()) {
+    throw std::invalid_argument("ShardedDbService: " + valid.message());
+  }
+  pacer_ = std::thread([this] { PacerLoop(); });
+}
+
+ShardedDbService::~ShardedDbService() { Stop().IgnoreError(); }
+
+StatusOr<TxnTicket> ShardedDbService::Submit(std::unique_ptr<txn::Transaction> txn) {
+  if (!txn) {
+    return Status::InvalidArgument("ShardedDbService::Submit: transaction must not be null");
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!fail_status_.ok()) {
+    return fail_status_;
+  }
+  if (stopping_) {
+    return Status::Unavailable("ShardedDbService::Submit: service is stopped");
+  }
+  if (queue_.size() >= spec_.queue_capacity) {
+    if (spec_.backpressure == BackpressurePolicy::kReject) {
+      return Status::ResourceExhausted(
+          "ShardedDbService::Submit: queue full (" + std::to_string(spec_.queue_capacity) +
+          " transactions); retry after the pacer drains");
+    }
+    space_cv_.wait(lk, [&] {
+      return stopping_ || !fail_status_.ok() || queue_.size() < spec_.queue_capacity;
+    });
+    if (!fail_status_.ok()) {
+      return fail_status_;
+    }
+    if (stopping_) {
+      return Status::Unavailable("ShardedDbService::Submit: service stopped while blocked");
+    }
+  }
+  auto state = std::make_shared<internal::TicketState>();
+  state->submit_time = std::chrono::steady_clock::now();
+  queue_.push_back(Pending{std::move(txn), state});
+  work_cv_.notify_all();
+  return TxnTicket(std::move(state));
+}
+
+void ShardedDbService::PacerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (deferred_.empty()) {
+      work_cv_.wait(lk, [&] {
+        return stopping_ || !fail_status_.ok() || !queue_.empty() || flush_;
+      });
+    } else {
+      // Router deferrals exist: never sleep past the delay bound, so a
+      // deferred cross-shard ticket resolves even with no new traffic.
+      work_cv_.wait_for(lk, spec_.max_epoch_delay, [&] {
+        return stopping_ || !fail_status_.ok() || !queue_.empty() || flush_;
+      });
+    }
+    if (!fail_status_.ok()) {
+      break;
+    }
+    if (queue_.empty()) {
+      if (!deferred_.empty()) {
+        // Flush epoch: empty input; the engine re-runs its deferred batch.
+        // The router always admits the first deferred transaction, so every
+        // flush epoch makes progress.
+        const std::size_t before = deferred_.size();
+        if (!RunBatch(lk, {})) {
+          break;
+        }
+        if ((stopping_ || flush_) && !deferred_.empty() && deferred_.size() >= before) {
+          FailAll(Status::Internal(
+              "ShardedDbService: flush epoch resolved no deferred transactions"));
+          break;
+        }
+        continue;
+      }
+      if (flush_) {
+        flush_ = false;
+        idle_cv_.notify_all();
+      }
+      if (stopping_) {
+        break;
+      }
+      continue;
+    }
+    // A batch is forming: cut on size, delay bound, flush, or shutdown.
+    const auto deadline = queue_.front().state->submit_time + spec_.max_epoch_delay;
+    while (!stopping_ && !flush_ && fail_status_.ok() &&
+           queue_.size() < spec_.max_epoch_txns) {
+      if (work_cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
+    if (!fail_status_.ok()) {
+      break;
+    }
+    const std::size_t n = std::min(queue_.size(), spec_.max_epoch_txns);
+    std::vector<Pending> batch;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    space_cv_.notify_all();
+    if (!RunBatch(lk, std::move(batch))) {
+      break;
+    }
+  }
+  idle_cv_.notify_all();
+  space_cv_.notify_all();
+}
+
+bool ShardedDbService::RunBatch(std::unique_lock<std::mutex>& lk,
+                                std::vector<Pending> batch) {
+  // Global slot order: the engine's deferred carryover first, then this
+  // epoch's new submissions — mirror it with the tickets.
+  std::vector<std::shared_ptr<internal::TicketState>> slots;
+  slots.reserve(deferred_.size() + batch.size());
+  for (auto& state : deferred_) {
+    slots.push_back(std::move(state));
+  }
+  deferred_.clear();
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  txns.reserve(batch.size());
+  for (auto& p : batch) {
+    txns.push_back(std::move(p.txn));
+    slots.push_back(std::move(p.state));
+  }
+  executing_ = true;
+  lk.unlock();
+  std::vector<core::TxnOutcome> outcomes;
+  const shard::ShardedEpochResult result = db_->ExecuteEpoch(std::move(txns), &outcomes);
+  const auto now = std::chrono::steady_clock::now();
+  lk.lock();
+  executing_ = false;
+  ++epochs_;
+  if (result.crashed) {
+    // Tickets in `slots` were consumed from deferred_/queue_; fail them too.
+    const Status why = Status::DataLoss(
+        "ShardedDbService: crash hook fired during global epoch " +
+        std::to_string(result.epoch) + "; recover the shards from their devices");
+    for (const auto& state : slots) {
+      Resolve(state, TicketOutcome::kFailed, 0, why);
+    }
+    FailAll(why);
+    return false;
+  }
+  // A non-crashed sharded epoch is durable on every shard: resolve now.
+  {
+    std::lock_guard<std::mutex> stats_lk(stats_mu_);
+    for (std::size_t i = 0; i < outcomes.size() && i < slots.size(); ++i) {
+      const std::shared_ptr<internal::TicketState>& state = slots[i];
+      switch (outcomes[i]) {
+        case core::TxnOutcome::kDeferred:
+          ++state->deferrals;
+          deferred_.push_back(state);
+          break;
+        case core::TxnOutcome::kAborted:
+        case core::TxnOutcome::kCommitted: {
+          const TicketOutcome outcome = outcomes[i] == core::TxnOutcome::kCommitted
+                                            ? TicketOutcome::kCommitted
+                                            : TicketOutcome::kUserAborted;
+          latency_.Record(MicrosSince(state->submit_time, now));
+          Resolve(state, outcome, result.epoch, Status::Ok());
+          break;
+        }
+      }
+    }
+  }
+  if (queue_.empty() && deferred_.empty()) {
+    if (flush_) {
+      flush_ = false;
+    }
+    idle_cv_.notify_all();
+  }
+  return true;
+}
+
+void ShardedDbService::Resolve(const std::shared_ptr<internal::TicketState>& state,
+                               TicketOutcome outcome, Epoch epoch, Status status) {
+  const auto now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lk(state->mu);
+    if (state->done) {
+      return;
+    }
+    state->result.outcome = outcome;
+    state->result.epoch = epoch;
+    state->result.latency_micros = MicrosSince(state->submit_time, now);
+    state->result.deferrals = state->deferrals;
+    state->result.status = std::move(status);
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+void ShardedDbService::FailAll(const Status& why) {
+  fail_status_ = why;
+  for (const auto& state : deferred_) {
+    Resolve(state, TicketOutcome::kFailed, 0, why);
+  }
+  deferred_.clear();
+  for (auto& p : queue_) {
+    Resolve(p.state, TicketOutcome::kFailed, 0, why);
+  }
+  queue_.clear();
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  idle_cv_.notify_all();
+}
+
+Status ShardedDbService::Drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!fail_status_.ok()) {
+    return fail_status_;
+  }
+  flush_ = true;
+  work_cv_.notify_all();
+  idle_cv_.wait(lk, [&] {
+    return !fail_status_.ok() ||
+           (queue_.empty() && deferred_.empty() && !executing_ && !flush_);
+  });
+  return fail_status_;
+}
+
+Status ShardedDbService::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+  if (pacer_.joinable()) {
+    pacer_.join();
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  return fail_status_;
+}
+
+std::unique_ptr<shard::ShardedDatabase> ShardedDbService::TakeDatabase() {
+  Stop().IgnoreError();
+  return std::move(db_);
+}
+
+LatencySummary ShardedDbService::LatencySnapshot() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return latency_.Summarize();
+}
+
+std::size_t ShardedDbService::epochs_executed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return epochs_;
+}
+
+std::size_t ShardedDbService::queue_depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+Status ShardedDbService::health() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return fail_status_;
+}
+
+}  // namespace nvc::service

@@ -1,0 +1,359 @@
+// Per-shard slice of a cross-shard transaction.
+//
+// The multi-shard router (sharded_db.h) turns every transaction whose
+// declared read/write set spans more than one shard into N SliceTxn
+// instances — one per shard that owns part of its write set — all sharing
+// the same inner transaction. Each slice:
+//
+//   * forwards inserts, write declarations, and execution-phase writes only
+//     for keys its shard owns (PartitionOf), and silently drops the rest
+//     (another shard's slice applies them);
+//   * serves every read — ExecContext::Read and AppendContext::ReadPreEpoch —
+//     from the pre-epoch exchange snapshot resolved by the router at the
+//     fixed point, overlaid with the transaction's own inserts and earlier
+//     writes, so all participating shards observe identical values and reach
+//     identical commit/abort decisions with no coordination during execution
+//     (Calvin/Caracal-style determinism);
+//   * encodes the resolved snapshot into its logged inputs, so a crashed
+//     shard replays its slice from its own input log alone, without
+//     re-running the exchange against peers that may have moved on.
+//
+// Restrictions (enforced by throwing std::logic_error): cross-shard
+// transactions cannot use deterministic counters, ordered-table range
+// operations, or Aria execution-phase inserts, and every key they read must
+// be named by Transaction::DeclareReadSet.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/partition.h"
+#include "src/common/serializer.h"
+#include "src/common/types.h"
+#include "src/txn/transaction.h"
+
+namespace nvc::shard {
+
+// Reserved type tag for shard slices; workload types must stay below it.
+inline constexpr txn::TxnType kSliceTxnType = 0xFFFFFF01;
+
+// One resolved pre-epoch read: the owning shard's committed value for
+// (table, key) as of the epoch before the slice's epoch, or "absent".
+struct SliceRead {
+  TableId table = 0;
+  Key key = 0;
+  bool present = false;
+  std::vector<std::uint8_t> value;
+};
+
+class SliceTxn final : public txn::Transaction {
+ public:
+  SliceTxn(std::shared_ptr<txn::Transaction> inner, std::uint32_t shard_index,
+           std::uint32_t shard_count)
+      : inner_(std::move(inner)), shard_index_(shard_index), shard_count_(shard_count) {}
+
+  // Installs the resolved read snapshot (router, after the exchange fixed
+  // point; also the decoder, from the logged inputs). Must be sorted by
+  // (table, key) — lookups binary-search.
+  void SetReads(std::vector<SliceRead> reads) {
+    reads_ = std::move(reads);
+    reads_resolved_ = true;
+  }
+  bool reads_resolved() const { return reads_resolved_; }
+
+  const txn::Transaction& inner() const { return *inner_; }
+  std::uint32_t shard_index() const { return shard_index_; }
+  std::uint32_t shard_count() const { return shard_count_; }
+
+  txn::TxnType type() const override { return kSliceTxnType; }
+
+  void EncodeInputs(BinaryWriter& writer) const override {
+    if (!reads_resolved_) {
+      throw std::logic_error("SliceTxn: encoding before the exchange resolved its reads");
+    }
+    writer.Put<std::uint32_t>(inner_->type());
+    inner_->EncodeInputs(writer);
+    writer.Put<std::uint32_t>(shard_index_);
+    writer.Put<std::uint32_t>(shard_count_);
+    writer.Put<std::uint32_t>(static_cast<std::uint32_t>(reads_.size()));
+    for (const SliceRead& r : reads_) {
+      writer.Put<TableId>(r.table);
+      writer.Put<Key>(r.key);
+      writer.Put<std::uint8_t>(r.present ? 1 : 0);
+      writer.Put<std::uint32_t>(static_cast<std::uint32_t>(r.value.size()));
+      writer.PutBytes(r.value.data(), r.value.size());
+    }
+  }
+
+  void InsertStep(txn::InsertContext& ctx) override;
+  void AppendStep(txn::AppendContext& ctx) override;
+  void Execute(txn::ExecContext& ctx) override;
+
+  void DeclareReadSet(const std::function<void(TableId, Key)>& declare) const override {
+    inner_->DeclareReadSet(declare);
+  }
+
+ private:
+  friend class SliceInsertContext;
+  friend class SliceAppendContext;
+  friend class SliceExecContext;
+
+  // A value written (or deleted / inserted) by this transaction itself,
+  // overlaying the snapshot so read-your-writes matches single-engine EWV.
+  struct Overlay {
+    TableId table;
+    Key key;
+    bool present;  // false: deleted by this transaction
+    std::vector<std::uint8_t> value;
+  };
+
+  bool Owned(TableId table, Key key) const {
+    return PartitionOf(table, key, shard_count_) == shard_index_;
+  }
+
+  const SliceRead* FindRead(TableId table, Key key) const {
+    const auto it = std::lower_bound(
+        reads_.begin(), reads_.end(), std::make_pair(table, key),
+        [](const SliceRead& r, const std::pair<TableId, Key>& k) {
+          return r.table != k.first ? r.table < k.first : r.key < k.second;
+        });
+    if (it == reads_.end() || it->table != table || it->key != key) {
+      return nullptr;
+    }
+    return &*it;
+  }
+
+  static const Overlay* FindOverlay(const std::vector<Overlay>& set, TableId table,
+                                    Key key) {
+    // Newest entry wins: a transaction may write the same key repeatedly.
+    for (auto it = set.rbegin(); it != set.rend(); ++it) {
+      if (it->table == table && it->key == key) {
+        return &*it;
+      }
+    }
+    return nullptr;
+  }
+
+  // Deterministic -1/value read through overlays and the snapshot.
+  int ReadResolved(TableId table, Key key, void* out, std::uint32_t cap,
+                   bool include_exec_overlay) const;
+
+  std::shared_ptr<txn::Transaction> inner_;
+  std::uint32_t shard_index_;
+  std::uint32_t shard_count_;
+  std::vector<SliceRead> reads_;  // sorted by (table, key)
+  bool reads_resolved_ = false;
+  // Rebuilt deterministically on every run (initial execution and replay).
+  std::vector<Overlay> insert_overlay_;  // from InsertStep
+  std::vector<Overlay> exec_overlay_;    // from Execute writes/deletes
+};
+
+// ---- Phase contexts ---------------------------------------------------------
+
+class SliceInsertContext final : public txn::InsertContext {
+ public:
+  SliceInsertContext(SliceTxn& slice, txn::InsertContext& engine)
+      : slice_(slice), engine_(engine) {}
+
+  void InsertRow(TableId table, Key key, const void* data, std::uint32_t size) override {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    slice_.insert_overlay_.push_back(
+        {table, key, true,
+         bytes != nullptr ? std::vector<std::uint8_t>(bytes, bytes + size)
+                          : std::vector<std::uint8_t>{}});
+    if (slice_.Owned(table, key)) {
+      engine_.InsertRow(table, key, data, size);
+    }
+  }
+
+  std::uint64_t CounterFetchAdd(txn::CounterId, std::uint64_t) override {
+    throw std::logic_error("cross-shard transactions cannot use deterministic counters");
+  }
+  std::uint64_t CounterEpochStart(txn::CounterId) const override {
+    throw std::logic_error("cross-shard transactions cannot use deterministic counters");
+  }
+  std::uint64_t CounterFetchAddIfLess(txn::CounterId, std::uint64_t) override {
+    throw std::logic_error("cross-shard transactions cannot use deterministic counters");
+  }
+
+  Sid sid() const override { return engine_.sid(); }
+
+ private:
+  SliceTxn& slice_;
+  txn::InsertContext& engine_;
+};
+
+class SliceAppendContext final : public txn::AppendContext {
+ public:
+  SliceAppendContext(SliceTxn& slice, txn::AppendContext& engine)
+      : slice_(slice), engine_(engine) {}
+
+  void DeclareUpdate(TableId table, Key key) override {
+    if (slice_.Owned(table, key)) {
+      engine_.DeclareUpdate(table, key);
+    }
+  }
+  void DeclareDelete(TableId table, Key key) override {
+    if (slice_.Owned(table, key)) {
+      engine_.DeclareDelete(table, key);
+    }
+  }
+
+  int ReadPreEpoch(TableId table, Key key, void* out, std::uint32_t cap) override {
+    // Pre-epoch semantics: the snapshot only, no same-transaction overlays.
+    return slice_.ReadResolved(table, key, out, cap, /*include_exec_overlay=*/false);
+  }
+
+  Sid sid() const override { return engine_.sid(); }
+
+ private:
+  SliceTxn& slice_;
+  txn::AppendContext& engine_;
+};
+
+class SliceExecContext final : public txn::ExecContext {
+ public:
+  SliceExecContext(SliceTxn& slice, txn::ExecContext& engine)
+      : slice_(slice), engine_(engine) {}
+
+  int Read(TableId table, Key key, void* out, std::uint32_t cap) override {
+    return slice_.ReadResolved(table, key, out, cap, /*include_exec_overlay=*/true);
+  }
+
+  void Write(TableId table, Key key, const void* data, std::uint32_t size) override {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    slice_.exec_overlay_.push_back(
+        {table, key, true, std::vector<std::uint8_t>(bytes, bytes + size)});
+    if (slice_.Owned(table, key)) {
+      engine_.Write(table, key, data, size);
+    }
+  }
+
+  void Delete(TableId table, Key key) override {
+    slice_.exec_overlay_.push_back({table, key, false, {}});
+    if (slice_.Owned(table, key)) {
+      engine_.Delete(table, key);
+    }
+  }
+
+  void Abort() override { engine_.Abort(); }
+
+  bool FirstInRange(TableId, Key, Key, Key*) override {
+    throw std::logic_error("cross-shard transactions cannot use range operations");
+  }
+  bool LastInRange(TableId, Key, Key, Key*) override {
+    throw std::logic_error("cross-shard transactions cannot use range operations");
+  }
+  std::uint32_t Scan(const txn::ScanSpec&, const txn::ScanRowFn&) override {
+    throw std::logic_error("cross-shard transactions cannot use range operations");
+  }
+  std::uint64_t CounterEpochStart(txn::CounterId) const override {
+    throw std::logic_error("cross-shard transactions cannot use deterministic counters");
+  }
+
+  Sid sid() const override { return engine_.sid(); }
+
+ private:
+  SliceTxn& slice_;
+  txn::ExecContext& engine_;
+};
+
+inline void SliceTxn::InsertStep(txn::InsertContext& ctx) {
+  insert_overlay_.clear();  // re-executable: replay rebuilds it identically
+  SliceInsertContext filter(*this, ctx);
+  inner_->InsertStep(filter);
+}
+
+inline void SliceTxn::AppendStep(txn::AppendContext& ctx) {
+  SliceAppendContext filter(*this, ctx);
+  inner_->AppendStep(filter);
+}
+
+inline void SliceTxn::Execute(txn::ExecContext& ctx) {
+  exec_overlay_.clear();
+  SliceExecContext filter(*this, ctx);
+  inner_->Execute(filter);
+}
+
+inline int SliceTxn::ReadResolved(TableId table, Key key, void* out, std::uint32_t cap,
+                                  bool include_exec_overlay) const {
+  const auto deliver = [out, cap](bool present, const std::vector<std::uint8_t>& v) {
+    if (!present) {
+      return -1;
+    }
+    const std::uint32_t n = std::min<std::uint32_t>(cap, static_cast<std::uint32_t>(v.size()));
+    if (n != 0) {
+      std::copy_n(v.begin(), n, static_cast<std::uint8_t*>(out));
+    }
+    return static_cast<int>(v.size());
+  };
+  if (include_exec_overlay) {
+    if (const Overlay* o = FindOverlay(exec_overlay_, table, key)) {
+      return deliver(o->present, o->value);
+    }
+    if (const Overlay* o = FindOverlay(insert_overlay_, table, key)) {
+      return deliver(o->present, o->value);
+    }
+  }
+  const SliceRead* r = FindRead(table, key);
+  if (r == nullptr) {
+    throw std::logic_error("cross-shard read of (" + std::to_string(table) + ", " +
+                           std::to_string(key) +
+                           ") was not named by DeclareReadSet — the exchange cannot "
+                           "resolve undeclared keys");
+  }
+  return deliver(r->present, r->value);
+}
+
+// Decodes a logged slice: the inner transaction through the user registry,
+// then the shard assignment and the resolved snapshot.
+inline std::unique_ptr<txn::Transaction> DecodeSliceTxn(BinaryReader& reader,
+                                                        const txn::TxnRegistry& user) {
+  const auto inner_type = reader.Get<std::uint32_t>();
+  std::unique_ptr<txn::Transaction> inner = user.Decode(inner_type, reader);
+  if (inner == nullptr) {
+    throw SerializeError("SliceTxn: unknown inner transaction type " +
+                         std::to_string(inner_type));
+  }
+  const auto shard_index = reader.Get<std::uint32_t>();
+  const auto shard_count = reader.Get<std::uint32_t>();
+  if (shard_count == 0 || shard_index >= shard_count) {
+    throw SerializeError("SliceTxn: corrupt shard assignment");
+  }
+  const auto n = reader.Get<std::uint32_t>();
+  std::vector<SliceRead> reads;
+  reads.reserve(std::min<std::size_t>(n, reader.remaining()));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    SliceRead r;
+    r.table = reader.Get<TableId>();
+    r.key = reader.Get<Key>();
+    r.present = reader.Get<std::uint8_t>() != 0;
+    const auto size = reader.Get<std::uint32_t>();
+    if (size > reader.remaining()) {
+      throw SerializeError("SliceTxn: read snapshot overruns the payload");
+    }
+    r.value.resize(size);
+    reader.GetBytes(r.value.data(), size);
+    reads.push_back(std::move(r));
+  }
+  auto slice = std::make_unique<SliceTxn>(
+      std::shared_ptr<txn::Transaction>(std::move(inner)), shard_index, shard_count);
+  slice->SetReads(std::move(reads));
+  return slice;
+}
+
+// The registry a shard engine recovers with: every workload decoder plus the
+// slice decoder (which decodes inner transactions through the user registry).
+inline txn::TxnRegistry MakeShardRegistry(const txn::TxnRegistry& user) {
+  txn::TxnRegistry combined = user;
+  combined.Register(kSliceTxnType,
+                    [user](BinaryReader& reader) { return DecodeSliceTxn(reader, user); });
+  return combined;
+}
+
+}  // namespace nvc::shard

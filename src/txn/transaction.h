@@ -151,6 +151,18 @@ class Transaction {
 
   // Execution phase.
   virtual void Execute(ExecContext& ctx) = 0;
+
+  // Declares every (table, key) this transaction may read — through
+  // ExecContext::Read or AppendContext::ReadPreEpoch — as a pure function of
+  // the transaction's inputs. Single-engine execution never calls it; the
+  // multi-shard router (src/shard) uses it to classify transactions and to
+  // resolve cross-shard reads from the pre-epoch exchange snapshot, so in
+  // sharded deployments an incomplete declaration makes a cross-shard
+  // transaction's reads fail. The default declares nothing (write-only
+  // transactions need no override).
+  virtual void DeclareReadSet(const std::function<void(TableId, Key)>& declare) const {
+    (void)declare;
+  }
 };
 
 // Decodes a logged transaction of a given type back into an executable

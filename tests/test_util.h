@@ -62,6 +62,9 @@ class KvRmwTxn final : public txn::Transaction {
   }
 
   void AppendStep(txn::AppendContext& ctx) override { ctx.DeclareUpdate(0, key_); }
+  void DeclareReadSet(const std::function<void(TableId, Key)>& declare) const override {
+    declare(0, key_);
+  }
   void Execute(txn::ExecContext& ctx) override {
     std::uint64_t value = 0;
     ctx.Read(0, key_, &value, sizeof(value));
@@ -210,6 +213,55 @@ class KvVarPutTxn final : public txn::Transaction {
 };
 
 inline constexpr txn::TxnType kKvScanSumType = 8;
+inline constexpr txn::TxnType kKvXferType = 9;
+
+// Conditional balance transfer between two table-0 rows: reads both, and
+// moves `amount` from a to b unless a's balance is short (user abort). Both
+// keys are in the declared read set, so the multi-shard router can route it
+// cross-shard and serve the reads from the pre-epoch exchange snapshot.
+class KvXferTxn final : public txn::Transaction {
+ public:
+  KvXferTxn(Key a, Key b, std::uint64_t amount) : a_(a), b_(b), amount_(amount) {}
+  txn::TxnType type() const override { return kKvXferType; }
+  void EncodeInputs(BinaryWriter& w) const override {
+    w.Put(a_);
+    w.Put(b_);
+    w.Put(amount_);
+  }
+  static std::unique_ptr<txn::Transaction> Decode(BinaryReader& r) {
+    const auto a = r.Get<Key>();
+    const auto b = r.Get<Key>();
+    const auto amount = r.Get<std::uint64_t>();
+    return std::make_unique<KvXferTxn>(a, b, amount);
+  }
+  void AppendStep(txn::AppendContext& ctx) override {
+    ctx.DeclareUpdate(0, a_);
+    ctx.DeclareUpdate(0, b_);
+  }
+  void DeclareReadSet(const std::function<void(TableId, Key)>& declare) const override {
+    declare(0, a_);
+    declare(0, b_);
+  }
+  void Execute(txn::ExecContext& ctx) override {
+    std::uint64_t a_val = 0;
+    std::uint64_t b_val = 0;
+    ctx.Read(0, a_, &a_val, sizeof(a_val));
+    ctx.Read(0, b_, &b_val, sizeof(b_val));
+    if (a_val < amount_) {
+      ctx.Abort();
+      return;
+    }
+    a_val -= amount_;
+    b_val += amount_;
+    ctx.Write(0, a_, &a_val, sizeof(a_val));
+    ctx.Write(0, b_, &b_val, sizeof(b_val));
+  }
+
+ private:
+  Key a_;
+  Key b_;
+  std::uint64_t amount_;
+};
 
 // Range scan over [lo, hi] with a row limit, folding an order-sensitive
 // digest over every delivered (key, bytes) pair, then writing
@@ -277,6 +329,7 @@ inline txn::TxnRegistry KvRegistry() {
   registry.Register(kKvAbortType, KvAbortTxn::Decode);
   registry.Register(kKvVarPutType, KvVarPutTxn::Decode);
   registry.Register(kKvScanSumType, KvScanSumTxn::Decode);
+  registry.Register(kKvXferType, KvXferTxn::Decode);
   return registry;
 }
 

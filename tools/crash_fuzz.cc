@@ -56,6 +56,7 @@
 #include "src/core/database.h"
 #include "src/core/oracle.h"
 #include "src/service/db_service.h"
+#include "src/shard/sharded_db.h"
 #include "src/sim/nvm_device.h"
 #include "tests/test_util.h"
 
@@ -831,6 +832,234 @@ std::string RunCase(const FuzzConfig& config, std::size_t config_index, std::uin
   return failure;
 }
 
+// ---- Sharded sweep ----------------------------------------------------------
+//
+// The multi-shard config partitions the keyspace across two engines behind
+// one global epoch (src/shard). Each run arms one crash site on ONE shard,
+// crashes every device at the moment the global epoch fails (a power failure
+// takes the whole fleet), recovers a fresh ShardedDatabase — which must land
+// every shard on one consistent global epoch — resumes the remaining stream,
+// and diffs all shards against a crash-free sharded oracle.
+//
+// The stream is deferral-free by construction: every epoch front-loads its
+// cross-shard transfers over mutually disjoint key pairs before any write,
+// so the router admits all of them (a deferral held in memory would be lost
+// across the crash and the resumed run would diverge by design, not by bug;
+// deferral behavior is covered by unit tests instead). The harness asserts
+// this.
+
+constexpr std::size_t kShardCount = 2;
+constexpr std::size_t kShardEpochs = 4;
+constexpr std::size_t kXfersPerEpoch = 4;
+
+// Engine sites reachable under the sharded spec (pipelining and instant
+// recovery are forced off; table 0 unordered; no persistent index) plus the
+// two shard-layer sites, which only this sweep can fire.
+constexpr CrashSite kShardedSites[] = {
+    CrashSite::kAfterLog,          CrashSite::kAfterInsert,
+    CrashSite::kDuringMajorGc,     CrashSite::kAfterGcPersist,
+    CrashSite::kAfterAppend,       CrashSite::kMidExecution,
+    CrashSite::kAfterExecution,    CrashSite::kBeforeEpochPersist,
+    CrashSite::kMidParallelCheckpoint,
+    CrashSite::kMidShardExchange,  CrashSite::kMidShardEpochBarrier,
+};
+
+std::vector<std::unique_ptr<nvc::txn::Transaction>> ShardEpochBatch(std::uint64_t seed,
+                                                                    std::size_t epoch) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + epoch * 1000003 + 17);
+  std::vector<std::unique_ptr<nvc::txn::Transaction>> txns;
+  // Disjoint transfer pairs drawn from a per-epoch shuffle of the base band.
+  std::array<Key, kBaseRows> keys{};
+  for (std::size_t i = 0; i < kBaseRows; ++i) {
+    keys[i] = i;
+  }
+  for (std::size_t i = 0; i < 2 * kXfersPerEpoch; ++i) {
+    const std::size_t j = i + rng.NextBounded(kBaseRows - i);
+    std::swap(keys[i], keys[j]);
+  }
+  for (std::size_t i = 0; i < kXfersPerEpoch; ++i) {
+    txns.push_back(std::make_unique<nvc::test::KvXferTxn>(keys[2 * i], keys[2 * i + 1],
+                                                          1 + rng.NextBounded(20)));
+  }
+  // Single-shard tail (never router-deferred): small and pool-allocated
+  // writes so the engines' GC sites stay reachable, plus user aborts.
+  for (std::size_t i = 0; i < 12; ++i) {
+    const std::uint64_t pick = rng.NextBounded(100);
+    if (pick < 40) {
+      txns.push_back(std::make_unique<nvc::test::KvPutTxn>(rng.NextBounded(kBaseRows),
+                                                           rng.Next()));
+    } else if (pick < 60) {
+      txns.push_back(std::make_unique<nvc::test::KvRmwTxn>(rng.NextBounded(kBaseRows),
+                                                           rng.NextBounded(1000)));
+    } else if (pick < 90) {
+      txns.push_back(std::make_unique<nvc::test::KvBigPutTxn>(
+          kBigBase + rng.NextBounded(kBigRows), rng.Next()));
+    } else {
+      txns.push_back(std::make_unique<nvc::test::KvAbortTxn>(rng.NextBounded(kBaseRows)));
+    }
+  }
+  return txns;
+}
+
+nvc::sim::NvmConfig ShardDeviceConfig(const DatabaseSpec& base) {
+  NvmConfig config;
+  config.size_bytes = nvc::shard::ShardedDatabase::RequiredDeviceBytes(base);
+  config.crash_tracking = nvc::sim::CrashTracking::kShadow;
+  return config;
+}
+
+void LoadSharded(nvc::shard::ShardedDatabase& db) {
+  for (std::size_t i = 0; i < kBigBase + kBigRows; ++i) {
+    const std::uint64_t value = 5000 + i;
+    db.BulkLoad(0, i, &value, sizeof(value));
+  }
+  db.FinalizeLoad();
+}
+
+// Final per-shard oracle states of a crash-free sharded run, cached per seed.
+const std::vector<OracleState>& ShardedReferenceState(std::uint64_t seed) {
+  static std::map<std::uint64_t, std::vector<OracleState>> cache;
+  auto it = cache.find(seed);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  const DatabaseSpec base = nvc::test::SmallKvSpec();
+  std::vector<std::unique_ptr<NvmDevice>> owned;
+  std::vector<NvmDevice*> devices;
+  for (std::size_t s = 0; s < kShardCount; ++s) {
+    owned.push_back(std::make_unique<NvmDevice>(ShardDeviceConfig(base)));
+    devices.push_back(owned.back().get());
+  }
+  nvc::shard::ShardedDatabase db(devices, base);
+  db.Format();
+  LoadSharded(db);
+  for (std::size_t e = 0; e < kShardEpochs; ++e) {
+    db.ExecuteEpoch(ShardEpochBatch(seed, e));
+  }
+  std::vector<OracleState> states;
+  for (std::size_t s = 0; s < kShardCount; ++s) {
+    states.push_back(nvc::core::CaptureState(db.shard(s)));
+  }
+  return cache.emplace(seed, std::move(states)).first->second;
+}
+
+// One sharded crash-and-recover run: arm `site` on `crash_shard` only.
+std::string RunShardedCase(std::uint64_t seed, CrashSite site, std::size_t crash_shard,
+                           SweepStats* stats, bool verbose) {
+  const std::vector<OracleState>& expected = ShardedReferenceState(seed);
+  const DatabaseSpec base = nvc::test::SmallKvSpec();
+
+  Rng run_rng(seed * 1000003 + static_cast<std::uint64_t>(site) * 101 + crash_shard * 31 + 9);
+  const bool shard_site = site == CrashSite::kMidShardExchange ||
+                          site == CrashSite::kMidShardEpochBarrier;
+  // Shard-layer sites are reached exactly once per shard per global epoch;
+  // a tight bound keeps them firing in every armed run.
+  const std::uint64_t bound = shard_site ? kShardEpochs : FireIndexBound(site);
+  const std::uint64_t fire_index = 1 + run_rng.NextBounded(bound);
+  const int mode = static_cast<int>(run_rng.NextBounded(3));
+  const double keep = kKeepSweep[run_rng.NextBounded(5)];
+  const std::uint64_t crash_seed = run_rng.Next();
+
+  std::vector<std::unique_ptr<NvmDevice>> owned;
+  std::vector<NvmDevice*> devices;
+  for (std::size_t s = 0; s < kShardCount; ++s) {
+    owned.push_back(std::make_unique<NvmDevice>(ShardDeviceConfig(base)));
+    devices.push_back(owned.back().get());
+  }
+
+  ++stats->runs;
+  ++stats->armed[static_cast<std::size_t>(site)];
+
+  bool crashed = false;
+  {
+    auto db = std::make_unique<nvc::shard::ShardedDatabase>(devices, base);
+    db->Format();
+    LoadSharded(*db);
+    std::atomic<std::uint64_t> reached{0};
+    db->SetCrashHook([&reached, site, crash_shard, fire_index](std::size_t shard,
+                                                               CrashSite s) {
+      return shard == crash_shard && s == site && ++reached == fire_index;
+    });
+    for (std::size_t e = 0; e < kShardEpochs; ++e) {
+      const nvc::shard::ShardedEpochResult result = db->ExecuteEpoch(ShardEpochBatch(seed, e));
+      if (result.deferred != 0) {
+        return "sharded stream unexpectedly router-deferred " +
+               std::to_string(result.deferred) + " transactions (harness bug)";
+      }
+      if (result.crashed) {
+        crashed = true;
+        break;
+      }
+    }
+    stats->coverage.Merge(db->crash_coverage());
+  }
+
+  std::unique_ptr<nvc::shard::ShardedDatabase> db;
+  if (crashed) {
+    ++stats->crashed_runs;
+    ++stats->armed_fired[static_cast<std::size_t>(site)];
+    // The power failure takes the whole fleet: the armed shard's device gets
+    // the swept failure mode, the survivors lose their unfenced lines too.
+    for (std::size_t s = 0; s < kShardCount; ++s) {
+      if (s == crash_shard) {
+        switch (mode) {
+          case 0:
+            devices[s]->Crash();
+            break;
+          case 1:
+            devices[s]->CrashChaos(crash_seed, keep);
+            break;
+          default:
+            devices[s]->CrashTorn(crash_seed, keep);
+            break;
+        }
+      } else {
+        devices[s]->Crash();
+      }
+    }
+  } else {
+    ++stats->missed_runs;
+  }
+
+  db = std::make_unique<nvc::shard::ShardedDatabase>(devices, base);
+  const nvc::StatusOr<nvc::shard::ShardedRecoveryReport> report =
+      db->Recover(nvc::test::KvRegistry());
+  if (!report.ok()) {
+    ++stats->divergences;
+    return "sharded recovery failed: " + report.status().message();
+  }
+  stats->coverage.Merge(db->crash_coverage());
+  // stream[e] ran as global epoch e+2; recovered_epoch is the agreed epoch
+  // AFTER any replay, so the next batch to run is recovered_epoch - 1.
+  for (std::size_t e = static_cast<std::size_t>(report->recovered_epoch) - 1;
+       e < kShardEpochs; ++e) {
+    db->ExecuteEpoch(ShardEpochBatch(seed, e));
+  }
+
+  std::vector<OracleState> actual;
+  for (std::size_t s = 0; s < kShardCount; ++s) {
+    actual.push_back(nvc::core::CaptureState(db->shard(s)));
+  }
+  std::string diff;
+  const std::size_t divergences = nvc::core::DiffShardedStates(expected, actual, &diff);
+  stats->divergences += divergences;
+  std::string failure;
+  if (divergences != 0) {
+    failure = "sharded state diverged (" + std::to_string(divergences) + "):\n" + diff;
+  } else if (nvc::core::MultiShardStateHash(expected) !=
+             nvc::core::MultiShardStateHash(actual)) {
+    failure = "sharded state hash mismatch with zero reported divergences";
+  }
+  if (verbose || !failure.empty()) {
+    static constexpr const char* kModeNames[] = {"crash", "chaos", "torn"};
+    std::printf("[sharded seed=%llu site=%s shard=%zu mode=%s keep=%.2f fire=%llu] %s\n",
+                static_cast<unsigned long long>(seed), CrashSiteName(site), crash_shard,
+                kModeNames[mode], keep, static_cast<unsigned long long>(fire_index),
+                failure.empty() ? (crashed ? "ok" : "miss") : "FAIL");
+  }
+  return failure;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -879,6 +1108,11 @@ int main(int argc, char** argv) {
             !configs[c].ordered) {
           continue;
         }
+        // The shard-layer sites only exist in the sharded sweep below.
+        if (site == CrashSite::kMidShardExchange ||
+            site == CrashSite::kMidShardEpochBarrier) {
+          continue;
+        }
         const std::string failure = RunCase(configs[c], c, seed, site, &stats, verbose);
         if (!failure.empty()) {
           ++failures;
@@ -888,6 +1122,29 @@ int main(int argc, char** argv) {
     std::printf("config %-16s: %3zu runs, %3zu crashed+recovered, %3zu missed\n",
                 configs[c].name.c_str(), stats.runs - runs_before,
                 stats.crashed_runs - crashed_before,
+                (stats.runs - runs_before) - (stats.crashed_runs - crashed_before));
+  }
+
+  // Multi-shard config: one sub-sweep per (seed, site, crashing shard). The
+  // two shard-layer sites (kMidShardExchange, kMidShardEpochBarrier) exist
+  // only here, so this sweep is what keeps the all-sites-fired gate honest
+  // for them.
+  {
+    const std::size_t runs_before = stats.runs;
+    const std::size_t crashed_before = stats.crashed_runs;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      for (CrashSite site : kShardedSites) {
+        for (std::size_t shard = 0; shard < kShardCount; ++shard) {
+          const std::string failure = RunShardedCase(seed, site, shard, &stats, verbose);
+          if (!failure.empty()) {
+            ++failures;
+            std::printf("%s\n", failure.c_str());
+          }
+        }
+      }
+    }
+    std::printf("config %-16s: %3zu runs, %3zu crashed+recovered, %3zu missed\n", "sharded",
+                stats.runs - runs_before, stats.crashed_runs - crashed_before,
                 (stats.runs - runs_before) - (stats.crashed_runs - crashed_before));
   }
 
